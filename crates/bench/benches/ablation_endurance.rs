@@ -1,0 +1,35 @@
+//! Ablation bench: device wear with and without Silent Shredder.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_bench::experiments::ablation_endurance;
+use ss_bench::runner::ExperimentScale;
+use ss_common::{BlockAddr, DetRng};
+use ss_nvm::{NvmConfig, NvmDevice};
+
+fn bench(c: &mut Criterion) {
+    println!("\nEndurance ablation (quick scale):");
+    for r in ablation_endurance(ExperimentScale::Quick).expect("ablation") {
+        println!(
+            "  {:<36} writes={:<8} max-line-wear={}",
+            r.config, r.nvm_writes, r.max_line_wear
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_endurance");
+    group.bench_function("device_write_with_wear_tracking", |b| {
+        let mut nvm = NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            ..NvmConfig::default()
+        });
+        let mut rng = DetRng::new(3);
+        b.iter(|| {
+            let addr = BlockAddr::new(rng.below(1 << 14) * 64);
+            nvm.write_line(addr, &[rng.next_u64() as u8; 64])
+                .expect("write")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 4 bench: the impact of kernel zeroing on `memset`.
+//!
+//! Prints the figure's series at Quick scale, then measures the
+//! simulator's throughput on the first-memset path (faults + zeroing)
+//! vs the second-memset path (program stores only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_bench::experiments::fig04;
+use ss_bench::runner::ExperimentScale;
+use ss_cpu::Op;
+use ss_os::ZeroStrategy;
+use ss_sim::{System, SystemConfig};
+
+fn print_series() {
+    println!("\nFigure 4 series (quick scale):");
+    for r in fig04(ExperimentScale::Quick).expect("fig04") {
+        println!(
+            "  {:>3}MB first={} second={} zeroing={} ({:.1}%)",
+            r.size_mib,
+            r.first_memset,
+            r.second_memset,
+            r.kernel_zeroing,
+            100.0 * r.zeroing_fraction
+        );
+    }
+}
+
+fn memset_system() -> (System, ss_common::VirtAddr) {
+    let mut cfg = ExperimentScale::Quick
+        .apply(SystemConfig::baseline().with_zero_strategy(ZeroStrategy::Temporal));
+    cfg.hierarchy.cores = 1;
+    let mut system = System::new(cfg).expect("boot");
+    system.age_free_frames();
+    let pid = system.spawn_process(0).expect("spawn");
+    let heap = system.sys_alloc(pid, 64 * 4096).expect("alloc");
+    (system, heap)
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig04");
+    group.sample_size(20);
+    group.bench_function("first_memset_64p", |b| {
+        b.iter_with_setup(memset_system, |(mut system, heap)| {
+            let ops: Vec<Op> = (0..64 * 64)
+                .map(|i| Op::StoreLine(heap.add(i * 64)))
+                .collect();
+            system.run(vec![ops.into_iter()], None)
+        });
+    });
+    group.bench_function("second_memset_64p", |b| {
+        b.iter_with_setup(
+            || {
+                let (mut system, heap) = memset_system();
+                let ops: Vec<Op> = (0..64 * 64)
+                    .map(|i| Op::StoreLine(heap.add(i * 64)))
+                    .collect();
+                system.run(vec![ops.into_iter()], None);
+                (system, heap)
+            },
+            |(mut system, heap)| {
+                let ops: Vec<Op> = (0..64 * 64)
+                    .map(|i| Op::StoreLine(heap.add(i * 64)))
+                    .collect();
+                system.run(vec![ops.into_iter()], None)
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

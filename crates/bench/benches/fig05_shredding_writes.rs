@@ -1,0 +1,45 @@
+//! Figure 5 bench: kernel shredding's share of graph-construction writes
+//! under the three zeroing regimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_bench::experiments::fig05;
+use ss_bench::runner::{run_workload, scaled_graph, ExperimentScale};
+use ss_os::ZeroStrategy;
+use ss_sim::SystemConfig;
+use ss_workloads::{GraphApp, GraphWorkload};
+
+fn bench(c: &mut Criterion) {
+    println!("\nFigure 5 series (quick scale, writes relative to temporal zeroing):");
+    for r in fig05(ExperimentScale::Quick).expect("fig05") {
+        println!(
+            "  {:<20} unmodified={:.2} non-temporal={:.2} no-zeroing={:.2}",
+            r.app, r.unmodified, r.non_temporal, r.no_zeroing
+        );
+    }
+    let mut group = c.benchmark_group("fig05");
+    group.sample_size(10);
+    for strategy in [
+        ZeroStrategy::Temporal,
+        ZeroStrategy::NonTemporal,
+        ZeroStrategy::None,
+    ] {
+        group.bench_function(format!("pagerank_construction/{strategy:?}"), |b| {
+            let w = scaled_graph(
+                GraphWorkload::new(GraphApp::PageRank),
+                ExperimentScale::Quick,
+            );
+            b.iter(|| {
+                run_workload(
+                    SystemConfig::baseline().with_zero_strategy(strategy),
+                    &w,
+                    ExperimentScale::Quick,
+                )
+                .expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table 2 bench: the initialization-mechanism feature matrix, measured,
+//! plus per-mechanism shred throughput in the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ss_bench::experiments::table2;
+use ss_bench::runner::ExperimentScale;
+use ss_cache::{Hierarchy, HierarchyConfig};
+use ss_common::{Cycles, PageId};
+use ss_core::{ControllerConfig, MemoryController};
+use ss_os::{zeroing, ZeroStrategy};
+use ss_sim::Hardware;
+
+fn hardware() -> Hardware {
+    let hierarchy = Hierarchy::new(&HierarchyConfig {
+        cores: 1,
+        ..HierarchyConfig::scaled_down(256)
+    })
+    .expect("hierarchy");
+    let controller = MemoryController::new(ControllerConfig {
+        data_capacity: 4 << 20,
+        counter_cache_bytes: 32 << 10,
+        ..ControllerConfig::default()
+    })
+    .expect("controller");
+    Hardware::new(hierarchy, controller)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nTable 2, measured (quick scale):");
+    for r in table2(ExperimentScale::Quick).expect("table2") {
+        let f = r.features();
+        println!(
+            "  {:<26} pollution={} cpu={} fast={} no-writes={} persistent={} no-bus={}",
+            r.mechanism, f[0], f[1], f[2], f[3], f[4], f[5]
+        );
+    }
+
+    let mut group = c.benchmark_group("table2");
+    for strategy in [
+        ZeroStrategy::Temporal,
+        ZeroStrategy::NonTemporal,
+        ZeroStrategy::DmaEngine,
+        ZeroStrategy::RowClone,
+        ZeroStrategy::ShredCommand,
+    ] {
+        group.bench_function(format!("shred_one_page/{strategy:?}"), |b| {
+            let mut hw = hardware();
+            let mut page = 0u64;
+            b.iter(|| {
+                page = (page + 1) % 900;
+                zeroing::shred_page(&mut hw, strategy, 0, PageId::new(page + 1), Cycles::ZERO)
+                    .expect("shred")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! Strongly-typed addresses and memory geometry.
+//!
+//! The simulator works at two granularities:
+//!
+//! * **Pages** — 4 KiB, the unit the OS allocates, shreds and maps.
+//! * **Blocks (cache lines)** — 64 bytes, the unit caches and the memory
+//!   controller move around, and the unit counter-mode encryption pads.
+//!
+//! [`PhysAddr`]/[`VirtAddr`] are byte addresses; [`PageId`] is a physical
+//! frame number; [`BlockAddr`] is a line-aligned physical address used as
+//! the key throughout the cache hierarchy and controller.
+
+use std::fmt;
+
+/// Size of a physical/virtual page in bytes (4 KiB, Table 1 default).
+pub const PAGE_SIZE: usize = 4096;
+/// Size of a cache line / memory block in bytes.
+pub const LINE_SIZE: usize = 64;
+/// Number of cache lines per page (64 for 4 KiB pages, 64 B lines).
+pub const BLOCKS_PER_PAGE: usize = PAGE_SIZE / LINE_SIZE;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The physical page (frame) containing this address.
+    pub const fn page(self) -> PageId {
+        PageId::new(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Index of the 64 B block within its page (0..=63).
+    pub const fn block_in_page(self) -> usize {
+        ((self.0 % PAGE_SIZE as u64) / LINE_SIZE as u64) as usize
+    }
+
+    /// Byte offset within the 64 B block (0..=63).
+    pub const fn offset_in_block(self) -> usize {
+        (self.0 % LINE_SIZE as u64) as usize
+    }
+
+    /// The line-aligned block address containing this byte.
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr::new(self.0 & !(LINE_SIZE as u64 - 1))
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// A byte-granularity virtual address (per-process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Raw byte offset.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual page number containing this address.
+    pub const fn vpn(self) -> u64 {
+        self.0 / PAGE_SIZE as u64
+    }
+
+    /// Byte offset within the page.
+    pub const fn page_offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// A physical frame number: the unit of allocation, mapping and shredding.
+///
+/// The paper's IV construction uses a *page ID* that is "unique across the
+/// main memory and swap space"; in this reproduction frames are never
+/// swapped, so the frame number itself is that unique ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page ID from a raw frame number.
+    pub const fn new(frame: u64) -> Self {
+        PageId(frame)
+    }
+
+    /// Raw frame number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Physical byte address of the first byte of this page.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr::new(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// Physical block address of the `block`-th line in this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= BLOCKS_PER_PAGE`.
+    pub fn block_addr(self, block: usize) -> BlockAddr {
+        assert!(block < BLOCKS_PER_PAGE, "block index {block} out of page");
+        BlockAddr::new(self.0 * PAGE_SIZE as u64 + (block * LINE_SIZE) as u64)
+    }
+
+    /// Iterator over the block addresses of all 64 lines in this page.
+    pub fn blocks(self) -> impl Iterator<Item = BlockAddr> {
+        (0..BLOCKS_PER_PAGE).map(move |b| self.block_addr(b))
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame:{}", self.0)
+    }
+}
+
+/// A line-aligned physical address: the key used by caches and the memory
+/// controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address, asserting line alignment in debug builds.
+    pub const fn new(raw: u64) -> Self {
+        debug_assert!(raw.is_multiple_of(LINE_SIZE as u64));
+        BlockAddr(raw)
+    }
+
+    /// Raw byte address of the first byte of the line.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The page containing this block.
+    pub const fn page(self) -> PageId {
+        PageId::new(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Index of this block within its page (0..=63).
+    pub const fn block_in_page(self) -> usize {
+        ((self.0 % PAGE_SIZE as u64) / LINE_SIZE as u64) as usize
+    }
+
+    /// The byte-granularity address of the start of the line.
+    pub const fn addr(self) -> PhysAddr {
+        PhysAddr::new(self.0)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_decomposition() {
+        let a = PhysAddr::new(2 * PAGE_SIZE as u64 + 3 * LINE_SIZE as u64 + 7);
+        assert_eq!(a.page(), PageId::new(2));
+        assert_eq!(a.block_in_page(), 3);
+        assert_eq!(a.offset_in_block(), 7);
+        assert_eq!(a.block().raw() % LINE_SIZE as u64, 0);
+        assert_eq!(a.block().page(), PageId::new(2));
+    }
+
+    #[test]
+    fn page_block_roundtrip() {
+        let p = PageId::new(17);
+        for b in 0..BLOCKS_PER_PAGE {
+            let blk = p.block_addr(b);
+            assert_eq!(blk.page(), p);
+            assert_eq!(blk.block_in_page(), b);
+        }
+        assert_eq!(p.blocks().count(), BLOCKS_PER_PAGE);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn block_addr_out_of_range_panics() {
+        PageId::new(0).block_addr(BLOCKS_PER_PAGE);
+    }
+
+    #[test]
+    fn virt_addr_decomposition() {
+        let v = VirtAddr::new(5 * PAGE_SIZE as u64 + 100);
+        assert_eq!(v.vpn(), 5);
+        assert_eq!(v.page_offset(), 100);
+        assert_eq!(v.add(PAGE_SIZE as u64).vpn(), 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{}", PageId::new(0)).is_empty());
+        assert!(!format!("{}", BlockAddr::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+use crate::addr::{PageId, PhysAddr, VirtAddr};
+
+/// Convenience result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the simulated hardware and OS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A physical access fell outside the installed memory.
+    AddrOutOfRange {
+        /// The faulting address.
+        addr: PhysAddr,
+        /// Installed capacity in bytes.
+        capacity: u64,
+    },
+    /// A virtual access had no valid mapping and could not be handled.
+    UnmappedVirtual {
+        /// The faulting virtual address.
+        addr: VirtAddr,
+    },
+    /// Attempt to use a page that is not allocated to the caller.
+    PageNotOwned {
+        /// The page in question.
+        page: PageId,
+    },
+    /// Out of physical frames.
+    OutOfMemory,
+    /// A user-mode write touched a kernel-only MMIO register (the shred
+    /// register); the paper specifies this raises an exception (§7.1).
+    PrivilegeViolation {
+        /// The faulting address.
+        addr: PhysAddr,
+    },
+    /// Counter-integrity verification failed (Merkle mismatch): either the
+    /// counters or the tree were tampered with.
+    IntegrityViolation {
+        /// Human-readable description of what failed to verify.
+        detail: String,
+    },
+    /// The persistent counter state was lost (e.g. crash with a
+    /// non-battery-backed write-back counter cache), so encrypted data is
+    /// unrecoverable.
+    CounterLoss,
+    /// A configuration value was invalid (zero ways, non-power-of-two size…).
+    InvalidConfig {
+        /// Human-readable description of the bad parameter.
+        detail: String,
+    },
+    /// An unknown process/VM handle was used.
+    NoSuchProcess {
+        /// The raw handle.
+        id: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AddrOutOfRange { addr, capacity } => {
+                write!(f, "physical address {addr} outside {capacity}-byte memory")
+            }
+            Error::UnmappedVirtual { addr } => write!(f, "no mapping for {addr}"),
+            Error::PageNotOwned { page } => write!(f, "{page} is not owned by the caller"),
+            Error::OutOfMemory => write!(f, "out of physical memory"),
+            Error::PrivilegeViolation { addr } => {
+                write!(f, "user-mode access to kernel-only register at {addr}")
+            }
+            Error::IntegrityViolation { detail } => {
+                write!(f, "counter integrity violation: {detail}")
+            }
+            Error::CounterLoss => write!(f, "encryption counters lost; data unrecoverable"),
+            Error::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            Error::NoSuchProcess { id } => write!(f, "no such process or vm: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errors = [
+            Error::AddrOutOfRange {
+                addr: PhysAddr::new(0x1000),
+                capacity: 4096,
+            },
+            Error::UnmappedVirtual {
+                addr: VirtAddr::new(1),
+            },
+            Error::PageNotOwned {
+                page: PageId::new(3),
+            },
+            Error::OutOfMemory,
+            Error::PrivilegeViolation {
+                addr: PhysAddr::new(0),
+            },
+            Error::IntegrityViolation {
+                detail: "root mismatch".into(),
+            },
+            Error::CounterLoss,
+            Error::InvalidConfig {
+                detail: "zero ways".into(),
+            },
+            Error::NoSuchProcess { id: 9 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

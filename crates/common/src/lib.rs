@@ -1,0 +1,31 @@
+//! Shared foundation types for the Silent Shredder reproduction.
+//!
+//! Every other crate in the workspace builds on this one: strongly-typed
+//! physical/virtual addresses, page/cache-line geometry, cycle accounting,
+//! statistics counters, a deterministic PRNG, and the workspace error type.
+//!
+//! The memory geometry follows the paper's configuration (Table 1): 4 KiB
+//! pages split into 64 cache lines of 64 bytes each.
+//!
+//! # Examples
+//!
+//! ```
+//! use ss_common::{PhysAddr, PageId, LINE_SIZE, PAGE_SIZE};
+//!
+//! let addr = PhysAddr::new(0x1234);
+//! assert_eq!(addr.page(), PageId::new(1));
+//! assert_eq!(addr.block_in_page(), (0x234 / LINE_SIZE as u64) as usize);
+//! assert_eq!(PAGE_SIZE / LINE_SIZE, 64);
+//! ```
+
+pub mod addr;
+pub mod error;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use addr::{BlockAddr, PageId, PhysAddr, VirtAddr, BLOCKS_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+pub use error::{Error, Result};
+pub use rng::DetRng;
+pub use stats::{Counter, LatencyStat, MemAccessKind, MemStats};
+pub use time::{Cycles, Nanos, CLOCK_GHZ};

@@ -1,0 +1,191 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! All stochastic behaviour in the simulator (workload address streams,
+//! synthetic graphs, plaintext test data) is driven by [`DetRng`], a
+//! seeded xorshift64* generator, so every experiment is reproducible
+//! bit-for-bit with no dependence on wall-clock time or OS entropy.
+
+/// A small, fast, fully deterministic PRNG (xorshift64*).
+///
+/// Not cryptographically secure — it drives workload generation, never
+/// key material. (Keys in the crypto crate are caller-supplied.)
+///
+/// # Examples
+///
+/// ```
+/// use ss_common::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded sampling: negligible bias for our bounds.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fills `buf` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Samples an index from a power-law (Zipf-like, exponent `alpha`)
+    /// distribution over `[0, n)`. Used for Twitter-like graph degree
+    /// sequences and skewed page popularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zipf(&mut self, n: u64, alpha: f64) -> u64 {
+        assert!(n > 0, "population must be non-empty");
+        // Inverse-CDF approximation of a bounded Pareto distribution.
+        let u = self.unit().max(f64::MIN_POSITIVE);
+        let exponent = 1.0 - alpha;
+        if exponent.abs() < 1e-9 {
+            // alpha == 1: logarithmic inverse CDF.
+            let x = (n as f64).powf(u);
+            return (x as u64).min(n - 1);
+        }
+        let nf = n as f64;
+        let x = ((nf.powf(exponent) - 1.0) * u + 1.0).powf(1.0 / exponent);
+        (x as u64 - 1).min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = DetRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_in_range_and_roughly_uniform() {
+        let mut r = DetRng::new(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = r.unit();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut r = DetRng::new(6);
+        let mut buf = [0u8; 37];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut r = DetRng::new(8);
+        let n = 1000;
+        let mut low = 0;
+        for _ in 0..10_000 {
+            let v = r.zipf(n, 1.2);
+            assert!(v < n);
+            if v < n / 10 {
+                low += 1;
+            }
+        }
+        // A power law should put well over half the mass in the lowest decile.
+        assert!(low > 5_000, "only {low} of 10000 samples in lowest decile");
+    }
+
+    #[test]
+    fn zipf_alpha_one_branch() {
+        let mut r = DetRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.zipf(100, 1.0) < 100);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Statistics primitives used by every simulated component.
+//!
+//! The evaluation metrics in the paper are all derived from counts and
+//! latencies collected at the memory controller and the cores:
+//! writes to NVM (Fig. 8), read traffic (Fig. 9), mean read latency
+//! (Fig. 10), IPC (Fig. 11) and counter-cache miss rate (Fig. 12).
+
+use std::fmt;
+
+use crate::time::Cycles;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Aggregates a stream of latencies: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStat {
+    count: u64,
+    total: Cycles,
+    min: Cycles,
+    max: Cycles,
+}
+
+impl LatencyStat {
+    /// Creates an empty aggregate.
+    pub const fn new() -> Self {
+        LatencyStat {
+            count: 0,
+            total: Cycles::ZERO,
+            min: Cycles(u64::MAX),
+            max: Cycles::ZERO,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, lat: Cycles) {
+        self.count += 1;
+        self.total += lat;
+        if lat < self.min {
+            self.min = lat;
+        }
+        if lat > self.max {
+            self.max = lat;
+        }
+    }
+
+    /// Number of observations.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub const fn total(&self) -> Cycles {
+        self.total
+    }
+
+    /// Mean latency in cycles (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total.raw() as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<Cycles> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<Cycles> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &LatencyStat) {
+        self.count += other.count;
+        self.total += other.total;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+impl fmt::Display for LatencyStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1} cyc", self.count, self.mean())
+    }
+}
+
+/// Kind of main-memory access, for classified accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccessKind {
+    /// Demand read of a data block.
+    Read,
+    /// Write-back of a dirty data block.
+    Write,
+    /// Read of an encryption-counter block.
+    CounterRead,
+    /// Write of an encryption-counter block.
+    CounterWrite,
+}
+
+/// Classified main-memory traffic counters, as sampled at the NVMM
+/// controller. `zeroing_writes` tracks the subset of writes caused by
+/// page shredding, which is exactly the traffic Silent Shredder removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Demand reads that reached the NVM array.
+    pub reads: Counter,
+    /// Data writes that reached the NVM array.
+    pub writes: Counter,
+    /// Subset of `writes` issued by the kernel zeroing path.
+    pub zeroing_writes: Counter,
+    /// Reads satisfied by the controller's zero-fill path without touching
+    /// the NVM array (Silent Shredder only).
+    pub zero_fill_reads: Counter,
+    /// Counter-block reads from NVM (counter-cache misses).
+    pub counter_reads: Counter,
+    /// Counter-block writes to NVM.
+    pub counter_writes: Counter,
+    /// Latency of demand reads as seen by the LLC.
+    pub read_latency: LatencyStat,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total blocks moved over the memory bus (reads + writes + counters).
+    pub fn bus_blocks(&self) -> u64 {
+        self.reads.get() + self.writes.get() + self.counter_reads.get() + self.counter_writes.get()
+    }
+
+    /// Fraction of data writes caused by zeroing, in `[0, 1]`.
+    pub fn zeroing_write_fraction(&self) -> f64 {
+        let w = self.writes.get();
+        if w == 0 {
+            0.0
+        } else {
+            self.zeroing_writes.get() as f64 / w as f64
+        }
+    }
+
+    /// Merges another sample into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads.add(other.reads.get());
+        self.writes.add(other.writes.get());
+        self.zeroing_writes.add(other.zeroing_writes.get());
+        self.zero_fill_reads.add(other.zero_fill_reads.get());
+        self.counter_reads.add(other.counter_reads.get());
+        self.counter_writes.add(other.counter_writes.get());
+        self.read_latency.merge(&other.read_latency);
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} (zeroing={}) zero-fill={} ctr r/w={}/{}",
+            self.reads,
+            self.writes,
+            self.zeroing_writes,
+            self.zero_fill_reads,
+            self.counter_reads,
+            self.counter_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn latency_stat_aggregates() {
+        let mut s = LatencyStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        s.record(Cycles::new(10));
+        s.record(Cycles::new(30));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), Some(Cycles::new(10)));
+        assert_eq!(s.max(), Some(Cycles::new(30)));
+    }
+
+    #[test]
+    fn latency_stat_merge() {
+        let mut a = LatencyStat::new();
+        a.record(Cycles::new(5));
+        let mut b = LatencyStat::new();
+        b.record(Cycles::new(15));
+        b.record(Cycles::new(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(Cycles::new(1)));
+        assert_eq!(a.max(), Some(Cycles::new(15)));
+        // Merging an empty aggregate changes nothing.
+        let before = a;
+        a.merge(&LatencyStat::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn mem_stats_fractions_and_bus() {
+        let mut m = MemStats::new();
+        assert_eq!(m.zeroing_write_fraction(), 0.0);
+        m.writes.add(10);
+        m.zeroing_writes.add(4);
+        m.reads.add(3);
+        m.counter_reads.add(2);
+        m.counter_writes.add(1);
+        assert!((m.zeroing_write_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(m.bus_blocks(), 16);
+        let mut n = MemStats::new();
+        n.merge(&m);
+        assert_eq!(n, m);
+        assert!(!m.to_string().is_empty());
+    }
+}

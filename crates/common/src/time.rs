@@ -1,0 +1,145 @@
+//! Cycle and nanosecond accounting.
+//!
+//! The simulated processor runs at 2 GHz (Table 1), so 1 ns = 2 cycles.
+//! All latency bookkeeping in the simulator is done in [`Cycles`];
+//! device-level timings specified in nanoseconds (NVM read 75 ns, write
+//! 150 ns) convert through [`Nanos`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Simulated core clock frequency in GHz (Table 1: 2 GHz).
+pub const CLOCK_GHZ: u64 = 2;
+
+/// A duration or timestamp measured in core clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub const fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    /// Raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to nanoseconds at the configured clock.
+    pub const fn to_nanos(self) -> Nanos {
+        Nanos(self.0 / CLOCK_GHZ)
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two cycle counts.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// A duration measured in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Creates a nanosecond count.
+    pub const fn new(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to core cycles at the configured clock.
+    pub const fn to_cycles(self) -> Cycles {
+        Cycles(self.0 * CLOCK_GHZ)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_cycles_roundtrip() {
+        // 75 ns NVM read = 150 cycles at 2 GHz.
+        assert_eq!(Nanos::new(75).to_cycles(), Cycles::new(150));
+        assert_eq!(Cycles::new(150).to_nanos(), Nanos::new(75));
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycles::new(10);
+        let b = Cycles::new(3);
+        assert_eq!(a + b, Cycles::new(13));
+        assert_eq!(a - b, Cycles::new(7));
+        assert_eq!(a * 2, Cycles::new(20));
+        assert_eq!(b.saturating_sub(a), Cycles::ZERO);
+        assert_eq!(a.max(b), a);
+        let total: Cycles = [a, b, b].into_iter().sum();
+        assert_eq!(total, Cycles::new(16));
+    }
+}

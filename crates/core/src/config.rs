@@ -1,0 +1,249 @@
+//! Memory-controller configuration.
+
+use ss_common::{Cycles, Error, Result, PAGE_SIZE};
+use ss_nvm::NvmTiming;
+
+/// How lines are encrypted on their way to NVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncryptionMode {
+    /// No encryption (vulnerable to remanence attacks; the pre-security
+    /// baseline).
+    None,
+    /// Direct/ECB encryption: secure against casual scanning but leaks
+    /// equality and adds decryption latency to the miss path (§2.2).
+    Ecb,
+    /// Counter-mode encryption (the paper's assumed design).
+    Ctr,
+}
+
+/// Which §4.2 design option a shred command applies to the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShredStrategy {
+    /// Option 1: increment every minor counter. Cheap per shred but burns
+    /// through the 7-bit minors and triggers frequent re-encryptions.
+    MinorIncrementAll,
+    /// Option 2: bump the major counter only. Avoids re-encryption but a
+    /// fresh read returns garbage, breaking software that expects zeroed
+    /// pages (e.g. glibc rtld's NULL assertions).
+    MajorBumpOnly,
+    /// Option 3 (the paper's choice): bump the major counter and reset all
+    /// minors to the reserved zero, enabling zero-filled reads.
+    MajorBumpResetMinors,
+}
+
+/// How counter-cache contents survive power loss (§4.3, §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterPersistence {
+    /// Write-back counter cache with battery backing: dirty counter blocks
+    /// are flushed to NVM on power-down. The paper's default.
+    BatteryBackedWriteBack,
+    /// Write-through: every counter update also writes NVM immediately
+    /// (64 B per shredded 4 KiB page — still ~64× cheaper than zeroing).
+    WriteThrough,
+    /// Write-back with **no** battery: a crash loses dirty counters and
+    /// with them the data — modelled so the failure mode can be tested.
+    VolatileWriteBack,
+}
+
+/// Full controller configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Bytes of data memory behind the controller (frames × 4 KiB).
+    pub data_capacity: u64,
+    /// Encryption mode.
+    pub encryption: EncryptionMode,
+    /// Whether the Silent Shredder mechanism (shred command + zero-fill
+    /// reads) is enabled. Requires `encryption == Ctr`.
+    pub shredder: bool,
+    /// Shred strategy (only meaningful when `shredder`).
+    pub shred_strategy: ShredStrategy,
+    /// Counter-cache capacity in bytes (Table 1: 4 MiB).
+    pub counter_cache_bytes: usize,
+    /// Counter-cache associativity (8).
+    pub counter_cache_ways: usize,
+    /// Counter-cache latency (Table 1: 10 cycles).
+    pub counter_cache_latency: Cycles,
+    /// Counter persistence mode.
+    pub counter_persistence: CounterPersistence,
+    /// Maintain and verify a Merkle tree over the counter region.
+    pub integrity: bool,
+    /// Latency charged for the XOR of pad and data on the read critical
+    /// path (counter mode hides pad generation behind the array access).
+    pub xor_latency: Cycles,
+    /// Full AES latency charged on the read path in ECB mode (cannot be
+    /// overlapped, §2.2).
+    pub aes_latency: Cycles,
+    /// NVM timing (latencies, channels).
+    pub nvm_timing: NvmTiming,
+    /// DEUCE-style partial re-encryption on writes (\[43\]).
+    pub deuce: bool,
+    /// DEUCE epoch interval (full re-encryption every this many writes).
+    pub deuce_epoch: u8,
+    /// Optional controller write queue with read priority and
+    /// forwarding (None = writes go straight to the channels, the
+    /// paper's simpler model).
+    pub write_queue: Option<crate::wqueue::WriteQueueConfig>,
+    /// Start-Gap wear levelling over the data region \[30\].
+    pub wear_leveling: bool,
+    /// Writes between gap movements when wear levelling is on.
+    pub start_gap_interval: u64,
+    /// AES-128 processor key.
+    pub key: [u8; 16],
+}
+
+impl Default for ControllerConfig {
+    /// The paper's secure controller with Silent Shredder on, scaled to
+    /// 1 GiB of data memory (the full 16 GiB of Table 1 is unnecessary
+    /// for the reproduced experiments; see DESIGN.md on scaling).
+    fn default() -> Self {
+        ControllerConfig {
+            data_capacity: 1 << 30,
+            encryption: EncryptionMode::Ctr,
+            shredder: true,
+            shred_strategy: ShredStrategy::MajorBumpResetMinors,
+            counter_cache_bytes: 4 << 20,
+            counter_cache_ways: 8,
+            counter_cache_latency: Cycles::new(10),
+            counter_persistence: CounterPersistence::BatteryBackedWriteBack,
+            integrity: true,
+            xor_latency: Cycles::new(2),
+            aes_latency: Cycles::new(40),
+            nvm_timing: NvmTiming::default(),
+            deuce: false,
+            deuce_epoch: 16,
+            write_queue: None,
+            wear_leveling: false,
+            start_gap_interval: 64,
+            key: *b"silent-shredder!",
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// A tiny configuration for unit tests and doc examples: 1 MiB of
+    /// data, 16 KiB counter cache.
+    pub fn small_test() -> Self {
+        ControllerConfig {
+            data_capacity: 1 << 20,
+            counter_cache_bytes: 16 << 10,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// The evaluation baseline: counter-mode encryption *without* the
+    /// shredder (shredding must be done by writing zeros).
+    pub fn encrypted_baseline() -> Self {
+        ControllerConfig {
+            shredder: false,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// An unencrypted controller (for motivation experiments and attack
+    /// demonstrations).
+    pub fn plain() -> Self {
+        ControllerConfig {
+            encryption: EncryptionMode::None,
+            shredder: false,
+            integrity: false,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Number of 4 KiB frames of data memory.
+    pub fn frames(&self) -> u64 {
+        self.data_capacity / PAGE_SIZE as u64
+    }
+
+    /// Validates cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the shredder is enabled
+    /// without counter mode, the capacity is not page-aligned or zero, or
+    /// DEUCE is combined with a non-CTR mode.
+    pub fn validate(&self) -> Result<()> {
+        if self.data_capacity == 0 || !self.data_capacity.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(Error::InvalidConfig {
+                detail: format!("data capacity {} not page aligned", self.data_capacity),
+            });
+        }
+        if self.shredder && self.encryption != EncryptionMode::Ctr {
+            return Err(Error::InvalidConfig {
+                detail: "silent shredder requires counter-mode encryption".into(),
+            });
+        }
+        if self.deuce && self.encryption != EncryptionMode::Ctr {
+            return Err(Error::InvalidConfig {
+                detail: "deuce requires counter-mode encryption".into(),
+            });
+        }
+        if self.deuce_epoch == 0 {
+            return Err(Error::InvalidConfig {
+                detail: "deuce epoch must be positive".into(),
+            });
+        }
+        if let Some(wq) = &self.write_queue {
+            if !wq.is_valid() {
+                return Err(Error::InvalidConfig {
+                    detail: "invalid write-queue watermarks".into(),
+                });
+            }
+        }
+        if self.wear_leveling && self.start_gap_interval == 0 {
+            return Err(Error::InvalidConfig {
+                detail: "start-gap interval must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_shredder() {
+        let c = ControllerConfig::default();
+        assert!(c.validate().is_ok());
+        assert!(c.shredder);
+        assert_eq!(c.encryption, EncryptionMode::Ctr);
+        assert_eq!(c.counter_cache_bytes, 4 << 20);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ControllerConfig::small_test().validate().is_ok());
+        assert!(ControllerConfig::encrypted_baseline().validate().is_ok());
+        assert!(ControllerConfig::plain().validate().is_ok());
+    }
+
+    #[test]
+    fn shredder_requires_ctr() {
+        let c = ControllerConfig {
+            encryption: EncryptionMode::Ecb,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn unaligned_capacity_rejected() {
+        let c = ControllerConfig {
+            data_capacity: 4097,
+            ..ControllerConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c0 = ControllerConfig {
+            data_capacity: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(c0.validate().is_err());
+    }
+
+    #[test]
+    fn frames_computed() {
+        assert_eq!(ControllerConfig::small_test().frames(), 256);
+    }
+}

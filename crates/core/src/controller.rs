@@ -1,0 +1,1582 @@
+//! The secure NVMM controller (Fig. 6 and Fig. 7 of the paper).
+
+use std::collections::HashMap;
+
+use ss_cache::{CacheConfig, SetAssocCache};
+use ss_common::{
+    BlockAddr, Counter, Cycles, Error, MemStats, PageId, PhysAddr, Result, BLOCKS_PER_PAGE,
+    LINE_SIZE,
+};
+use ss_crypto::{CtrEngine, EcbEngine, Line, MerkleTree};
+use ss_nvm::{NvmConfig, NvmDevice};
+
+use crate::channel::ChannelSched;
+use crate::config::{ControllerConfig, CounterPersistence, EncryptionMode};
+use crate::counters::{BumpOutcome, CounterBlock};
+use crate::deuce::{self, DeuceMeta, CHUNKS};
+use crate::mmio::{self, MmioOp};
+use crate::wqueue::WriteQueue;
+use ss_nvm::StartGap;
+
+/// Outcome of a demand read serviced by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The plaintext line delivered to the LLC.
+    pub data: Line,
+    /// Latency as seen by the LLC miss (queueing included).
+    pub latency: Cycles,
+    /// `true` when the zero-fill path served the read without touching
+    /// the NVM array (Fig. 7, step 3b).
+    pub zero_filled: bool,
+}
+
+/// Controller-level statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStats {
+    /// Classified memory traffic and read latency.
+    pub mem: MemStats,
+    /// Shred commands executed.
+    pub shreds: Counter,
+    /// Page re-encryptions caused by minor-counter overflow.
+    pub reencryptions: Counter,
+    /// Shred commands rejected for privilege reasons.
+    pub shred_denied: Counter,
+    /// Lines moved over the memory bus (data + counters, reads + writes).
+    pub bus_transfers: Counter,
+}
+
+/// The memory controller. See the crate docs for the mechanism overview.
+#[derive(Debug)]
+pub struct MemoryController {
+    config: ControllerConfig,
+    nvm: NvmDevice,
+    counter_cache: SetAssocCache<CounterBlock>,
+    ctr: Option<CtrEngine>,
+    ecb: Option<EcbEngine>,
+    merkle: Option<MerkleTree>,
+    channels: ChannelSched,
+    deuce_meta: HashMap<u64, DeuceMeta>,
+    stats: ControllerStats,
+    /// NVM byte offset where the counter region begins.
+    counter_base: u64,
+    /// Start-Gap remapper over the data lines (when wear levelling on).
+    start_gap: Option<StartGap>,
+    /// Pages owned by secure enclaves (§4.1): their deallocation shred is
+    /// triggered by hardware, not the (possibly untrusted) OS.
+    enclave_pages: std::collections::HashSet<u64>,
+    /// Optional write queue (read priority + forwarding). Entries hold
+    /// *device-space* addresses and ciphertext, inside the ADR
+    /// persistence domain.
+    wqueue: Option<WriteQueue>,
+    /// Set when a crash dropped dirty counters (volatile write-back).
+    counters_lost: bool,
+}
+
+impl MemoryController {
+    /// Builds a controller (and its backing NVM device) from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: ControllerConfig) -> Result<Self> {
+        config.validate()?;
+        let frames = config.frames();
+        // One spare line after the data region serves as the Start-Gap
+        // slot when wear levelling is enabled.
+        let counter_base = config.data_capacity + LINE_SIZE as u64;
+        let nvm = NvmDevice::new(NvmConfig {
+            capacity_bytes: counter_base + frames * LINE_SIZE as u64,
+            timing: config.nvm_timing,
+            ..NvmConfig::default()
+        });
+        let counter_cache = SetAssocCache::new(CacheConfig::new(
+            "counter",
+            config.counter_cache_bytes,
+            config.counter_cache_ways,
+            config.counter_cache_latency,
+        )?);
+        let merkle = if config.integrity && config.encryption == EncryptionMode::Ctr {
+            Some(MerkleTree::with_initial_leaf(
+                frames as usize,
+                &CounterBlock::default().to_line(),
+            ))
+        } else {
+            None
+        };
+        let ctr = (config.encryption == EncryptionMode::Ctr).then(|| CtrEngine::new(config.key));
+        let ecb = (config.encryption == EncryptionMode::Ecb).then(|| EcbEngine::new(config.key));
+        let channels = ChannelSched::new(&config.nvm_timing);
+        let start_gap = config_start_gap(&config);
+        let wqueue = config_wqueue(&config);
+        Ok(MemoryController {
+            config,
+            nvm,
+            counter_cache,
+            ctr,
+            ecb,
+            merkle,
+            channels,
+            deuce_meta: HashMap::new(),
+            stats: ControllerStats::default(),
+            counter_base,
+            start_gap,
+            enclave_pages: std::collections::HashSet::new(),
+            wqueue,
+            counters_lost: false,
+        })
+    }
+
+    /// Reads a data line, applying wear-levelling remapping. A queued
+    /// (not yet drained) write to the same line is forwarded instead of
+    /// reading stale device contents.
+    fn nvm_read_data(&mut self, addr: BlockAddr) -> Result<Line> {
+        let dev = self.device_addr(addr);
+        if let Some(wq) = &mut self.wqueue {
+            if let Some(line) = wq.forward(dev) {
+                return Ok(line);
+            }
+        }
+        self.nvm.read_line(dev)
+    }
+
+    /// Writes a data line, applying wear-levelling remapping and
+    /// advancing the Start-Gap state. With a write queue configured the
+    /// line is buffered; a high-water burst drains to the low mark.
+    fn nvm_write_data(&mut self, addr: BlockAddr, data: &Line) -> Result<()> {
+        let dev = self.device_addr(addr);
+        if let Some(wq) = &mut self.wqueue {
+            let must_drain = wq.push(dev, *data, false);
+            if must_drain {
+                let burst = wq.burst_len();
+                self.drain_queue(burst, Cycles::ZERO)?;
+            }
+            return Ok(());
+        }
+        self.nvm.write_line(dev, data)?;
+        self.wear_level_on_write()
+    }
+
+    /// Drains up to `n` queued writes to the device, scheduling their
+    /// bus transfers at `now`.
+    fn drain_queue(&mut self, n: usize, now: Cycles) -> Result<()> {
+        for _ in 0..n {
+            let Some(wq) = &mut self.wqueue else { break };
+            let Some((dev, data, _zeroing)) = wq.pop_for_drain() else {
+                break;
+            };
+            self.sched(now, self.config.nvm_timing.write_cycles());
+            self.nvm.write_line(dev, &data)?;
+            self.wear_level_on_write()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the whole write queue (fence, re-encryption, power loss).
+    fn drain_queue_fully(&mut self, now: Cycles) -> Result<()> {
+        let n = self.wqueue.as_ref().map(|q| q.len()).unwrap_or(0);
+        self.drain_queue(n, now)
+    }
+
+    /// Peeks a data line (no stats), applying remapping and forwarding.
+    fn nvm_peek_data(&self, addr: BlockAddr) -> Line {
+        let dev = self.device_addr(addr);
+        if let Some(wq) = &self.wqueue {
+            // Peek without mutating stats: scan entries via forward-free
+            // logic (clone-free: iterate).
+            if let Some(line) = wq.peek(dev) {
+                return line;
+            }
+        }
+        self.nvm.peek(dev)
+    }
+
+    /// Maps a logical data-line address to its device slot, applying
+    /// Start-Gap remapping when wear levelling is enabled.
+    fn device_addr(&self, addr: BlockAddr) -> BlockAddr {
+        match &self.start_gap {
+            Some(sg) => BlockAddr::new(sg.remap(addr.raw() / LINE_SIZE as u64) * LINE_SIZE as u64),
+            None => addr,
+        }
+    }
+
+    /// Advances the Start-Gap state on a demand write, performing the
+    /// physical line copy (one device read + one device write) when the
+    /// gap moves.
+    fn wear_level_on_write(&mut self) -> Result<()> {
+        let Some(sg) = &mut self.start_gap else {
+            return Ok(());
+        };
+        if let Some((from, to)) = sg.advance_with_move() {
+            let from_addr = BlockAddr::new(from * LINE_SIZE as u64);
+            let to_addr = BlockAddr::new(to * LINE_SIZE as u64);
+            let data = self.nvm.read_line(from_addr)?;
+            self.nvm.write_line(to_addr, &data)?;
+        }
+        Ok(())
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// The backing NVM device (energy, wear, remanence surface).
+    pub fn nvm(&self) -> &NvmDevice {
+        &self.nvm
+    }
+
+    /// Counter-cache statistics (hit/miss — drives Fig. 12).
+    pub fn counter_cache_stats(&self) -> &ss_cache::CacheStats {
+        self.counter_cache.stats()
+    }
+
+    /// Write-queue statistics, when a queue is configured.
+    pub fn write_queue_stats(&self) -> Option<&crate::wqueue::WriteQueueStats> {
+        self.wqueue.as_ref().map(|q| q.stats())
+    }
+
+    /// Resets statistics between experiment phases (state is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = ControllerStats::default();
+        self.counter_cache.reset_stats();
+        self.nvm.reset_stats();
+        self.channels.reset();
+    }
+
+    fn counter_addr(&self, page: PageId) -> BlockAddr {
+        BlockAddr::new(self.counter_base + page.raw() * LINE_SIZE as u64)
+    }
+
+    /// Schedules a bus transfer on the channels, counting it.
+    fn sched(&mut self, now: Cycles, service: Cycles) -> Cycles {
+        self.stats.bus_transfers.inc();
+        self.channels.schedule(now, service)
+    }
+
+    fn check_data_addr(&self, addr: BlockAddr) -> Result<()> {
+        if addr.raw() + LINE_SIZE as u64 > self.config.data_capacity {
+            return Err(Error::AddrOutOfRange {
+                addr: addr.addr(),
+                capacity: self.config.data_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fetches (through the counter cache) the counter block of `page`.
+    /// Returns the counters and the latency incurred on the critical path.
+    fn fetch_counters(&mut self, page: PageId, now: Cycles) -> Result<(CounterBlock, Cycles)> {
+        let caddr = self.counter_addr(page);
+        let mut latency = self.config.counter_cache_latency;
+        if let Some(e) = self.counter_cache.get(caddr) {
+            return Ok((e.value, latency));
+        }
+        // Miss: read the counter line from NVM and verify its integrity.
+        if self.counters_lost {
+            return Err(Error::CounterLoss);
+        }
+        let read_lat = self.sched(now + latency, self.config.nvm_timing.read_cycles());
+        latency += read_lat;
+        let line = self.nvm.read_line(caddr)?;
+        self.stats.mem.counter_reads.inc();
+        if let Some(merkle) = &self.merkle {
+            if !merkle.verify_leaf(page.raw() as usize, &line) {
+                return Err(Error::IntegrityViolation {
+                    detail: format!("counter block of {page} failed verification"),
+                });
+            }
+        }
+        let ctrs = CounterBlock::from_line(&line);
+        self.install_counters(page, ctrs, false, now)?;
+        Ok((ctrs, latency))
+    }
+
+    /// Installs a counter block into the cache, handling the victim and
+    /// the configured persistence mode. `dirty` marks modified counters.
+    fn install_counters(
+        &mut self,
+        page: PageId,
+        ctrs: CounterBlock,
+        dirty: bool,
+        now: Cycles,
+    ) -> Result<()> {
+        let caddr = self.counter_addr(page);
+        let write_through =
+            self.config.counter_persistence == CounterPersistence::WriteThrough && dirty;
+        if write_through {
+            self.write_counters_to_nvm(page, &ctrs, now)?;
+        }
+        let victim = self
+            .counter_cache
+            .insert(caddr, ctrs, dirty && !write_through);
+        if let Some(v) = victim {
+            if v.dirty {
+                let vpage = PageId::new((v.addr.raw() - self.counter_base) / LINE_SIZE as u64);
+                self.write_counters_to_nvm(vpage, &v.value, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn write_counters_to_nvm(
+        &mut self,
+        page: PageId,
+        ctrs: &CounterBlock,
+        now: Cycles,
+    ) -> Result<()> {
+        let caddr = self.counter_addr(page);
+        let line = ctrs.to_line();
+        self.sched(now, self.config.nvm_timing.write_cycles());
+        self.nvm.write_line(caddr, &line)?;
+        self.stats.mem.counter_writes.inc();
+        if let Some(merkle) = &mut self.merkle {
+            merkle.update_leaf(page.raw() as usize, &line);
+        }
+        Ok(())
+    }
+
+    fn chunk_minors(&self, addr: BlockAddr, current_minor: u8) -> [u8; CHUNKS] {
+        match self.deuce_meta.get(&addr.raw()) {
+            Some(meta) => core::array::from_fn(|i| meta.chunk_minor(i, current_minor)),
+            None => [current_minor; CHUNKS],
+        }
+    }
+
+    fn decrypt_ctr(&self, addr: BlockAddr, ctrs: &CounterBlock, cipher: &Line) -> Line {
+        let engine = self.ctr.as_ref().expect("ctr mode has an engine");
+        let page = addr.page();
+        let block = addr.block_in_page();
+        if self.config.deuce {
+            let minors = self.chunk_minors(addr, ctrs.minors[block]);
+            deuce::decrypt_chunked(engine, page.raw(), block as u8, ctrs.major, minors, cipher)
+        } else {
+            engine.decrypt_line(&ctrs.iv(page.raw(), block), cipher)
+        }
+    }
+
+    /// Services an LLC miss (Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AddrOutOfRange`] for bad addresses,
+    /// [`Error::IntegrityViolation`] on counter tampering,
+    /// [`Error::CounterLoss`] after an unprotected crash.
+    pub fn read_block(&mut self, addr: BlockAddr, now: Cycles) -> Result<ReadResult> {
+        self.check_data_addr(addr)?;
+        let result = match self.config.encryption {
+            EncryptionMode::None => {
+                let latency = self.sched(now, self.config.nvm_timing.read_cycles());
+                let data = self.nvm_read_data(addr)?;
+                self.stats.mem.reads.inc();
+                ReadResult {
+                    data,
+                    latency,
+                    zero_filled: false,
+                }
+            }
+            EncryptionMode::Ecb => {
+                // Direct encryption: AES latency is serialised after the
+                // array access (§2.2's performance argument against ECB).
+                let latency =
+                    self.sched(now, self.config.nvm_timing.read_cycles()) + self.config.aes_latency;
+                let cipher = self.nvm_read_data(addr)?;
+                self.stats.mem.reads.inc();
+                let data = self.ecb.as_ref().expect("ecb engine").decrypt_line(&cipher);
+                ReadResult {
+                    data,
+                    latency,
+                    zero_filled: false,
+                }
+            }
+            EncryptionMode::Ctr => {
+                let page = addr.page();
+                let block = addr.block_in_page();
+                let (ctrs, ctr_lat) = self.fetch_counters(page, now)?;
+                if self.config.shredder && ctrs.is_shredded(block) {
+                    // Fig. 7 step 3b: minor counter is zero — return a
+                    // zero-filled block, never touching the array.
+                    self.stats.mem.zero_fill_reads.inc();
+                    ReadResult {
+                        data: [0u8; LINE_SIZE],
+                        latency: ctr_lat,
+                        zero_filled: true,
+                    }
+                } else {
+                    // Pad generation overlaps the array read; only the
+                    // XOR is serialised (§2.2).
+                    let latency = ctr_lat
+                        + self.sched(now + ctr_lat, self.config.nvm_timing.read_cycles())
+                        + self.config.xor_latency;
+                    let cipher = self.nvm_read_data(addr)?;
+                    self.stats.mem.reads.inc();
+                    let data = self.decrypt_ctr(addr, &ctrs, &cipher);
+                    ReadResult {
+                        data,
+                        latency,
+                        zero_filled: false,
+                    }
+                }
+            }
+        };
+        self.stats.mem.read_latency.record(result.latency);
+        Ok(result)
+    }
+
+    /// Accepts a write-back from the LLC (or a non-temporal store).
+    /// `zeroing` marks kernel-shredding traffic for classified accounting.
+    /// Returns the issue latency (writes are posted; their bandwidth
+    /// occupancy delays later accesses instead of stalling the writer).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryController::read_block`].
+    pub fn write_block(
+        &mut self,
+        addr: BlockAddr,
+        data: &Line,
+        zeroing: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        self.check_data_addr(addr)?;
+        match self.config.encryption {
+            EncryptionMode::None => {
+                if self.wqueue.is_none() {
+                    self.sched(now, self.config.nvm_timing.write_cycles());
+                }
+                self.nvm_write_data(addr, data)?;
+            }
+            EncryptionMode::Ecb => {
+                let cipher = self.ecb.as_ref().expect("ecb engine").encrypt_line(data);
+                if self.wqueue.is_none() {
+                    self.sched(now, self.config.nvm_timing.write_cycles());
+                }
+                self.nvm_write_data(addr, &cipher)?;
+            }
+            EncryptionMode::Ctr => {
+                let page = addr.page();
+                let block = addr.block_in_page();
+                let (mut ctrs, _lat) = self.fetch_counters(page, now)?;
+                let old_ctrs = ctrs;
+                if ctrs.bump_for_write(block) == BumpOutcome::Overflowed {
+                    self.reencrypt_page(page, &old_ctrs, &ctrs, block, now)?;
+                }
+                let engine = self.ctr.as_ref().expect("ctr engine");
+                let new_minor = ctrs.minors[block];
+                let cipher = if self.config.deuce {
+                    self.deuce_write_cipher(addr, &old_ctrs, &ctrs, data)
+                } else {
+                    engine.encrypt_line(&ctrs.iv(page.raw(), block), data)
+                };
+                if self.wqueue.is_none() {
+                    self.sched(now, self.config.nvm_timing.write_cycles());
+                }
+                self.nvm_write_data(addr, &cipher)?;
+                let _ = new_minor;
+                self.install_counters(page, ctrs, true, now)?;
+            }
+        }
+        self.stats.mem.writes.inc();
+        if zeroing {
+            self.stats.mem.zeroing_writes.inc();
+        }
+        Ok(Cycles::new(1))
+    }
+
+    /// Computes the DEUCE ciphertext for a write: unmodified chunks keep
+    /// their stored ciphertext bytes; modified chunks are re-encrypted
+    /// under the new minor. Epoch rollover re-encrypts everything.
+    fn deuce_write_cipher(
+        &mut self,
+        addr: BlockAddr,
+        old_ctrs: &CounterBlock,
+        new_ctrs: &CounterBlock,
+        data: &Line,
+    ) -> Line {
+        let engine = self.ctr.as_ref().expect("ctr engine");
+        let page = addr.page();
+        let block = addr.block_in_page();
+        let new_minor = new_ctrs.minors[block];
+        let major_changed = new_ctrs.major != old_ctrs.major;
+        let epoch_rollover = new_minor.is_multiple_of(self.config.deuce_epoch) || major_changed;
+        let was_shredded = old_ctrs.is_shredded(block);
+        if epoch_rollover || was_shredded {
+            // Whole line under the new minor; epoch restarts here.
+            self.deuce_meta
+                .insert(addr.raw(), DeuceMeta::new_epoch(new_minor));
+            return deuce::encrypt_chunked(
+                engine,
+                page.raw(),
+                block as u8,
+                new_ctrs.major,
+                [new_minor; CHUNKS],
+                data,
+            );
+        }
+        // Recover the old plaintext (hardware knows the dirty-word mask
+        // from the cache; we reconstruct it by decrypting the old line —
+        // no stats/latency charged, see DESIGN.md).
+        let old_cipher = self.nvm_peek_data(addr);
+        let old_minor = old_ctrs.minors[block];
+        let old_minors = self.chunk_minors(addr, old_minor);
+        let old_plain = deuce::decrypt_chunked(
+            engine,
+            page.raw(),
+            block as u8,
+            old_ctrs.major,
+            old_minors,
+            &old_cipher,
+        );
+        let changed = deuce::changed_chunks(&old_plain, data);
+        let mut meta = self
+            .deuce_meta
+            .get(&addr.raw())
+            .copied()
+            .unwrap_or(DeuceMeta::new_epoch(old_minor));
+        // Chunks modified earlier in this epoch were encrypted under the
+        // previous minor; they must follow the leading counter too.
+        let mut minors = [0u8; CHUNKS];
+        let mut cipher = old_cipher;
+        for c in 0..CHUNKS {
+            if changed[c] || meta.modified[c] {
+                meta.modified[c] = true;
+                minors[c] = new_minor;
+            } else {
+                minors[c] = meta.epoch_minor;
+            }
+        }
+        let full_new = deuce::encrypt_chunked(
+            engine,
+            page.raw(),
+            block as u8,
+            new_ctrs.major,
+            minors,
+            data,
+        );
+        for c in 0..CHUNKS {
+            if changed[c] || meta.modified[c] {
+                cipher[c * 16..(c + 1) * 16].copy_from_slice(&full_new[c * 16..(c + 1) * 16]);
+            }
+        }
+        self.deuce_meta.insert(addr.raw(), meta);
+        cipher
+    }
+
+    /// Re-encrypts every live block of `page` after a minor-counter
+    /// overflow (§4.2): read, decrypt under the old IV, encrypt under the
+    /// new one, write back. Shredded blocks stay shredded at no cost.
+    fn reencrypt_page(
+        &mut self,
+        page: PageId,
+        old_ctrs: &CounterBlock,
+        new_ctrs: &CounterBlock,
+        skip_block: usize,
+        now: Cycles,
+    ) -> Result<()> {
+        self.stats.reencryptions.inc();
+        // Queued writes to this page must land before re-encryption reads.
+        self.drain_queue_fully(now)?;
+        for b in 0..BLOCKS_PER_PAGE {
+            if b == skip_block || old_ctrs.is_shredded(b) {
+                continue;
+            }
+            let addr = page.block_addr(b);
+            self.sched(now, self.config.nvm_timing.read_cycles());
+            let cipher = self.nvm_read_data(addr)?;
+            self.stats.mem.reads.inc();
+            let plain = self.decrypt_ctr(addr, old_ctrs, &cipher);
+            self.deuce_meta.remove(&addr.raw());
+            let engine = self.ctr.as_ref().expect("ctr engine");
+            let new_cipher = engine.encrypt_line(&new_ctrs.iv(page.raw(), b), &plain);
+            self.sched(now, self.config.nvm_timing.write_cycles());
+            self.nvm_write_data(addr, &new_cipher)?;
+            self.stats.mem.writes.inc();
+        }
+        self.deuce_meta.remove(&page.block_addr(skip_block).raw());
+        Ok(())
+    }
+
+    /// Executes a shred command for `page` (Fig. 6 steps 3–5; cache
+    /// invalidation — step 2 — is the caller's responsibility since the
+    /// controller does not own the cache hierarchy).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PrivilegeViolation`] when invoked without kernel mode
+    /// (§7.1), [`Error::InvalidConfig`] when the shredder is disabled,
+    /// plus the read-path errors.
+    pub fn shred_page(&mut self, page: PageId, kernel_mode: bool) -> Result<Cycles> {
+        self.shred_page_at(page, kernel_mode, Cycles::ZERO)
+    }
+
+    /// [`MemoryController::shred_page`] with an explicit issue time for
+    /// channel accounting.
+    pub fn shred_page_at(
+        &mut self,
+        page: PageId,
+        kernel_mode: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        if !kernel_mode {
+            self.stats.shred_denied.inc();
+            return Err(Error::PrivilegeViolation {
+                addr: mmio::SHRED_REG,
+            });
+        }
+        if !self.config.shredder {
+            return Err(Error::InvalidConfig {
+                detail: "shred command issued but silent shredder is disabled".into(),
+            });
+        }
+        if page.base_addr().raw() >= self.config.data_capacity {
+            return Err(Error::AddrOutOfRange {
+                addr: page.base_addr(),
+                capacity: self.config.data_capacity,
+            });
+        }
+        let (mut ctrs, mut latency) = self.fetch_counters(page, now)?;
+        let old_ctrs = ctrs;
+        let overflowed = ctrs.shred(self.config.shred_strategy);
+        if overflowed {
+            // Only ShredStrategy::MinorIncrementAll can land here; no
+            // single block is exempt from re-encryption, so pass an
+            // out-of-band skip index by re-encrypting all live blocks.
+            self.stats.reencryptions.inc();
+            for b in 0..BLOCKS_PER_PAGE {
+                if old_ctrs.is_shredded(b) {
+                    continue;
+                }
+                let addr = page.block_addr(b);
+                self.sched(now, self.config.nvm_timing.read_cycles());
+                let cipher = self.nvm_read_data(addr)?;
+                self.stats.mem.reads.inc();
+                let plain = self.decrypt_ctr(addr, &old_ctrs, &cipher);
+                self.deuce_meta.remove(&addr.raw());
+                let engine = self.ctr.as_ref().expect("ctr engine");
+                let new_cipher = engine.encrypt_line(&ctrs.iv(page.raw(), b), &plain);
+                self.sched(now, self.config.nvm_timing.write_cycles());
+                self.nvm_write_data(addr, &new_cipher)?;
+                self.stats.mem.writes.inc();
+            }
+        }
+        // Drop DEUCE state: the page restarts from scratch.
+        for b in 0..BLOCKS_PER_PAGE {
+            self.deuce_meta.remove(&page.block_addr(b).raw());
+        }
+        self.install_counters(page, ctrs, true, now)?;
+        self.stats.shreds.inc();
+        // Counter update + ack (Fig. 6 steps 3–5).
+        latency += Cycles::new(4);
+        Ok(latency)
+    }
+
+    /// Shreds a contiguous run of pages — the §5 `clear_huge_page`
+    /// discipline: a 2 MiB or 1 GiB page is shredded by issuing one shred
+    /// command per 4 KiB page, with no further hardware support needed.
+    /// Returns the accumulated latency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryController::shred_page`]; shreds already performed
+    /// when an error occurs are not rolled back.
+    pub fn shred_page_run(
+        &mut self,
+        first: PageId,
+        count: u64,
+        kernel_mode: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        let mut elapsed = Cycles::ZERO;
+        for i in 0..count {
+            elapsed +=
+                self.shred_page_at(PageId::new(first.raw() + i), kernel_mode, now + elapsed)?;
+        }
+        Ok(elapsed)
+    }
+
+    /// Registers `page` as enclave-owned (§4.1): while registered, its
+    /// shredding is the *hardware's* responsibility — the enclave
+    /// machinery calls [`MemoryController::enclave_dealloc`] on teardown,
+    /// so data privacy does not depend on a trusted OS.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::AddrOutOfRange`] for pages outside data memory.
+    pub fn enclave_register(&mut self, page: PageId) -> Result<()> {
+        if page.base_addr().raw() >= self.config.data_capacity {
+            return Err(Error::AddrOutOfRange {
+                addr: page.base_addr(),
+                capacity: self.config.data_capacity,
+            });
+        }
+        self.enclave_pages.insert(page.raw());
+        Ok(())
+    }
+
+    /// Hardware-triggered shred of an enclave page on deallocation. Does
+    /// not require kernel mode — the trust anchor is the enclave
+    /// machinery itself, which only deallocates pages it owns.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PageNotOwned`] when `page` is not enclave-registered;
+    /// shred-path errors otherwise.
+    pub fn enclave_dealloc(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
+        if !self.enclave_pages.remove(&page.raw()) {
+            return Err(Error::PageNotOwned { page });
+        }
+        // Hardware path: bypasses the kernel-mode check by construction.
+        self.shred_page_at(page, true, now)
+    }
+
+    /// Whether `page` is currently enclave-owned.
+    pub fn is_enclave_page(&self, page: PageId) -> bool {
+        self.enclave_pages.contains(&page.raw())
+    }
+
+    /// Architectural MMIO write (the kernel's `shred` hint, §4.3 step 1).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PrivilegeViolation`] for user-mode writers; unknown
+    /// registers are ignored (returning a bus-write latency of 1 cycle).
+    pub fn mmio_write(
+        &mut self,
+        reg: PhysAddr,
+        value: u64,
+        kernel_mode: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        if !kernel_mode {
+            self.stats.shred_denied.inc();
+            return Err(Error::PrivilegeViolation { addr: reg });
+        }
+        match mmio::decode(reg, value) {
+            Some(MmioOp::Shred(pa)) => self.shred_page_at(pa.page(), kernel_mode, now),
+            None => Ok(Cycles::new(1)),
+        }
+    }
+
+    /// Cycles until all posted writes have drained, from `now`
+    /// (`sfence`/`pcommit` semantics, §4.3).
+    pub fn fence(&self, now: Cycles) -> Cycles {
+        self.channels.all_idle_at().saturating_sub(now)
+    }
+
+    /// `sfence`/`pcommit` with write-queue semantics: drains every queued
+    /// write, then waits for the channels to go idle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device write errors from the drain.
+    pub fn fence_drain(&mut self, now: Cycles) -> Result<Cycles> {
+        self.drain_queue_fully(now)?;
+        Ok(self.fence(now))
+    }
+
+    /// RowClone-style in-device zeroing \[34\]: writes encrypted zeros to
+    /// every block of `page` with full counter maintenance, but without
+    /// occupying the memory bus (no channel scheduling). Cells are still
+    /// programmed — the writes count. Returns the device-side latency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryController::write_block`].
+    pub fn zero_page_in_place(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
+        let zero = [0u8; LINE_SIZE];
+        for b in 0..BLOCKS_PER_PAGE {
+            let addr = page.block_addr(b);
+            self.check_data_addr(addr)?;
+            match self.config.encryption {
+                EncryptionMode::None => {
+                    self.nvm_write_data(addr, &zero)?;
+                }
+                EncryptionMode::Ecb => {
+                    let cipher = self.ecb.as_ref().expect("ecb engine").encrypt_line(&zero);
+                    self.nvm_write_data(addr, &cipher)?;
+                }
+                EncryptionMode::Ctr => {
+                    let (mut ctrs, _) = self.fetch_counters(page, now)?;
+                    let old_ctrs = ctrs;
+                    if ctrs.bump_for_write(b) == BumpOutcome::Overflowed {
+                        self.reencrypt_page(page, &old_ctrs, &ctrs, b, now)?;
+                    }
+                    let engine = self.ctr.as_ref().expect("ctr engine");
+                    let cipher = engine.encrypt_line(&ctrs.iv(page.raw(), b), &zero);
+                    self.deuce_meta.remove(&addr.raw());
+                    self.nvm_write_data(addr, &cipher)?;
+                    self.install_counters(page, ctrs, true, now)?;
+                }
+            }
+            self.stats.mem.writes.inc();
+            self.stats.mem.zeroing_writes.inc();
+        }
+        // One array write latency: the device zeroes rows internally in
+        // parallel (optimistic, as in the RowClone paper).
+        Ok(self.config.nvm_timing.write_cycles())
+    }
+
+    /// Flushes dirty counter blocks to NVM (battery-backed write-back
+    /// behaviour on power-down, or an explicit clean shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM write errors.
+    pub fn flush_counters(&mut self) -> Result<()> {
+        let dirty: Vec<(BlockAddr, CounterBlock)> = self
+            .counter_cache
+            .iter()
+            .filter(|e| e.dirty)
+            .map(|e| (e.addr, e.value))
+            .collect();
+        for (caddr, ctrs) in dirty {
+            let page = PageId::new((caddr.raw() - self.counter_base) / LINE_SIZE as u64);
+            self.write_counters_to_nvm(page, &ctrs, Cycles::ZERO)?;
+            if let Some(e) = self.counter_cache.get(caddr) {
+                e.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulates power loss. Battery-backed and write-through
+    /// configurations keep the counters; a volatile write-back counter
+    /// cache loses its dirty blocks, rendering the affected pages
+    /// unrecoverable (§7.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM write errors from the battery-backed flush.
+    pub fn power_loss(&mut self) -> Result<()> {
+        // The write queue sits in the ADR persistence domain: queued
+        // writes always reach the device on power loss.
+        self.drain_queue_fully(Cycles::ZERO)?;
+        match self.config.counter_persistence {
+            CounterPersistence::BatteryBackedWriteBack => self.flush_counters()?,
+            CounterPersistence::WriteThrough => {}
+            CounterPersistence::VolatileWriteBack => {
+                let lost_dirty = self.counter_cache.iter().any(|e| e.dirty);
+                if lost_dirty {
+                    self.counters_lost = true;
+                }
+            }
+        }
+        self.counter_cache = SetAssocCache::new(self.counter_cache.config().clone());
+        self.nvm.power_cycle();
+        Ok(())
+    }
+
+    /// Post-restart recovery check: verifies that the counters needed to
+    /// decrypt data are available.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CounterLoss`] when a prior crash dropped dirty counters.
+    pub fn recover(&self) -> Result<()> {
+        if self.counters_lost {
+            Err(Error::CounterLoss)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Attack-model and test surfaces (§4.1).
+    // ------------------------------------------------------------------
+
+    /// An attacker's cold scan of the data region (raw NVM contents).
+    pub fn cold_scan_data(&self) -> Vec<(BlockAddr, Line)> {
+        self.nvm
+            .cold_scan()
+            .filter(|(a, _)| a.raw() < self.counter_base)
+            .map(|(a, l)| (a, *l))
+            .collect()
+    }
+
+    /// An attacker overwriting a *data* line in NVM (man-in-the-middle /
+    /// overwrite attacks).
+    pub fn nvm_tamper(&mut self, addr: BlockAddr, line: Line) {
+        let dev = self.device_addr(addr);
+        self.nvm.tamper(dev, line);
+    }
+
+    /// Reads the raw counter line of `page` from NVM (attacker capture
+    /// for replay experiments).
+    pub fn nvm_peek_counter(&self, page: PageId) -> Line {
+        self.nvm.peek(self.counter_addr(page))
+    }
+
+    /// An attacker overwriting a counter line in NVM (replay/tamper).
+    /// The next counter-cache miss for this page must fail verification
+    /// when integrity is enabled. Only effective once the cached copy is
+    /// evicted or dropped; tests combine this with [`Self::drop_counter_cache`].
+    pub fn tamper_counter_line(&mut self, page: PageId, line: Line) {
+        let caddr = self.counter_addr(page);
+        self.nvm.tamper(caddr, line);
+    }
+
+    /// Drops the counter-cache contents *without* flushing (test helper
+    /// forcing subsequent NVM counter reads).
+    pub fn drop_counter_cache(&mut self) {
+        self.counter_cache = SetAssocCache::new(self.counter_cache.config().clone());
+    }
+
+    /// What the running software would observe at `addr`, without stats
+    /// or timing side effects (test helper).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MemoryController::read_block`].
+    pub fn peek_plaintext(&mut self, addr: BlockAddr) -> Result<Line> {
+        self.check_data_addr(addr)?;
+        match self.config.encryption {
+            EncryptionMode::None => Ok(self.nvm_peek_data(addr)),
+            EncryptionMode::Ecb => Ok(self
+                .ecb
+                .as_ref()
+                .expect("ecb engine")
+                .decrypt_line(&self.nvm_peek_data(addr))),
+            EncryptionMode::Ctr => {
+                let page = addr.page();
+                let caddr = self.counter_addr(page);
+                let ctrs = match self.counter_cache.get(caddr) {
+                    Some(e) => e.value,
+                    None => CounterBlock::from_line(&self.nvm.peek(caddr)),
+                };
+                if self.config.shredder && ctrs.is_shredded(addr.block_in_page()) {
+                    return Ok([0u8; LINE_SIZE]);
+                }
+                let cipher = self.nvm_peek_data(addr);
+                Ok(self.decrypt_ctr(addr, &ctrs, &cipher))
+            }
+        }
+    }
+}
+
+/// Builds the write queue for a configuration, if enabled.
+fn config_wqueue(config: &ControllerConfig) -> Option<WriteQueue> {
+    config.write_queue.map(WriteQueue::new)
+}
+
+/// Builds the Start-Gap remapper for a configuration, if enabled.
+fn config_start_gap(config: &ControllerConfig) -> Option<StartGap> {
+    config.wear_leveling.then(|| {
+        StartGap::new(
+            config.data_capacity / LINE_SIZE as u64,
+            config.start_gap_interval,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ShredStrategy;
+
+    fn mc() -> MemoryController {
+        MemoryController::new(ControllerConfig::small_test()).unwrap()
+    }
+
+    fn line(v: u8) -> Line {
+        [v; LINE_SIZE]
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut m = mc();
+        let addr = PageId::new(1).block_addr(2);
+        m.write_block(addr, &line(0x7E), false, Cycles::ZERO)
+            .unwrap();
+        let r = m.read_block(addr, Cycles::ZERO).unwrap();
+        assert_eq!(r.data, line(0x7E));
+        assert!(!r.zero_filled);
+    }
+
+    #[test]
+    fn data_is_ciphertext_in_nvm() {
+        let mut m = mc();
+        let addr = PageId::new(1).block_addr(0);
+        m.write_block(addr, &line(0x11), false, Cycles::ZERO)
+            .unwrap();
+        assert_ne!(m.nvm().peek(addr), line(0x11), "plaintext leaked to NVM");
+    }
+
+    #[test]
+    fn fresh_page_reads_zero_filled() {
+        let mut m = mc();
+        let r = m
+            .read_block(PageId::new(5).block_addr(9), Cycles::ZERO)
+            .unwrap();
+        assert!(r.zero_filled);
+        assert_eq!(r.data, [0u8; LINE_SIZE]);
+        assert_eq!(m.stats().mem.reads.get(), 0, "array untouched");
+        assert_eq!(m.stats().mem.zero_fill_reads.get(), 1);
+    }
+
+    #[test]
+    fn shred_zero_fills_and_writes_nothing() {
+        let mut m = mc();
+        let page = PageId::new(2);
+        for b in 0..4 {
+            m.write_block(page.block_addr(b), &line(b as u8 + 1), false, Cycles::ZERO)
+                .unwrap();
+        }
+        let writes_before = m.stats().mem.writes.get();
+        m.shred_page(page, true).unwrap();
+        assert_eq!(
+            m.stats().mem.writes.get(),
+            writes_before,
+            "shred wrote data"
+        );
+        assert_eq!(m.stats().shreds.get(), 1);
+        for b in 0..4 {
+            let r = m.read_block(page.block_addr(b), Cycles::ZERO).unwrap();
+            assert!(r.zero_filled);
+            assert_eq!(r.data, [0u8; LINE_SIZE]);
+        }
+    }
+
+    #[test]
+    fn shred_makes_old_ciphertext_unintelligible() {
+        let mut m = MemoryController::new(ControllerConfig {
+            shred_strategy: ShredStrategy::MajorBumpOnly,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let page = PageId::new(3);
+        let addr = page.block_addr(0);
+        m.write_block(addr, &line(0x55), false, Cycles::ZERO)
+            .unwrap();
+        m.shred_page(page, true).unwrap();
+        // Major bumped, minors kept: a read decrypts with the wrong IV.
+        let r = m.read_block(addr, Cycles::ZERO).unwrap();
+        assert!(!r.zero_filled, "option 2 cannot zero-fill");
+        assert_ne!(r.data, line(0x55), "old plaintext recovered after shred");
+        assert_ne!(
+            r.data, [0u8; LINE_SIZE],
+            "option 2 returns garbage, not zeros"
+        );
+    }
+
+    #[test]
+    fn user_mode_shred_faults() {
+        let mut m = mc();
+        let err = m.shred_page(PageId::new(0), false).unwrap_err();
+        assert!(matches!(err, Error::PrivilegeViolation { .. }));
+        assert_eq!(m.stats().shred_denied.get(), 1);
+    }
+
+    #[test]
+    fn mmio_shred_path() {
+        let mut m = mc();
+        let page = PageId::new(4);
+        m.write_block(page.block_addr(0), &line(1), false, Cycles::ZERO)
+            .unwrap();
+        m.mmio_write(mmio::SHRED_REG, page.base_addr().raw(), true, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(m.stats().shreds.get(), 1);
+        assert!(
+            m.read_block(page.block_addr(0), Cycles::ZERO)
+                .unwrap()
+                .zero_filled
+        );
+        // Unknown register: benign.
+        assert!(m
+            .mmio_write(PhysAddr::new(0xF000), 0, true, Cycles::ZERO)
+            .is_ok());
+        // User-mode MMIO write: exception.
+        assert!(m
+            .mmio_write(mmio::SHRED_REG, 0, false, Cycles::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn shredder_disabled_rejects_shred() {
+        let mut m = MemoryController::new(ControllerConfig {
+            data_capacity: 1 << 20,
+            counter_cache_bytes: 16 << 10,
+            ..ControllerConfig::encrypted_baseline()
+        })
+        .unwrap();
+        assert!(m.shred_page(PageId::new(0), true).is_err());
+    }
+
+    #[test]
+    fn baseline_fresh_read_is_not_zero_filled() {
+        let mut m = MemoryController::new(ControllerConfig {
+            data_capacity: 1 << 20,
+            counter_cache_bytes: 16 << 10,
+            ..ControllerConfig::encrypted_baseline()
+        })
+        .unwrap();
+        let r = m
+            .read_block(PageId::new(1).block_addr(0), Cycles::ZERO)
+            .unwrap();
+        assert!(!r.zero_filled);
+        assert_eq!(m.stats().mem.reads.get(), 1);
+    }
+
+    #[test]
+    fn zero_fill_read_is_faster_than_array_read() {
+        let mut m = mc();
+        // Warm the counter cache: the first access pays a counter fetch.
+        m.read_block(PageId::new(7).block_addr(1), Cycles::ZERO)
+            .unwrap();
+        let fresh = m
+            .read_block(PageId::new(7).block_addr(0), Cycles::ZERO)
+            .unwrap();
+        let addr = PageId::new(8).block_addr(0);
+        m.write_block(addr, &line(1), false, Cycles::ZERO).unwrap();
+        let real = m.read_block(addr, Cycles::new(100_000)).unwrap();
+        assert!(
+            fresh.latency.raw() * 3 < real.latency.raw(),
+            "zero-fill {} vs array {}",
+            fresh.latency,
+            real.latency
+        );
+    }
+
+    #[test]
+    fn minor_overflow_triggers_reencryption() {
+        let mut m = mc();
+        let page = PageId::new(9);
+        let addr = page.block_addr(0);
+        m.write_block(page.block_addr(1), &line(0xEE), false, Cycles::ZERO)
+            .unwrap();
+        for i in 0..128 {
+            m.write_block(addr, &line(i as u8), false, Cycles::ZERO)
+                .unwrap();
+        }
+        assert_eq!(m.stats().reencryptions.get(), 1);
+        // Both blocks still readable after re-encryption.
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(127));
+        assert_eq!(
+            m.read_block(page.block_addr(1), Cycles::ZERO).unwrap().data,
+            line(0xEE)
+        );
+    }
+
+    #[test]
+    fn counter_tamper_detected_after_cache_drop() {
+        let mut m = mc();
+        let page = PageId::new(1);
+        m.write_block(page.block_addr(0), &line(1), false, Cycles::ZERO)
+            .unwrap();
+        m.flush_counters().unwrap();
+        m.tamper_counter_line(page, line(0xAD));
+        m.drop_counter_cache();
+        let err = m.read_block(page.block_addr(0), Cycles::ZERO).unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation { .. }));
+    }
+
+    #[test]
+    fn battery_backed_counters_survive_power_loss() {
+        let mut m = mc();
+        let page = PageId::new(2);
+        m.write_block(page.block_addr(3), &line(0x3C), false, Cycles::ZERO)
+            .unwrap();
+        m.power_loss().unwrap();
+        m.recover().unwrap();
+        assert_eq!(
+            m.read_block(page.block_addr(3), Cycles::ZERO).unwrap().data,
+            line(0x3C)
+        );
+    }
+
+    #[test]
+    fn volatile_counters_lost_on_crash() {
+        let mut m = MemoryController::new(ControllerConfig {
+            counter_persistence: CounterPersistence::VolatileWriteBack,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        m.write_block(PageId::new(1).block_addr(0), &line(9), false, Cycles::ZERO)
+            .unwrap();
+        m.power_loss().unwrap();
+        assert!(matches!(m.recover(), Err(Error::CounterLoss)));
+    }
+
+    #[test]
+    fn write_through_counters_survive_crash() {
+        let mut m = MemoryController::new(ControllerConfig {
+            counter_persistence: CounterPersistence::WriteThrough,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let addr = PageId::new(1).block_addr(0);
+        m.write_block(addr, &line(9), false, Cycles::ZERO).unwrap();
+        m.power_loss().unwrap();
+        m.recover().unwrap();
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(9));
+    }
+
+    #[test]
+    fn zeroing_writes_classified() {
+        let mut m = mc();
+        m.write_block(PageId::new(0).block_addr(0), &line(0), true, Cycles::ZERO)
+            .unwrap();
+        m.write_block(PageId::new(0).block_addr(1), &line(1), false, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(m.stats().mem.zeroing_writes.get(), 1);
+        assert_eq!(m.stats().mem.writes.get(), 2);
+    }
+
+    #[test]
+    fn out_of_range_data_access_rejected() {
+        let mut m = mc();
+        let oob = BlockAddr::new(1 << 20);
+        assert!(m.read_block(oob, Cycles::ZERO).is_err());
+        assert!(m.write_block(oob, &line(0), false, Cycles::ZERO).is_err());
+        assert!(m.shred_page(PageId::new(256), true).is_err());
+    }
+
+    #[test]
+    fn deuce_roundtrip_and_reduced_flips() {
+        let mut m = MemoryController::new(ControllerConfig {
+            deuce: true,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let addr = PageId::new(1).block_addr(0);
+        let mut data = line(0x10);
+        m.write_block(addr, &data, false, Cycles::ZERO).unwrap();
+        let cipher_before = m.nvm().peek(addr);
+        // Modify a single chunk and rewrite.
+        data[0] ^= 0xFF;
+        m.write_block(addr, &data, false, Cycles::ZERO).unwrap();
+        let cipher_after = m.nvm().peek(addr);
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, data);
+        // Chunks 1..4 ciphertext unchanged (DEUCE property).
+        assert_eq!(cipher_before[16..], cipher_after[16..]);
+        assert_ne!(cipher_before[..16], cipher_after[..16]);
+    }
+
+    #[test]
+    fn deuce_survives_shred() {
+        let mut m = MemoryController::new(ControllerConfig {
+            deuce: true,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let page = PageId::new(1);
+        let addr = page.block_addr(0);
+        let mut data = line(0x20);
+        m.write_block(addr, &data, false, Cycles::ZERO).unwrap();
+        data[5] = 0;
+        m.write_block(addr, &data, false, Cycles::ZERO).unwrap();
+        m.shred_page(page, true).unwrap();
+        assert!(m.read_block(addr, Cycles::ZERO).unwrap().zero_filled);
+        m.write_block(addr, &line(0x30), false, Cycles::ZERO)
+            .unwrap();
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(0x30));
+    }
+
+    #[test]
+    fn deuce_many_rewrites_stay_consistent() {
+        let mut m = MemoryController::new(ControllerConfig {
+            deuce: true,
+            deuce_epoch: 4,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let addr = PageId::new(2).block_addr(7);
+        let mut rng = ss_common::DetRng::new(5);
+        let mut data = line(0);
+        m.write_block(addr, &data, false, Cycles::ZERO).unwrap();
+        for _ in 0..300 {
+            // Mutate a random byte (often leaving some chunks unchanged).
+            let i = rng.below(LINE_SIZE as u64) as usize;
+            data[i] = rng.next_u64() as u8;
+            m.write_block(addr, &data, false, Cycles::ZERO).unwrap();
+            assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, data);
+        }
+    }
+
+    #[test]
+    fn plain_controller_leaks_plaintext() {
+        let mut m = MemoryController::new(ControllerConfig {
+            data_capacity: 1 << 20,
+            ..ControllerConfig::plain()
+        })
+        .unwrap();
+        let addr = PageId::new(0).block_addr(0);
+        m.write_block(addr, &line(0x77), false, Cycles::ZERO)
+            .unwrap();
+        let scan = m.cold_scan_data();
+        assert!(
+            scan.iter().any(|(_, l)| *l == line(0x77)),
+            "remanence attack failed?!"
+        );
+    }
+
+    #[test]
+    fn ecb_controller_roundtrips_but_leaks_equality() {
+        let mut m = MemoryController::new(ControllerConfig {
+            data_capacity: 1 << 20,
+            encryption: EncryptionMode::Ecb,
+            shredder: false,
+            integrity: false,
+            ..ControllerConfig::default()
+        })
+        .unwrap();
+        let a0 = PageId::new(0).block_addr(0);
+        let a1 = PageId::new(0).block_addr(1);
+        m.write_block(a0, &line(0x44), false, Cycles::ZERO).unwrap();
+        m.write_block(a1, &line(0x44), false, Cycles::ZERO).unwrap();
+        assert_eq!(m.read_block(a0, Cycles::ZERO).unwrap().data, line(0x44));
+        assert_eq!(m.nvm().peek(a0), m.nvm().peek(a1), "ECB hides equality?");
+        assert_ne!(m.nvm().peek(a0), line(0x44));
+    }
+
+    #[test]
+    fn fence_waits_for_posted_writes() {
+        let mut m = mc();
+        assert_eq!(m.fence(Cycles::ZERO), Cycles::ZERO);
+        m.write_block(PageId::new(0).block_addr(0), &line(1), false, Cycles::ZERO)
+            .unwrap();
+        assert!(m.fence(Cycles::ZERO) > Cycles::ZERO);
+        assert_eq!(m.fence(Cycles::new(1_000_000)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn huge_page_shreds_as_4k_run() {
+        // §5: a 2 MiB huge page is shredded with 512 per-4KiB commands.
+        let mut m = MemoryController::new(ControllerConfig {
+            data_capacity: 4 << 20,
+            counter_cache_bytes: 64 << 10,
+            ..ControllerConfig::default()
+        })
+        .unwrap();
+        let first = PageId::new(16);
+        let count = 512u64;
+        for i in (0..count).step_by(37) {
+            m.write_block(
+                PageId::new(16 + i).block_addr(0),
+                &line(9),
+                false,
+                Cycles::ZERO,
+            )
+            .unwrap();
+        }
+        let writes_before = m.stats().mem.writes.get();
+        let lat = m.shred_page_run(first, count, true, Cycles::ZERO).unwrap();
+        assert_eq!(m.stats().shreds.get(), count);
+        assert_eq!(
+            m.stats().mem.writes.get(),
+            writes_before,
+            "huge shred wrote data"
+        );
+        assert!(lat.raw() > 0);
+        for i in [0u64, 100, 511] {
+            let r = m
+                .read_block(PageId::new(16 + i).block_addr(0), Cycles::ZERO)
+                .unwrap();
+            assert!(r.zero_filled);
+        }
+        // User mode still faults on the first command.
+        assert!(m.shred_page_run(first, 2, false, Cycles::ZERO).is_err());
+    }
+
+    #[test]
+    fn wear_leveling_preserves_contents_and_spreads_writes() {
+        // A tiny data region (8 pages = 512 lines) with a gap move per
+        // write, so the gap completes rotations within the test.
+        let mut m = MemoryController::new(ControllerConfig {
+            data_capacity: 32 << 10,
+            counter_cache_bytes: 16 << 10,
+            wear_leveling: true,
+            start_gap_interval: 1,
+            ..ControllerConfig::default()
+        })
+        .unwrap();
+        // Write several blocks, hammer one of them, and verify everything
+        // still reads back correctly through the rotating mapping.
+        let pages: Vec<PageId> = (1..6).map(PageId::new).collect();
+        for (i, p) in pages.iter().enumerate() {
+            m.write_block(p.block_addr(0), &line(i as u8 + 1), false, Cycles::ZERO)
+                .unwrap();
+        }
+        let hot = pages[0].block_addr(1);
+        let hammer = 1200u64;
+        for i in 0..hammer {
+            m.write_block(hot, &line(i as u8), false, Cycles::ZERO)
+                .unwrap();
+            assert_eq!(m.read_block(hot, Cycles::ZERO).unwrap().data, line(i as u8));
+        }
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(
+                m.read_block(p.block_addr(0), Cycles::ZERO).unwrap().data,
+                line(i as u8 + 1),
+                "block {i} corrupted by gap movement"
+            );
+        }
+        // The hot logical line migrated across device slots as the gap
+        // rotated past it, so no single device line absorbed all writes.
+        let max = m.nvm().wear().max_wear().map(|(_, n)| n).unwrap_or(0);
+        assert!(max < hammer, "wear not levelled: max {max} of {hammer}");
+    }
+
+    #[test]
+    fn wear_leveling_shred_still_zero_fills() {
+        let mut m = MemoryController::new(ControllerConfig {
+            wear_leveling: true,
+            start_gap_interval: 4,
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let page = PageId::new(2);
+        for b in 0..8 {
+            m.write_block(page.block_addr(b), &line(7), false, Cycles::ZERO)
+                .unwrap();
+        }
+        m.shred_page(page, true).unwrap();
+        for b in 0..8 {
+            assert!(
+                m.read_block(page.block_addr(b), Cycles::ZERO)
+                    .unwrap()
+                    .zero_filled
+            );
+        }
+    }
+
+    #[test]
+    fn enclave_dealloc_shreds_without_kernel_mode() {
+        let mut m = mc();
+        let page = PageId::new(4);
+        m.write_block(page.block_addr(0), &line(0x6A), false, Cycles::ZERO)
+            .unwrap();
+        m.enclave_register(page).unwrap();
+        assert!(m.is_enclave_page(page));
+        // The hardware path shreds without the OS privilege check.
+        m.enclave_dealloc(page, Cycles::ZERO).unwrap();
+        assert!(!m.is_enclave_page(page));
+        assert!(
+            m.read_block(page.block_addr(0), Cycles::ZERO)
+                .unwrap()
+                .zero_filled
+        );
+        // A second dealloc (or one for an unregistered page) is rejected.
+        assert!(matches!(
+            m.enclave_dealloc(page, Cycles::ZERO),
+            Err(Error::PageNotOwned { .. })
+        ));
+        // Registration validates the address range.
+        assert!(m.enclave_register(PageId::new(1 << 20)).is_err());
+    }
+
+    fn mc_wq() -> MemoryController {
+        MemoryController::new(ControllerConfig {
+            write_queue: Some(crate::wqueue::WriteQueueConfig {
+                capacity: 16,
+                drain_low: 2,
+                drain_high: 8,
+            }),
+            ..ControllerConfig::small_test()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn write_queue_forwards_reads() {
+        let mut m = mc_wq();
+        let addr = PageId::new(1).block_addr(0);
+        m.write_block(addr, &line(0x3A), false, Cycles::ZERO)
+            .unwrap();
+        // The write sits in the queue; the device has no ciphertext yet.
+        assert_eq!(m.nvm().peek(addr), [0u8; LINE_SIZE]);
+        // Reads still observe the new value (forwarding).
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(0x3A));
+        assert_eq!(m.write_queue_stats().unwrap().forwards.get(), 1);
+    }
+
+    #[test]
+    fn write_queue_high_water_drains_in_bursts() {
+        let mut m = mc_wq();
+        for i in 0..8u64 {
+            m.write_block(
+                PageId::new(1).block_addr(i as usize),
+                &line(i as u8),
+                false,
+                Cycles::ZERO,
+            )
+            .unwrap();
+        }
+        let stats = m.write_queue_stats().unwrap();
+        assert_eq!(stats.high_water_drains.get(), 1);
+        assert_eq!(stats.drained.get(), 6, "drained to the low mark");
+        // Everything still reads correctly (mixed drained/queued).
+        for i in 0..8u64 {
+            assert_eq!(
+                m.read_block(PageId::new(1).block_addr(i as usize), Cycles::ZERO)
+                    .unwrap()
+                    .data,
+                line(i as u8)
+            );
+        }
+    }
+
+    #[test]
+    fn write_queue_fence_drain_persists_everything() {
+        let mut m = mc_wq();
+        let addr = PageId::new(2).block_addr(3);
+        m.write_block(addr, &line(0x44), false, Cycles::ZERO)
+            .unwrap();
+        m.fence_drain(Cycles::ZERO).unwrap();
+        assert_ne!(m.nvm().peek(addr), [0u8; LINE_SIZE], "queue not drained");
+        // And power loss after a crash keeps the data (ADR domain).
+        m.write_block(addr, &line(0x45), false, Cycles::ZERO)
+            .unwrap();
+        m.power_loss().unwrap();
+        m.recover().unwrap();
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(0x45));
+    }
+
+    #[test]
+    fn write_queue_coalesces_rewrites() {
+        let mut m = mc_wq();
+        let addr = PageId::new(1).block_addr(0);
+        m.write_block(addr, &line(1), false, Cycles::ZERO).unwrap();
+        m.write_block(addr, &line(2), false, Cycles::ZERO).unwrap();
+        assert_eq!(m.write_queue_stats().unwrap().coalesced.get(), 1);
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(2));
+    }
+
+    #[test]
+    fn write_queue_shred_and_reencrypt_stay_consistent() {
+        let mut m = mc_wq();
+        let page = PageId::new(3);
+        for b in 0..4 {
+            m.write_block(page.block_addr(b), &line(9), false, Cycles::ZERO)
+                .unwrap();
+        }
+        m.shred_page(page, true).unwrap();
+        for b in 0..4 {
+            assert!(
+                m.read_block(page.block_addr(b), Cycles::ZERO)
+                    .unwrap()
+                    .zero_filled
+            );
+        }
+        // Minor overflow with queued writes: drain-before-reencrypt.
+        let addr = page.block_addr(0);
+        for i in 0..130u64 {
+            m.write_block(addr, &line(i as u8), false, Cycles::ZERO)
+                .unwrap();
+        }
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(129));
+    }
+
+    #[test]
+    fn stats_reset_keeps_state() {
+        let mut m = mc();
+        let addr = PageId::new(1).block_addr(1);
+        m.write_block(addr, &line(6), false, Cycles::ZERO).unwrap();
+        m.reset_stats();
+        assert_eq!(m.stats().mem.writes.get(), 0);
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(6));
+    }
+}

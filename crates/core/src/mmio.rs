@@ -1,0 +1,47 @@
+//! The controller's memory-mapped I/O surface.
+//!
+//! The kernel communicates a shred to the hardware by writing the page's
+//! physical address to a memory-mapped register (§4.3 step 1, §5). §7.1
+//! requires the register to be kernel-only: a user-mode write raises an
+//! exception.
+
+use ss_common::PhysAddr;
+
+/// Physical address of the shred command register. Placed in a high MMIO
+/// window that never overlaps data memory.
+pub const SHRED_REG: PhysAddr = PhysAddr::new(0xFFFF_FF00_0000_0000);
+
+/// Decoded MMIO operations the controller understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioOp {
+    /// Shred the page containing the written physical address.
+    Shred(PhysAddr),
+}
+
+/// Decodes a write of `value` to MMIO address `reg`, if it targets a
+/// known register.
+pub fn decode(reg: PhysAddr, value: u64) -> Option<MmioOp> {
+    if reg == SHRED_REG {
+        Some(MmioOp::Shred(PhysAddr::new(value)))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_shred_register() {
+        match decode(SHRED_REG, 0x4000) {
+            Some(MmioOp::Shred(pa)) => assert_eq!(pa, PhysAddr::new(0x4000)),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_register_ignored() {
+        assert_eq!(decode(PhysAddr::new(0x1234), 7), None);
+    }
+}

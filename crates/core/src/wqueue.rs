@@ -1,0 +1,234 @@
+//! Memory-controller write queue with read priority.
+//!
+//! Real NVM controllers do not put writes on the bus as they arrive:
+//! write-backs are buffered in an on-controller queue (inside the ADR
+//! persistence domain) and drained in bursts when the queue passes a
+//! high-water mark or the bus is idle, so that latency-critical *reads*
+//! never wait behind a write burst. Reads that hit a queued write are
+//! served by **forwarding** straight out of the queue.
+//!
+//! This matters for the paper's bandwidth argument (§6.1): with slow NVM
+//! writes, zeroing bursts fill the write queue and force drains that
+//! steal read bandwidth — unless the writes never exist, which is what
+//! Silent Shredder achieves. The `ablation_write_queue` bench quantifies
+//! the interaction.
+
+use std::collections::VecDeque;
+
+use ss_common::{BlockAddr, Counter, LINE_SIZE};
+
+/// A 64-byte line.
+type Line = [u8; LINE_SIZE];
+
+/// Write-queue configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteQueueConfig {
+    /// Queue capacity in lines (a typical controller holds 32–128).
+    pub capacity: usize,
+    /// Drain down to this occupancy once the high-water mark is hit.
+    pub drain_low: usize,
+    /// Start draining when occupancy reaches this mark.
+    pub drain_high: usize,
+}
+
+impl Default for WriteQueueConfig {
+    fn default() -> Self {
+        WriteQueueConfig {
+            capacity: 64,
+            drain_low: 16,
+            drain_high: 48,
+        }
+    }
+}
+
+impl WriteQueueConfig {
+    /// Validates the watermarks.
+    pub fn is_valid(&self) -> bool {
+        self.capacity > 0 && self.drain_low < self.drain_high && self.drain_high <= self.capacity
+    }
+}
+
+/// Queue statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WriteQueueStats {
+    /// Writes accepted into the queue.
+    pub enqueued: Counter,
+    /// Writes drained to the device.
+    pub drained: Counter,
+    /// Reads served by forwarding from the queue.
+    pub forwards: Counter,
+    /// Writes coalesced (a newer write to the same line replaced an
+    /// older queued one before it reached the device).
+    pub coalesced: Counter,
+    /// Times the high-water mark forced a drain burst.
+    pub high_water_drains: Counter,
+}
+
+/// The write queue. Draining is the caller's job (the controller owns
+/// the channels and the device); the queue decides *what* to drain.
+#[derive(Debug, Clone)]
+pub struct WriteQueue {
+    config: WriteQueueConfig,
+    entries: VecDeque<(BlockAddr, Line, bool)>,
+    stats: WriteQueueStats,
+}
+
+impl WriteQueue {
+    /// Creates an empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration watermarks are invalid.
+    pub fn new(config: WriteQueueConfig) -> Self {
+        assert!(config.is_valid(), "invalid write-queue watermarks");
+        WriteQueue {
+            config,
+            entries: VecDeque::new(),
+            stats: WriteQueueStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WriteQueueConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &WriteQueueStats {
+        &self.stats
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Enqueues a write (coalescing onto an already-queued line).
+    /// Returns `true` when the caller must drain to the low-water mark
+    /// before accepting more traffic.
+    pub fn push(&mut self, addr: BlockAddr, data: Line, zeroing: bool) -> bool {
+        self.stats.enqueued.inc();
+        if let Some(e) = self.entries.iter_mut().find(|(a, _, _)| *a == addr) {
+            e.1 = data;
+            e.2 |= zeroing;
+            self.stats.coalesced.inc();
+        } else {
+            self.entries.push_back((addr, data, zeroing));
+        }
+        if self.entries.len() >= self.config.drain_high {
+            self.stats.high_water_drains.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up a queued write for read forwarding.
+    pub fn forward(&mut self, addr: BlockAddr) -> Option<Line> {
+        let hit = self
+            .entries
+            .iter()
+            .rev()
+            .find(|(a, _, _)| *a == addr)
+            .map(|(_, d, _)| *d);
+        if hit.is_some() {
+            self.stats.forwards.inc();
+        }
+        hit
+    }
+
+    /// Looks up a queued write without counting a forward (test/peek
+    /// paths).
+    pub fn peek(&self, addr: BlockAddr) -> Option<Line> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|(a, _, _)| *a == addr)
+            .map(|(_, d, _)| *d)
+    }
+
+    /// Pops the oldest queued write for draining to the device.
+    pub fn pop_for_drain(&mut self) -> Option<(BlockAddr, Line, bool)> {
+        let e = self.entries.pop_front();
+        if e.is_some() {
+            self.stats.drained.inc();
+        }
+        e
+    }
+
+    /// How many writes a high-water drain burst should retire.
+    pub fn burst_len(&self) -> usize {
+        self.entries.len().saturating_sub(self.config.drain_low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> BlockAddr {
+        BlockAddr::new(n * 64)
+    }
+
+    fn queue() -> WriteQueue {
+        WriteQueue::new(WriteQueueConfig {
+            capacity: 8,
+            drain_low: 2,
+            drain_high: 6,
+        })
+    }
+
+    #[test]
+    fn push_until_high_water() {
+        let mut q = queue();
+        for i in 0..5 {
+            assert!(
+                !q.push(addr(i), [i as u8; 64], false),
+                "drained early at {i}"
+            );
+        }
+        assert!(q.push(addr(5), [5; 64], false), "high water not signalled");
+        assert_eq!(q.burst_len(), 4); // 6 entries, drain to 2
+    }
+
+    #[test]
+    fn forwarding_returns_newest_data() {
+        let mut q = queue();
+        q.push(addr(1), [1; 64], false);
+        q.push(addr(1), [2; 64], false); // coalesces
+        assert_eq!(q.forward(addr(1)), Some([2; 64]));
+        assert_eq!(q.forward(addr(9)), None);
+        assert_eq!(q.stats().coalesced.get(), 1);
+        assert_eq!(q.stats().forwards.get(), 1);
+        // Coalescing kept one entry.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_is_fifo() {
+        let mut q = queue();
+        q.push(addr(1), [1; 64], false);
+        q.push(addr(2), [2; 64], true);
+        let (a, d, z) = q.pop_for_drain().unwrap();
+        assert_eq!((a, d[0], z), (addr(1), 1, false));
+        let (a, _, z) = q.pop_for_drain().unwrap();
+        assert_eq!((a, z), (addr(2), true));
+        assert!(q.pop_for_drain().is_none());
+        assert_eq!(q.stats().drained.get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid write-queue watermarks")]
+    fn invalid_watermarks_panic() {
+        WriteQueue::new(WriteQueueConfig {
+            capacity: 4,
+            drain_low: 4,
+            drain_high: 4,
+        });
+    }
+}

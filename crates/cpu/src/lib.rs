@@ -1,0 +1,23 @@
+//! A lightweight multi-core CPU model.
+//!
+//! The paper evaluates IPC on 8 in-order 2 GHz x86-64 cores (Table 1).
+//! This crate models exactly what the evaluation metrics need:
+//!
+//! * every instruction retires in one cycle, except memory operations,
+//!   which additionally stall the core for their access latency;
+//! * per-core instruction/cycle/latency accounting yields IPC (Fig. 11)
+//!   and the mean memory read latency (Fig. 10);
+//! * a deterministic multi-core driver interleaves cores by local time so
+//!   shared caches and memory channels see a realistic access order.
+//!
+//! The memory system is abstracted behind [`DataPath`], implemented by
+//! `ss-sim` on top of the cache hierarchy, the OS page-fault handler and
+//! the Silent Shredder controller.
+
+pub mod core_model;
+pub mod inst;
+pub mod machine;
+
+pub use core_model::{CoreStats, CpuCore};
+pub use inst::Op;
+pub use machine::{run_multicore, DataPath, RunSummary};

@@ -1,0 +1,89 @@
+//! Direct (ECB) line encryption — the baseline mode of §2.2.
+//!
+//! Each 16 B chunk of the line is encrypted independently under the key,
+//! with no IV. The paper rejects this mode because (a) decryption latency
+//! adds to the LLC miss path, and (b) identical plaintext blocks produce
+//! identical ciphertext wherever they occur, enabling dictionary and
+//! replay attacks. Both properties are demonstrated in this module's tests
+//! and in the security integration tests.
+
+use crate::aes::Aes128;
+use crate::Line;
+use ss_common::LINE_SIZE;
+
+/// A direct-encryption engine (electronic code book over 16 B chunks).
+///
+/// # Examples
+///
+/// ```
+/// use ss_crypto::EcbEngine;
+///
+/// let engine = EcbEngine::new([1u8; 16]);
+/// let line = [9u8; 64];
+/// let ct = engine.encrypt_line(&line);
+/// assert_eq!(engine.decrypt_line(&ct), line);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EcbEngine {
+    aes: Aes128,
+}
+
+impl EcbEngine {
+    /// Creates an engine from the 128-bit key.
+    pub fn new(key: [u8; 16]) -> Self {
+        EcbEngine {
+            aes: Aes128::new(key),
+        }
+    }
+
+    /// Encrypts a 64 B line chunk-by-chunk.
+    pub fn encrypt_line(&self, plain: &Line) -> Line {
+        let mut out = [0u8; LINE_SIZE];
+        for (i, chunk) in plain.chunks_exact(16).enumerate() {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            out[i * 16..(i + 1) * 16].copy_from_slice(&self.aes.encrypt_block(&block));
+        }
+        out
+    }
+
+    /// Decrypts a 64 B line chunk-by-chunk.
+    pub fn decrypt_line(&self, cipher: &Line) -> Line {
+        let mut out = [0u8; LINE_SIZE];
+        for (i, chunk) in cipher.chunks_exact(16).enumerate() {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            out[i * 16..(i + 1) * 16].copy_from_slice(&self.aes.decrypt_block(&block));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let engine = EcbEngine::new([0xCC; 16]);
+        let mut line = [0u8; LINE_SIZE];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        assert_eq!(engine.decrypt_line(&engine.encrypt_line(&line)), line);
+    }
+
+    #[test]
+    fn ecb_leaks_equality() {
+        // The dictionary-attack weakness: identical plaintext chunks give
+        // identical ciphertext chunks, everywhere.
+        let engine = EcbEngine::new([0xCC; 16]);
+        let line = [7u8; LINE_SIZE];
+        let ct = engine.encrypt_line(&line);
+        assert_eq!(ct[0..16], ct[16..32]);
+        assert_eq!(ct[0..16], ct[48..64]);
+        // Same line at a "different address" is byte-identical: no spatial
+        // uniqueness at all.
+        assert_eq!(engine.encrypt_line(&line), ct);
+    }
+}

@@ -1,0 +1,135 @@
+//! Initialization vectors for counter-mode memory encryption.
+//!
+//! Following the state-of-the-art layout the paper adopts (§2.2, Fig. 2),
+//! each 64 B block's IV combines:
+//!
+//! * **page id** — unique across main memory (the physical frame number);
+//! * **page offset** — the block's index within its page (0..=63),
+//!   distinguishing blocks of the same page;
+//! * **major counter** — per-page 64-bit counter, bumped on shred or on
+//!   minor-counter overflow;
+//! * **minor counter** — per-block 7-bit counter, bumped on every
+//!   write-back. **Value 0 is reserved by Silent Shredder** to mean
+//!   "shredded: reads return zero" (§4.2, option 3).
+//!
+//! A 64 B line spans four 16 B AES blocks, so a 2-bit *chunk* index is
+//! folded into the padding when the pad is generated.
+
+/// Number of bits in a minor counter (7, per Yan et al. \[40\]).
+pub const MINOR_BITS: u32 = 7;
+/// Largest representable minor-counter value (127).
+pub const MINOR_MAX: u8 = (1 << MINOR_BITS) - 1;
+/// Reserved minor value meaning "shredded; reads as zero" (§4.2).
+pub const MINOR_SHREDDED: u8 = 0;
+/// Minor counters restart here after a write or an overflow, skipping the
+/// reserved zero.
+pub const MINOR_FIRST: u8 = 1;
+
+/// A block IV: the tuple that, with the processor key, determines the pad.
+///
+/// Spatial uniqueness comes from `(page_id, block)`; temporal uniqueness
+/// from `(major, minor)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Iv {
+    /// Physical frame number (unique page ID).
+    pub page_id: u64,
+    /// Block index within the page (0..=63).
+    pub block: u8,
+    /// Per-page major counter.
+    pub major: u64,
+    /// Per-block minor counter (7 significant bits).
+    pub minor: u8,
+}
+
+impl Iv {
+    /// Creates an IV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= 64` or `minor > MINOR_MAX` — those cannot occur
+    /// in a well-formed counter block.
+    pub fn new(page_id: u64, block: u8, major: u64, minor: u8) -> Self {
+        assert!(block < 64, "page offset {block} out of range");
+        assert!(minor <= MINOR_MAX, "minor counter {minor} overflows 7 bits");
+        Iv {
+            page_id,
+            block,
+            major,
+            minor,
+        }
+    }
+
+    /// Serialises the IV (plus the 2-bit AES-chunk index) into the 16-byte
+    /// buffer fed to the block cipher.
+    ///
+    /// Layout: bytes 0–5 page id (48 bits), byte 6 block index (6 bits)
+    /// with the chunk index in the top 2 bits, byte 7 minor counter,
+    /// bytes 8–15 major counter. Every distinct
+    /// `(page_id, block, major, minor, chunk)` tuple yields a distinct
+    /// buffer, which is what pad uniqueness needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk >= 4` (a 64 B line has exactly four AES blocks).
+    pub fn to_bytes(&self, chunk: u8) -> [u8; 16] {
+        assert!(chunk < 4, "chunk index {chunk} out of range");
+        let mut out = [0u8; 16];
+        out[..6].copy_from_slice(&self.page_id.to_le_bytes()[..6]);
+        out[6] = self.block | (chunk << 6);
+        out[7] = self.minor;
+        out[8..].copy_from_slice(&self.major.to_le_bytes());
+        out
+    }
+
+    /// Whether this IV marks a shredded block (reserved minor value).
+    pub const fn is_shredded(&self) -> bool {
+        self.minor == MINOR_SHREDDED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn encoding_is_injective_over_fields() {
+        let mut seen = HashSet::new();
+        for page in [0u64, 1, 999] {
+            for block in [0u8, 1, 63] {
+                for major in [0u64, 1, u64::MAX] {
+                    for minor in [0u8, 1, 127] {
+                        for chunk in 0..4 {
+                            let iv = Iv::new(page, block, major, minor);
+                            assert!(seen.insert(iv.to_bytes(chunk)), "collision at {iv:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shredded_predicate() {
+        assert!(Iv::new(1, 0, 5, MINOR_SHREDDED).is_shredded());
+        assert!(!Iv::new(1, 0, 5, MINOR_FIRST).is_shredded());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_out_of_range_panics() {
+        Iv::new(0, 64, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn minor_overflow_panics() {
+        Iv::new(0, 0, 0, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk")]
+    fn chunk_out_of_range_panics() {
+        Iv::new(0, 0, 0, 0).to_bytes(4);
+    }
+}

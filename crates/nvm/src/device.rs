@@ -1,0 +1,434 @@
+//! The NVM device: a byte-addressable, persistent line store with timing,
+//! energy, endurance and remanence modelling.
+
+use std::collections::HashMap;
+
+use ss_common::{BlockAddr, Counter, Error, Result, LINE_SIZE};
+
+use crate::endurance::WearTracker;
+use crate::timing::{EnergyModel, NvmTiming};
+use crate::write_reduction::WriteScheme;
+
+/// The memory technology a device models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryKind {
+    /// Non-volatile (PCM-like): contents survive power loss — the
+    /// remanence property the paper secures against.
+    #[default]
+    Nvm,
+    /// Volatile DRAM, for motivation comparisons (§1, §3): cheap
+    /// symmetric accesses, no endurance concern, contents lost at
+    /// power-off.
+    Dram,
+}
+
+/// Configuration of an [`NvmDevice`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NvmConfig {
+    /// Installed capacity in bytes (Table 1: 16 GiB).
+    pub capacity_bytes: u64,
+    /// Latency/channel parameters.
+    pub timing: NvmTiming,
+    /// Energy parameters.
+    pub energy: EnergyModel,
+    /// Cell-write-reduction scheme applied on every line write.
+    pub write_scheme: WriteScheme,
+    /// The modelled technology.
+    pub kind: MemoryKind,
+    /// Write-endurance limit per line; writes beyond it fail with
+    /// [`ss_common::Error::InvalidConfig`]-free semantics: the write is
+    /// accepted but the line is recorded as failed and reads return
+    /// corrupted (stuck-at) data. `None` disables failure injection.
+    pub endurance_limit: Option<u64>,
+}
+
+impl Default for NvmConfig {
+    fn default() -> Self {
+        NvmConfig {
+            capacity_bytes: 16 << 30,
+            timing: NvmTiming::default(),
+            energy: EnergyModel::default(),
+            write_scheme: WriteScheme::Raw,
+            kind: MemoryKind::Nvm,
+            endurance_limit: None,
+        }
+    }
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NvmStats {
+    /// Line reads served by the array.
+    pub reads: Counter,
+    /// Line writes accepted (including ones DCW later skipped).
+    pub writes: Counter,
+    /// Line writes whose cell programming was skipped entirely (DCW/FNW
+    /// with identical data).
+    pub skipped_writes: Counter,
+    /// Total memory cells (bits) programmed.
+    pub bits_written: u64,
+    /// Total energy consumed, picojoules.
+    pub energy_pj: f64,
+    /// Number of power cycles survived.
+    pub power_cycles: u64,
+    /// Lines that exceeded the endurance limit (failure injection).
+    pub failed_lines: u64,
+}
+
+/// A persistent, line-granularity NVM array.
+///
+/// Contents are stored sparsely; unwritten lines read as zero (a fresh
+/// device). Data *persists across [`NvmDevice::power_cycle`]* — the
+/// remanence property that motivates encrypting NVMM — and can be
+/// exfiltrated wholesale with [`NvmDevice::cold_scan`].
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    config: NvmConfig,
+    lines: HashMap<u64, [u8; LINE_SIZE]>,
+    flip_bits: HashMap<u64, [bool; LINE_SIZE / 4]>,
+    wear: WearTracker,
+    stats: NvmStats,
+    /// Lines whose cells wore out (stuck-at failure model).
+    failed: std::collections::HashSet<u64>,
+}
+
+impl NvmDevice {
+    /// Creates a zero-filled device.
+    pub fn new(config: NvmConfig) -> Self {
+        NvmDevice {
+            config,
+            lines: HashMap::new(),
+            flip_bits: HashMap::new(),
+            wear: WearTracker::new(),
+            stats: NvmStats::default(),
+            failed: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &NvmConfig {
+        &self.config
+    }
+
+    fn check_range(&self, addr: BlockAddr) -> Result<()> {
+        if addr.raw() + LINE_SIZE as u64 > self.config.capacity_bytes {
+            Err(Error::AddrOutOfRange {
+                addr: addr.addr(),
+                capacity: self.config.capacity_bytes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one 64 B line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddrOutOfRange`] if `addr` is beyond capacity.
+    pub fn read_line(&mut self, addr: BlockAddr) -> Result<[u8; LINE_SIZE]> {
+        self.check_range(addr)?;
+        self.stats.reads.inc();
+        self.stats.energy_pj += self.config.energy.read_pj;
+        let mut data = self.peek(addr);
+        if self.failed.contains(&addr.raw()) {
+            // Worn-out cells: model stuck-at-one faults on every byte.
+            for b in &mut data {
+                *b |= 0x01;
+            }
+        }
+        Ok(data)
+    }
+
+    /// Writes one 64 B line, applying the configured write-reduction
+    /// scheme for energy/wear accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AddrOutOfRange`] if `addr` is beyond capacity.
+    pub fn write_line(&mut self, addr: BlockAddr, data: &[u8; LINE_SIZE]) -> Result<()> {
+        self.check_range(addr)?;
+        self.stats.writes.inc();
+        let old = self.peek(addr);
+        let flips = self
+            .flip_bits
+            .entry(addr.raw())
+            .or_insert([false; LINE_SIZE / 4]);
+        let outcome = self.config.write_scheme.apply(&old, data, flips);
+        self.stats.bits_written += u64::from(outcome.bits_written);
+        self.stats.energy_pj += self.config.energy.write_energy_pj(outcome.bits_written);
+        if outcome.skipped {
+            self.stats.skipped_writes.inc();
+        } else {
+            self.wear.record_write(addr);
+            if let Some(limit) = self.config.endurance_limit {
+                if self.wear.wear(addr) > limit && self.failed.insert(addr.raw()) {
+                    self.stats.failed_lines += 1;
+                }
+            }
+        }
+        self.lines.insert(addr.raw(), *data);
+        Ok(())
+    }
+
+    /// Whether `addr`'s cells have worn out.
+    pub fn is_failed(&self, addr: BlockAddr) -> bool {
+        self.failed.contains(&addr.raw())
+    }
+
+    /// Reads a line without touching stats or timing — used internally and
+    /// by the cold-scan attack model.
+    pub fn peek(&self, addr: BlockAddr) -> [u8; LINE_SIZE] {
+        self.lines
+            .get(&addr.raw())
+            .copied()
+            .unwrap_or([0u8; LINE_SIZE])
+    }
+
+    /// DRAM timing preset for motivation comparisons: symmetric ~50 ns
+    /// accesses, no endurance limit, volatile.
+    pub fn dram_config(capacity_bytes: u64) -> NvmConfig {
+        NvmConfig {
+            capacity_bytes,
+            timing: crate::timing::NvmTiming {
+                read: ss_common::Nanos::new(50),
+                write: ss_common::Nanos::new(50),
+                ..crate::timing::NvmTiming::default()
+            },
+            energy: crate::timing::EnergyModel {
+                read_pj: 1.0 * 512.0,
+                write_base_pj: 512.0,
+                write_per_flipped_bit_pj: 1.0,
+            },
+            write_scheme: WriteScheme::Raw,
+            kind: MemoryKind::Dram,
+            endurance_limit: None,
+        }
+    }
+
+    /// Simulates a power cycle. NVM contents persist — that is the
+    /// point; DRAM contents vanish.
+    pub fn power_cycle(&mut self) {
+        self.stats.power_cycles += 1;
+        if self.config.kind == MemoryKind::Dram {
+            self.lines.clear();
+            self.flip_bits.clear();
+        }
+    }
+
+    /// Models an attacker with physical access scanning the powered-off
+    /// chip: iterates every line ever written, in address order, with its
+    /// raw (possibly ciphertext) contents.
+    pub fn cold_scan(&self) -> impl Iterator<Item = (BlockAddr, &[u8; LINE_SIZE])> {
+        let mut addrs: Vec<_> = self.lines.keys().copied().collect();
+        addrs.sort_unstable();
+        addrs.into_iter().map(move |a| {
+            (
+                BlockAddr::new(a),
+                self.lines.get(&a).expect("key came from the map"),
+            )
+        })
+    }
+
+    /// Overwrites a line without any accounting — models an attacker
+    /// tampering with memory contents (man-in-the-middle / overwrite
+    /// attacks from the §4.1 threat model).
+    pub fn tamper(&mut self, addr: BlockAddr, data: [u8; LINE_SIZE]) {
+        self.lines.insert(addr.raw(), data);
+    }
+
+    /// Device statistics so far.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Endurance/wear tracker.
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Resets statistics (not contents or wear) — used between experiment
+    /// phases.
+    pub fn reset_stats(&mut self) {
+        self.stats = NvmStats {
+            power_cycles: self.stats.power_cycles,
+            failed_lines: self.stats.failed_lines,
+            ..NvmStats::default()
+        };
+    }
+
+    /// Number of distinct lines holding data.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Re-export used by `write_line`; kept public for tooling.
+pub use crate::write_reduction::diff_bits as line_diff_bits;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> NvmDevice {
+        NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            ..NvmConfig::default()
+        })
+    }
+
+    #[test]
+    fn unwritten_lines_read_zero() {
+        let mut d = dev();
+        assert_eq!(d.read_line(BlockAddr::new(0)).unwrap(), [0u8; LINE_SIZE]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut d = dev();
+        let a = BlockAddr::new(128);
+        d.write_line(a, &[9u8; LINE_SIZE]).unwrap();
+        assert_eq!(d.read_line(a).unwrap(), [9u8; LINE_SIZE]);
+        assert_eq!(d.stats().reads.get(), 1);
+        assert_eq!(d.stats().writes.get(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut d = dev();
+        let oob = BlockAddr::new(1 << 20);
+        assert!(matches!(
+            d.read_line(oob),
+            Err(Error::AddrOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.write_line(oob, &[0u8; LINE_SIZE]),
+            Err(Error::AddrOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dram_loses_contents_at_power_off() {
+        let mut d = NvmDevice::new(NvmDevice::dram_config(1 << 20));
+        let a = BlockAddr::new(64);
+        d.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
+        d.power_cycle();
+        assert_eq!(
+            d.read_line(a).unwrap(),
+            [0u8; LINE_SIZE],
+            "DRAM retained data"
+        );
+        assert!(d.cold_scan().next().is_none(), "cold scan found DRAM data");
+    }
+
+    #[test]
+    fn remanence_across_power_cycle() {
+        let mut d = dev();
+        let a = BlockAddr::new(64);
+        d.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
+        d.power_cycle();
+        assert_eq!(d.read_line(a).unwrap(), [0xEE; LINE_SIZE]);
+        assert_eq!(d.stats().power_cycles, 1);
+    }
+
+    #[test]
+    fn cold_scan_sees_everything_in_order() {
+        let mut d = dev();
+        d.write_line(BlockAddr::new(192), &[2u8; LINE_SIZE])
+            .unwrap();
+        d.write_line(BlockAddr::new(64), &[1u8; LINE_SIZE]).unwrap();
+        let scanned: Vec<_> = d.cold_scan().map(|(a, l)| (a.raw(), l[0])).collect();
+        assert_eq!(scanned, vec![(64, 1), (192, 2)]);
+    }
+
+    #[test]
+    fn dcw_device_skips_identical_writes() {
+        let mut d = NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            write_scheme: WriteScheme::Dcw,
+            ..NvmConfig::default()
+        });
+        let a = BlockAddr::new(0);
+        d.write_line(a, &[5u8; LINE_SIZE]).unwrap();
+        d.write_line(a, &[5u8; LINE_SIZE]).unwrap();
+        assert_eq!(d.stats().skipped_writes.get(), 1);
+        assert_eq!(d.wear().total_writes(), 1);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut d = dev();
+        let e0 = d.stats().energy_pj;
+        d.write_line(BlockAddr::new(0), &[0xFF; LINE_SIZE]).unwrap();
+        let e1 = d.stats().energy_pj;
+        assert!(e1 > e0);
+        d.read_line(BlockAddr::new(0)).unwrap();
+        assert!(d.stats().energy_pj > e1);
+    }
+
+    #[test]
+    fn tamper_bypasses_stats() {
+        let mut d = dev();
+        d.tamper(BlockAddr::new(0), [0xAB; LINE_SIZE]);
+        assert_eq!(d.stats().writes.get(), 0);
+        assert_eq!(d.peek(BlockAddr::new(0)), [0xAB; LINE_SIZE]);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents_and_wear() {
+        let mut d = dev();
+        d.write_line(BlockAddr::new(0), &[1u8; LINE_SIZE]).unwrap();
+        d.reset_stats();
+        assert_eq!(d.stats().writes.get(), 0);
+        assert_eq!(d.peek(BlockAddr::new(0)), [1u8; LINE_SIZE]);
+        assert_eq!(d.wear().total_writes(), 1);
+    }
+
+    #[test]
+    fn endurance_failure_injection() {
+        let mut d = NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            endurance_limit: Some(3),
+            ..NvmConfig::default()
+        });
+        let a = BlockAddr::new(0);
+        for i in 0..3 {
+            d.write_line(a, &[i; LINE_SIZE]).unwrap();
+            assert!(!d.is_failed(a), "failed too early at write {i}");
+        }
+        // The 4th write exceeds the limit: the line wears out.
+        d.write_line(a, &[0xF0; LINE_SIZE]).unwrap();
+        assert!(d.is_failed(a));
+        assert_eq!(d.stats().failed_lines, 1);
+        // Reads now return corrupted (stuck-at-one) data.
+        let read = d.read_line(a).unwrap();
+        assert_ne!(read, [0xF0; LINE_SIZE]);
+        assert!(read.iter().all(|&b| b & 1 == 1));
+        // Unrelated lines are unaffected.
+        let b = BlockAddr::new(64);
+        d.write_line(b, &[7; LINE_SIZE]).unwrap();
+        assert_eq!(d.read_line(b).unwrap(), [7; LINE_SIZE]);
+    }
+
+    #[test]
+    fn dcw_skips_do_not_wear_cells() {
+        let mut d = NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            write_scheme: WriteScheme::Dcw,
+            endurance_limit: Some(2),
+            ..NvmConfig::default()
+        });
+        let a = BlockAddr::new(0);
+        d.write_line(a, &[5; LINE_SIZE]).unwrap();
+        // Identical rewrites are skipped by DCW and cost no endurance.
+        for _ in 0..10 {
+            d.write_line(a, &[5; LINE_SIZE]).unwrap();
+        }
+        assert!(!d.is_failed(a));
+    }
+
+    #[test]
+    fn diff_bits_reexport() {
+        assert_eq!(line_diff_bits(&[0u8; LINE_SIZE], &[1u8; LINE_SIZE]), 64);
+    }
+}

@@ -1,0 +1,118 @@
+//! Write-endurance tracking.
+//!
+//! PCM cells endure 10–100 million writes (§2.1). The tracker counts line
+//! writes, reports the most-worn line, and estimates relative lifetime —
+//! the metric the endurance ablation bench uses to quantify how much
+//! Silent Shredder's eliminated writes extend device life.
+
+use std::collections::HashMap;
+
+use ss_common::BlockAddr;
+
+/// Default endurance limit used for lifetime estimates (10^7 writes,
+/// the low end of the paper's 10–100 million range).
+pub const DEFAULT_ENDURANCE_LIMIT: u64 = 10_000_000;
+
+/// Tracks per-line write counts.
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    writes: HashMap<BlockAddr, u64>,
+    total_writes: u64,
+}
+
+impl WearTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one write to `addr`.
+    pub fn record_write(&mut self, addr: BlockAddr) {
+        *self.writes.entry(addr).or_insert(0) += 1;
+        self.total_writes += 1;
+    }
+
+    /// Total line writes recorded.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Writes endured by `addr` so far.
+    pub fn wear(&self, addr: BlockAddr) -> u64 {
+        self.writes.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// The most-worn line and its write count, if any writes happened.
+    pub fn max_wear(&self) -> Option<(BlockAddr, u64)> {
+        self.writes
+            .iter()
+            .max_by_key(|&(addr, &n)| (n, std::cmp::Reverse(*addr)))
+            .map(|(&a, &n)| (a, n))
+    }
+
+    /// Number of distinct lines ever written.
+    pub fn touched_lines(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Fraction of the endurance `limit` consumed by the most-worn line.
+    /// Device lifetime is limited by its hottest line (absent wear
+    /// levelling), so relative lifetime between two runs is the inverse
+    /// ratio of their `max_wear_fraction`s.
+    pub fn max_wear_fraction(&self, limit: u64) -> f64 {
+        match self.max_wear() {
+            Some((_, n)) if limit > 0 => n as f64 / limit as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Lines whose wear exceeds `limit` (would have failed).
+    pub fn failed_lines(&self, limit: u64) -> usize {
+        self.writes.values().filter(|&&n| n > limit).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> BlockAddr {
+        BlockAddr::new(n * 64)
+    }
+
+    #[test]
+    fn counts_per_line_and_total() {
+        let mut w = WearTracker::new();
+        w.record_write(a(1));
+        w.record_write(a(1));
+        w.record_write(a(2));
+        assert_eq!(w.total_writes(), 3);
+        assert_eq!(w.wear(a(1)), 2);
+        assert_eq!(w.wear(a(2)), 1);
+        assert_eq!(w.wear(a(3)), 0);
+        assert_eq!(w.touched_lines(), 2);
+    }
+
+    #[test]
+    fn max_wear_finds_hottest() {
+        let mut w = WearTracker::new();
+        assert_eq!(w.max_wear(), None);
+        for _ in 0..5 {
+            w.record_write(a(7));
+        }
+        w.record_write(a(8));
+        assert_eq!(w.max_wear(), Some((a(7), 5)));
+    }
+
+    #[test]
+    fn wear_fraction_and_failures() {
+        let mut w = WearTracker::new();
+        for _ in 0..10 {
+            w.record_write(a(0));
+        }
+        assert_eq!(w.max_wear_fraction(100), 0.1);
+        assert_eq!(w.failed_lines(9), 1);
+        assert_eq!(w.failed_lines(10), 0);
+        assert_eq!(w.max_wear_fraction(0), 0.0);
+    }
+}

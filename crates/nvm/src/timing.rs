@@ -1,0 +1,107 @@
+//! NVM timing and energy parameters.
+//!
+//! Latencies default to Table 1 (read 75 ns, write 150 ns over 2 channels
+//! of 12.8 GB/s). Energy constants follow the PCM literature the paper
+//! cites \[30, 45\]: writes cost roughly an order of magnitude more energy
+//! than reads, and within a write, bit *changes* (SET/RESET pulses)
+//! dominate — which is why Data-Comparison Write and Flip-N-Write exist.
+
+use ss_common::{Cycles, Nanos};
+
+/// Latency and channel parameters of the NVM array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NvmTiming {
+    /// Array read latency (Table 1: 75 ns).
+    pub read: Nanos,
+    /// Array write latency (Table 1: 150 ns).
+    pub write: Nanos,
+    /// Number of independent channels (Table 1: 2).
+    pub channels: u32,
+    /// Per-channel bandwidth in GB/s (Table 1: 12.8).
+    pub channel_gbps: f64,
+}
+
+impl Default for NvmTiming {
+    fn default() -> Self {
+        NvmTiming {
+            read: Nanos::new(75),
+            write: Nanos::new(150),
+            channels: 2,
+            channel_gbps: 12.8,
+        }
+    }
+}
+
+impl NvmTiming {
+    /// Read latency in core cycles.
+    pub fn read_cycles(&self) -> Cycles {
+        self.read.to_cycles()
+    }
+
+    /// Write latency in core cycles.
+    pub fn write_cycles(&self) -> Cycles {
+        self.write.to_cycles()
+    }
+
+    /// Time to move one 64 B line across one channel, in nanoseconds
+    /// (transfer time only, excluding array latency).
+    pub fn line_transfer_ns(&self) -> f64 {
+        64.0 / self.channel_gbps
+    }
+}
+
+/// Per-operation energy model, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of an array read of one 64 B line.
+    pub read_pj: f64,
+    /// Fixed overhead of an array write of one line (decode, drivers).
+    pub write_base_pj: f64,
+    /// Additional energy per *changed bit* in a write (SET/RESET pulse).
+    pub write_per_flipped_bit_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // Ballpark PCM figures: ~2 pJ/bit read, ~25 pJ per written bit.
+        EnergyModel {
+            read_pj: 2.0 * 512.0,
+            write_base_pj: 512.0,
+            write_per_flipped_bit_pj: 25.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of a line write that flips `flipped_bits` cells.
+    pub fn write_energy_pj(&self, flipped_bits: u32) -> f64 {
+        self.write_base_pj + self.write_per_flipped_bit_pj * f64::from(flipped_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let t = NvmTiming::default();
+        assert_eq!(t.read, Nanos::new(75));
+        assert_eq!(t.write, Nanos::new(150));
+        assert_eq!(t.read_cycles(), Cycles::new(150));
+        assert_eq!(t.write_cycles(), Cycles::new(300));
+        assert_eq!(t.channels, 2);
+    }
+
+    #[test]
+    fn transfer_time_positive() {
+        assert!(NvmTiming::default().line_transfer_ns() > 0.0);
+    }
+
+    #[test]
+    fn write_energy_scales_with_flips() {
+        let e = EnergyModel::default();
+        assert!(e.write_energy_pj(512) > e.write_energy_pj(0));
+        assert_eq!(e.write_energy_pj(0), e.write_base_pj);
+    }
+}

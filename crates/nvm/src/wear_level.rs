@@ -1,0 +1,189 @@
+//! Start-Gap wear levelling (Qureshi et al., MICRO'09 \[30\]).
+//!
+//! A gap line rotates through the physical array: every `gap_interval`
+//! writes, the line just before the gap moves into the gap, shifting the
+//! gap down by one. Two registers — *start* and *gap* — define an
+//! algebraic remapping from logical to device lines, spreading hot lines
+//! across the array over time. The paper cites this as the standard
+//! lifetime defence that Silent Shredder composes with (fewer writes →
+//! slower rotation → same relative levelling at lower cost).
+
+/// Start-Gap remapper over `lines + 1` device slots.
+///
+/// # Examples
+///
+/// ```
+/// use ss_nvm::StartGap;
+///
+/// let mut sg = StartGap::new(8, 4);
+/// let before = sg.remap(3);
+/// for _ in 0..100 {
+///     sg.on_write();
+/// }
+/// // After enough writes the mapping has rotated.
+/// assert_ne!(sg.remap(3), before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartGap {
+    /// Number of logical lines managed.
+    lines: u64,
+    /// Gap position in device space (0..=lines).
+    gap: u64,
+    /// Start register: how many full rotations have completed.
+    start: u64,
+    /// Writes between gap movements.
+    gap_interval: u64,
+    /// Writes since the last gap movement.
+    pending: u64,
+    /// Total gap-movement line copies performed (overhead metric).
+    moves: u64,
+}
+
+impl StartGap {
+    /// Creates a remapper for `lines` logical lines, moving the gap every
+    /// `gap_interval` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0` or `gap_interval == 0`.
+    pub fn new(lines: u64, gap_interval: u64) -> Self {
+        assert!(lines > 0, "need at least one line");
+        assert!(gap_interval > 0, "gap interval must be positive");
+        StartGap {
+            lines,
+            gap: lines, // gap starts past the last line
+            start: 0,
+            gap_interval,
+            pending: 0,
+            moves: 0,
+        }
+    }
+
+    /// Maps a logical line to its current device slot (0..=lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    pub fn remap(&self, logical: u64) -> u64 {
+        assert!(logical < self.lines, "logical line out of range");
+        // Rotate by start, then skip the gap slot.
+        let rotated = (logical + self.start) % self.lines;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Records a demand write; possibly moves the gap.
+    /// Returns `true` when a gap movement (one extra device copy) occurred.
+    pub fn on_write(&mut self) -> bool {
+        self.advance_with_move().is_some()
+    }
+
+    /// Records a demand write; when the gap moves, returns the physical
+    /// line copy the device must perform as `(from_slot, to_slot)`.
+    pub fn advance_with_move(&mut self) -> Option<(u64, u64)> {
+        self.pending += 1;
+        if self.pending < self.gap_interval {
+            return None;
+        }
+        self.pending = 0;
+        self.moves += 1;
+        if self.gap == 0 {
+            // Completed a rotation: reset the gap, advance start. The
+            // line occupying the last slot migrates to slot 0.
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+            Some((self.lines, 0))
+        } else {
+            let g = self.gap;
+            self.gap -= 1;
+            // The line just before the old gap slides into it.
+            Some((g - 1, g))
+        }
+    }
+
+    /// Total extra line copies caused by gap movement.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Number of logical lines managed.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn remap_is_a_permutation_at_all_times() {
+        let mut sg = StartGap::new(16, 1);
+        for step in 0..200 {
+            let mapped: HashSet<u64> = (0..16).map(|l| sg.remap(l)).collect();
+            assert_eq!(mapped.len(), 16, "collision at step {step}");
+            assert!(mapped.iter().all(|&d| d <= 16));
+            sg.on_write();
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_interval() {
+        let mut sg = StartGap::new(8, 4);
+        let mut moved = 0;
+        for _ in 0..40 {
+            if sg.on_write() {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, 10);
+        assert_eq!(sg.moves(), 10);
+    }
+
+    #[test]
+    fn rotation_spreads_hot_line() {
+        // Hammering one logical line should see it visit many device slots.
+        let mut sg = StartGap::new(8, 1);
+        let mut slots = HashSet::new();
+        for _ in 0..100 {
+            slots.insert(sg.remap(0));
+            sg.on_write();
+        }
+        assert!(slots.len() >= 8, "line visited only {} slots", slots.len());
+    }
+
+    #[test]
+    fn announced_moves_keep_a_shadow_device_consistent() {
+        // Simulate a device: device[slot] = logical id, maintained only
+        // via the (from, to) copies advance_with_move announces. After
+        // any number of writes, remap(l) must point at a slot holding l.
+        let lines = 8u64;
+        let mut sg = StartGap::new(lines, 2);
+        let mut device = vec![u64::MAX; (lines + 1) as usize];
+        for l in 0..lines {
+            device[sg.remap(l) as usize] = l;
+        }
+        for _ in 0..200 {
+            if let Some((from, to)) = sg.advance_with_move() {
+                device[to as usize] = device[from as usize];
+            }
+            for l in 0..lines {
+                assert_eq!(
+                    device[sg.remap(l) as usize],
+                    l,
+                    "mapping broke after a gap move"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remap_out_of_range_panics() {
+        StartGap::new(4, 1).remap(4);
+    }
+}

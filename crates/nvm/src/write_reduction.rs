@@ -1,0 +1,196 @@
+//! Device-level write-reduction schemes.
+//!
+//! * **DCW** (Data-Comparison Write, Zhou et al. \[45\]) — read the old
+//!   line, write only the cells whose values changed; a fully identical
+//!   line costs no cell writes at all.
+//! * **FNW** (Flip-N-Write, Cho & Lee \[17\]) — per 32-bit word, store the
+//!   word inverted (plus a flip bit) whenever that flips fewer cells,
+//!   bounding flips per word to 16 + 1.
+//!
+//! Young et al. \[43\] observed — and the paper repeats — that encryption's
+//! diffusion defeats both: successive encrypted versions of a line share no
+//! structure, so ~50% of bits differ regardless. The ablation bench
+//! `ablation_dcw_fnw` reproduces that observation with these
+//! implementations.
+
+use ss_common::LINE_SIZE;
+
+/// Which cell-write-reduction scheme the device applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WriteScheme {
+    /// Write every cell unconditionally.
+    #[default]
+    Raw,
+    /// Data-Comparison Write: write only changed cells.
+    Dcw,
+    /// Flip-N-Write on 32-bit words (flip bits are modelled, not stored
+    /// in the data array).
+    FlipNWrite,
+}
+
+/// Result of applying a write scheme to one line update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Number of memory cells (bits) actually programmed.
+    pub bits_written: u32,
+    /// Whether the line write could be skipped entirely (identical data).
+    pub skipped: bool,
+}
+
+/// Counts differing bits between two lines.
+pub fn diff_bits(old: &[u8; LINE_SIZE], new: &[u8; LINE_SIZE]) -> u32 {
+    old.iter()
+        .zip(new.iter())
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum()
+}
+
+impl WriteScheme {
+    /// Computes the bits programmed when updating `old` to `new` under this
+    /// scheme. For `FlipNWrite`, `flip_state` carries one flip bit per
+    /// 32-bit word (16 per line) and is updated in place.
+    pub fn apply(
+        self,
+        old: &[u8; LINE_SIZE],
+        new: &[u8; LINE_SIZE],
+        flip_state: &mut [bool; LINE_SIZE / 4],
+    ) -> WriteOutcome {
+        match self {
+            WriteScheme::Raw => WriteOutcome {
+                bits_written: (LINE_SIZE * 8) as u32,
+                skipped: false,
+            },
+            WriteScheme::Dcw => {
+                let bits = diff_bits(old, new);
+                WriteOutcome {
+                    bits_written: bits,
+                    skipped: bits == 0,
+                }
+            }
+            WriteScheme::FlipNWrite => {
+                let mut bits = 0u32;
+                for w in 0..LINE_SIZE / 4 {
+                    let old_word = u32::from_le_bytes(old[w * 4..w * 4 + 4].try_into().unwrap());
+                    let new_word = u32::from_le_bytes(new[w * 4..w * 4 + 4].try_into().unwrap());
+                    // The stored pattern is the word XOR its flip mask.
+                    let stored_old = if flip_state[w] { !old_word } else { old_word };
+                    // Cost of each choice includes toggling the flip bit
+                    // whenever the choice differs from its current state.
+                    let cost_plain =
+                        (stored_old ^ new_word).count_ones() + u32::from(flip_state[w]);
+                    let cost_inverted =
+                        (stored_old ^ !new_word).count_ones() + u32::from(!flip_state[w]);
+                    if cost_inverted < cost_plain {
+                        bits += cost_inverted;
+                        flip_state[w] = true;
+                    } else {
+                        bits += cost_plain;
+                        flip_state[w] = false;
+                    }
+                }
+                WriteOutcome {
+                    bits_written: bits,
+                    skipped: bits == 0,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::DetRng;
+
+    fn rnd_line(rng: &mut DetRng) -> [u8; LINE_SIZE] {
+        let mut l = [0u8; LINE_SIZE];
+        rng.fill_bytes(&mut l);
+        l
+    }
+
+    #[test]
+    fn diff_bits_basics() {
+        let a = [0u8; LINE_SIZE];
+        let mut b = a;
+        assert_eq!(diff_bits(&a, &b), 0);
+        b[0] = 0xFF;
+        assert_eq!(diff_bits(&a, &b), 8);
+    }
+
+    #[test]
+    fn raw_writes_everything() {
+        let a = [0u8; LINE_SIZE];
+        let mut flips = [false; 16];
+        let out = WriteScheme::Raw.apply(&a, &a, &mut flips);
+        assert_eq!(out.bits_written, 512);
+        assert!(!out.skipped);
+    }
+
+    #[test]
+    fn dcw_skips_identical_lines() {
+        let a = [3u8; LINE_SIZE];
+        let mut flips = [false; 16];
+        let out = WriteScheme::Dcw.apply(&a, &a, &mut flips);
+        assert_eq!(out.bits_written, 0);
+        assert!(out.skipped);
+    }
+
+    #[test]
+    fn dcw_counts_only_changes() {
+        let a = [0u8; LINE_SIZE];
+        let mut b = a;
+        b[10] = 0b1010_1010;
+        let mut flips = [false; 16];
+        let out = WriteScheme::Dcw.apply(&a, &b, &mut flips);
+        assert_eq!(out.bits_written, 4);
+    }
+
+    #[test]
+    fn fnw_bounds_flips_per_word() {
+        // Worst case for plain DCW: complement everything. FNW should cap
+        // each 32-bit word at 16 data flips + 1 flip bit.
+        let a = [0u8; LINE_SIZE];
+        let b = [0xFFu8; LINE_SIZE];
+        let mut flips = [false; 16];
+        let fnw = WriteScheme::FlipNWrite.apply(&a, &b, &mut flips);
+        assert!(
+            fnw.bits_written <= 16 * 17,
+            "fnw wrote {}",
+            fnw.bits_written
+        );
+        let mut flips2 = [false; 16];
+        let dcw = WriteScheme::Dcw.apply(&a, &b, &mut flips2);
+        assert_eq!(dcw.bits_written, 512);
+        assert!(fnw.bits_written < dcw.bits_written);
+    }
+
+    #[test]
+    fn fnw_never_worse_than_half_plus_flipbits_on_random_data() {
+        let mut rng = DetRng::new(77);
+        let mut flips = [false; 16];
+        let mut old = rnd_line(&mut rng);
+        for _ in 0..100 {
+            let new = rnd_line(&mut rng);
+            let out = WriteScheme::FlipNWrite.apply(&old, &new, &mut flips);
+            assert!(out.bits_written <= 16 * 17);
+            old = new;
+        }
+    }
+
+    #[test]
+    fn encrypted_like_data_defeats_dcw() {
+        // Successive random (i.e. encrypted) versions differ in ~50% of
+        // bits, so DCW saves almost nothing versus its best case. This is
+        // the Young et al. observation the paper leans on.
+        let mut rng = DetRng::new(99);
+        let old = rnd_line(&mut rng);
+        let new = rnd_line(&mut rng);
+        let mut flips = [false; 16];
+        let out = WriteScheme::Dcw.apply(&old, &new, &mut flips);
+        assert!(
+            (200..312).contains(&out.bits_written),
+            "expected ~256 flipped bits, got {}",
+            out.bits_written
+        );
+    }
+}

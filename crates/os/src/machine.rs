@@ -1,0 +1,197 @@
+//! The hardware interface the kernel drives.
+//!
+//! `ss-sim` implements [`MachineOps`] on top of the real cache hierarchy
+//! and Silent Shredder controller; [`MockMachine`] provides a flat,
+//! fixed-latency implementation for unit-testing OS logic in isolation.
+
+use ss_common::{BlockAddr, Cycles, PageId, Result};
+
+/// A 64-byte line.
+pub type Line = [u8; ss_common::LINE_SIZE];
+
+/// Hardware operations available to kernel code.
+///
+/// Every method takes the issuing core and its local time and returns the
+/// cycles the kernel stalls for.
+pub trait MachineOps {
+    /// Stores a full line through the cache hierarchy (temporal store).
+    /// `zeroing` tags the write as shredding traffic for accounting.
+    fn write_line_temporal(
+        &mut self,
+        core: usize,
+        addr: BlockAddr,
+        data: &Line,
+        zeroing: bool,
+        now: Cycles,
+    ) -> Cycles;
+
+    /// Stores a full line around the caches (non-temporal store),
+    /// invalidating any cached copies of the line.
+    fn write_line_nt(
+        &mut self,
+        core: usize,
+        addr: BlockAddr,
+        data: &Line,
+        zeroing: bool,
+        now: Cycles,
+    ) -> Cycles;
+
+    /// Loads a line through the hierarchy.
+    fn read_line(&mut self, core: usize, addr: BlockAddr, now: Cycles) -> (Line, Cycles);
+
+    /// Invalidates all cached copies of a page. `writeback` controls
+    /// whether dirty lines are written to memory (`false` discards them —
+    /// correct when the page's contents are dead, e.g. on shred).
+    fn invalidate_page(&mut self, page: PageId, writeback: bool, now: Cycles) -> Cycles;
+
+    /// Writes the shred MMIO register with `page`'s base address in
+    /// kernel mode (Fig. 6 step 1).
+    ///
+    /// # Errors
+    ///
+    /// Controller errors (no shredder configured, privilege, integrity).
+    fn mmio_shred(&mut self, core: usize, page: PageId, now: Cycles) -> Result<Cycles>;
+
+    /// Queues a DMA-engine zeroing of a page: the engine writes the zeros
+    /// (memory traffic happens) while the CPU only pays an issue cost.
+    fn dma_zero_page(&mut self, page: PageId, zeroing: bool, now: Cycles) -> Cycles;
+
+    /// RowClone-style in-memory zeroing: cells are written but no memory
+    /// bus traffic occurs.
+    fn rowclone_zero_page(&mut self, page: PageId, zeroing: bool, now: Cycles) -> Cycles;
+
+    /// Waits until all posted writes have drained (`sfence`).
+    fn fence(&mut self, core: usize, now: Cycles) -> Cycles;
+}
+
+/// A flat-memory mock with fixed latencies, for OS unit tests.
+#[derive(Debug, Clone)]
+pub struct MockMachine {
+    /// Functional memory contents, line-granular.
+    pub mem: std::collections::HashMap<u64, Line>,
+    /// Pages shredded via the MMIO register.
+    pub shredded: Vec<PageId>,
+    /// Count of zeroing-tagged line writes.
+    pub zeroing_writes: u64,
+    /// Whether the mock accepts shred commands.
+    pub shredder_available: bool,
+    frames: u64,
+}
+
+impl MockMachine {
+    /// Creates a mock machine with `frames` physical pages.
+    pub fn new(frames: u64) -> Self {
+        MockMachine {
+            mem: std::collections::HashMap::new(),
+            shredded: Vec::new(),
+            zeroing_writes: 0,
+            shredder_available: true,
+            frames,
+        }
+    }
+
+    /// Reads back a line functionally (test assertions).
+    pub fn peek(&self, addr: BlockAddr) -> Line {
+        self.mem.get(&addr.raw()).copied().unwrap_or([0; 64])
+    }
+}
+
+impl MachineOps for MockMachine {
+    fn write_line_temporal(
+        &mut self,
+        _core: usize,
+        addr: BlockAddr,
+        data: &Line,
+        zeroing: bool,
+        _now: Cycles,
+    ) -> Cycles {
+        self.mem.insert(addr.raw(), *data);
+        if zeroing {
+            self.zeroing_writes += 1;
+        }
+        Cycles::new(2)
+    }
+
+    fn write_line_nt(
+        &mut self,
+        core: usize,
+        addr: BlockAddr,
+        data: &Line,
+        zeroing: bool,
+        now: Cycles,
+    ) -> Cycles {
+        self.write_line_temporal(core, addr, data, zeroing, now);
+        Cycles::new(4)
+    }
+
+    fn read_line(&mut self, _core: usize, addr: BlockAddr, _now: Cycles) -> (Line, Cycles) {
+        (self.peek(addr), Cycles::new(2))
+    }
+
+    fn invalidate_page(&mut self, _page: PageId, _writeback: bool, _now: Cycles) -> Cycles {
+        Cycles::new(10)
+    }
+
+    fn mmio_shred(&mut self, _core: usize, page: PageId, _now: Cycles) -> Result<Cycles> {
+        if !self.shredder_available {
+            return Err(ss_common::Error::InvalidConfig {
+                detail: "mock shredder disabled".into(),
+            });
+        }
+        self.shredded.push(page);
+        // A shred architecturally zeroes the page contents.
+        for b in page.blocks() {
+            self.mem.remove(&b.raw());
+        }
+        Ok(Cycles::new(14))
+    }
+
+    fn dma_zero_page(&mut self, page: PageId, zeroing: bool, _now: Cycles) -> Cycles {
+        for b in page.blocks() {
+            self.mem.insert(b.raw(), [0; 64]);
+            if zeroing {
+                self.zeroing_writes += 1;
+            }
+        }
+        Cycles::new(20)
+    }
+
+    fn rowclone_zero_page(&mut self, page: PageId, zeroing: bool, now: Cycles) -> Cycles {
+        self.dma_zero_page(page, zeroing, now)
+    }
+
+    fn fence(&mut self, _core: usize, _now: Cycles) -> Cycles {
+        Cycles::new(1)
+    }
+}
+
+/// Total physical frames of the mock (used by tests).
+impl MockMachine {
+    /// Number of frames configured.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_roundtrip() {
+        let mut m = MockMachine::new(4);
+        let a = BlockAddr::new(64);
+        m.write_line_temporal(0, a, &[7; 64], false, Cycles::ZERO);
+        assert_eq!(m.read_line(0, a, Cycles::ZERO).0, [7; 64]);
+    }
+
+    #[test]
+    fn mock_shred_clears_page() {
+        let mut m = MockMachine::new(4);
+        let page = PageId::new(1);
+        m.write_line_temporal(0, page.block_addr(0), &[9; 64], false, Cycles::ZERO);
+        m.mmio_shred(0, page, Cycles::ZERO).unwrap();
+        assert_eq!(m.peek(page.block_addr(0)), [0; 64]);
+        assert_eq!(m.shredded, vec![page]);
+    }
+}

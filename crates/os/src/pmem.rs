@@ -1,0 +1,284 @@
+//! Persistent memory regions (§2.1).
+//!
+//! "When an application or a VM requests and uses a persistent page, the
+//! OS should guarantee that its page mapping information is kept
+//! persistent, so the process or the VM can remap the page across
+//! machine reboots" \[24, 39\]. This module implements that guarantee:
+//!
+//! * a **persistent directory** — one well-known NVM page holding the
+//!   `(name, first frame, page count)` extent of every named region,
+//!   written with non-temporal stores and fenced, so it survives a crash
+//!   the instant a region is created;
+//! * [`PmemDirectory::persist`] / [`PmemDirectory::recover`] — serialise
+//!   and reload the directory across reboots;
+//! * named regions are allocated contiguously so one directory entry
+//!   describes the whole extent.
+//!
+//! Combined with the controller's battery-backed counters, data written
+//! to a persistent region with drained caches is fully recoverable after
+//! power loss — the "fuse storage and main memory" vision the paper
+//! cites \[1, 4, 26\].
+
+use ss_common::{Cycles, Error, PageId, Result, BLOCKS_PER_PAGE, LINE_SIZE};
+
+use crate::machine::MachineOps;
+
+/// Magic tag marking a valid directory line.
+const ENTRY_MAGIC: u64 = 0x504D_454D_5631; // "PMEMV1"
+
+/// One named persistent region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmemEntry {
+    /// Application-chosen region name (a 64-bit key).
+    pub name: u64,
+    /// First physical frame of the contiguous extent.
+    pub first_frame: PageId,
+    /// Extent length in pages.
+    pub pages: u64,
+}
+
+impl PmemEntry {
+    /// Serialises to one 64 B directory line.
+    fn to_line(self) -> [u8; LINE_SIZE] {
+        let mut out = [0u8; LINE_SIZE];
+        out[0..8].copy_from_slice(&ENTRY_MAGIC.to_le_bytes());
+        out[8..16].copy_from_slice(&self.name.to_le_bytes());
+        out[16..24].copy_from_slice(&self.first_frame.raw().to_le_bytes());
+        out[24..32].copy_from_slice(&self.pages.to_le_bytes());
+        out
+    }
+
+    /// Parses a directory line; `None` for empty/invalid lines.
+    fn from_line(line: &[u8; LINE_SIZE]) -> Option<Self> {
+        let magic = u64::from_le_bytes(line[0..8].try_into().expect("8 bytes"));
+        if magic != ENTRY_MAGIC {
+            return None;
+        }
+        Some(PmemEntry {
+            name: u64::from_le_bytes(line[8..16].try_into().expect("8 bytes")),
+            first_frame: PageId::new(u64::from_le_bytes(
+                line[16..24].try_into().expect("8 bytes"),
+            )),
+            pages: u64::from_le_bytes(line[24..32].try_into().expect("8 bytes")),
+        })
+    }
+
+    /// Iterator over the extent's frames.
+    pub fn frames(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.pages).map(|k| PageId::new(self.first_frame.raw() + k))
+    }
+}
+
+/// The persistent-region directory: an in-memory view plus its on-NVM
+/// home page.
+#[derive(Debug, Clone)]
+pub struct PmemDirectory {
+    /// The NVM page holding the serialised directory.
+    dir_page: PageId,
+    entries: Vec<PmemEntry>,
+}
+
+impl PmemDirectory {
+    /// Maximum named regions one directory page can describe.
+    pub const CAPACITY: usize = BLOCKS_PER_PAGE;
+
+    /// Creates an empty directory homed at `dir_page`.
+    pub fn new(dir_page: PageId) -> Self {
+        PmemDirectory {
+            dir_page,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The directory's home page.
+    pub fn dir_page(&self) -> PageId {
+        self.dir_page
+    }
+
+    /// Registered regions.
+    pub fn entries(&self) -> &[PmemEntry] {
+        &self.entries
+    }
+
+    /// Looks a region up by name.
+    pub fn find(&self, name: u64) -> Option<PmemEntry> {
+        self.entries.iter().copied().find(|e| e.name == name)
+    }
+
+    /// Registers a region and persists the directory (non-temporal
+    /// stores + fence: crash-safe the moment this returns).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the directory is full or the name is
+    /// already taken.
+    pub fn register<M: MachineOps + ?Sized>(
+        &mut self,
+        machine: &mut M,
+        core: usize,
+        entry: PmemEntry,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        if self.entries.len() >= Self::CAPACITY {
+            return Err(Error::InvalidConfig {
+                detail: "persistent directory full".into(),
+            });
+        }
+        if self.find(entry.name).is_some() {
+            return Err(Error::InvalidConfig {
+                detail: format!("persistent region {:#x} already exists", entry.name),
+            });
+        }
+        self.entries.push(entry);
+        Ok(self.persist(machine, core, now))
+    }
+
+    /// Removes a region by name and persists the directory. Returns the
+    /// removed entry.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when no region has that name.
+    pub fn unregister<M: MachineOps + ?Sized>(
+        &mut self,
+        machine: &mut M,
+        core: usize,
+        name: u64,
+        now: Cycles,
+    ) -> Result<(PmemEntry, Cycles)> {
+        let i = self
+            .entries
+            .iter()
+            .position(|e| e.name == name)
+            .ok_or_else(|| Error::InvalidConfig {
+                detail: format!("no persistent region named {name:#x}"),
+            })?;
+        let entry = self.entries.remove(i);
+        let lat = self.persist(machine, core, now);
+        Ok((entry, lat))
+    }
+
+    /// Writes the whole directory page to NVM (non-temporal + fence).
+    pub fn persist<M: MachineOps + ?Sized>(
+        &self,
+        machine: &mut M,
+        core: usize,
+        now: Cycles,
+    ) -> Cycles {
+        let mut elapsed = Cycles::ZERO;
+        for b in 0..BLOCKS_PER_PAGE {
+            let line = self
+                .entries
+                .get(b)
+                .map(|e| e.to_line())
+                .unwrap_or([0u8; LINE_SIZE]);
+            elapsed += machine.write_line_nt(
+                core,
+                self.dir_page.block_addr(b),
+                &line,
+                false,
+                now + elapsed,
+            );
+        }
+        elapsed + machine.fence(core, now + elapsed)
+    }
+
+    /// Reloads the directory from NVM after a reboot.
+    pub fn recover<M: MachineOps + ?Sized>(
+        machine: &mut M,
+        core: usize,
+        dir_page: PageId,
+        now: Cycles,
+    ) -> Self {
+        let mut entries = Vec::new();
+        for b in 0..BLOCKS_PER_PAGE {
+            let (line, _) = machine.read_line(core, dir_page.block_addr(b), now);
+            if let Some(entry) = PmemEntry::from_line(&line) {
+                entries.push(entry);
+            }
+        }
+        PmemDirectory { dir_page, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MockMachine;
+
+    fn entry(name: u64, first: u64, pages: u64) -> PmemEntry {
+        PmemEntry {
+            name,
+            first_frame: PageId::new(first),
+            pages,
+        }
+    }
+
+    #[test]
+    fn entry_serialisation_roundtrip() {
+        let e = entry(0xDEAD_BEEF, 42, 7);
+        assert_eq!(PmemEntry::from_line(&e.to_line()), Some(e));
+        assert_eq!(PmemEntry::from_line(&[0u8; LINE_SIZE]), None);
+    }
+
+    #[test]
+    fn register_persist_recover() {
+        let mut m = MockMachine::new(64);
+        let dir_page = PageId::new(1);
+        let mut dir = PmemDirectory::new(dir_page);
+        dir.register(&mut m, 0, entry(1, 10, 4), Cycles::ZERO)
+            .unwrap();
+        dir.register(&mut m, 0, entry(2, 20, 2), Cycles::ZERO)
+            .unwrap();
+        // "Reboot": a fresh directory recovered from the machine.
+        let recovered = PmemDirectory::recover(&mut m, 0, dir_page, Cycles::ZERO);
+        assert_eq!(recovered.entries(), dir.entries());
+        assert_eq!(recovered.find(1).unwrap().pages, 4);
+        assert!(recovered.find(3).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = MockMachine::new(64);
+        let mut dir = PmemDirectory::new(PageId::new(1));
+        dir.register(&mut m, 0, entry(7, 10, 1), Cycles::ZERO)
+            .unwrap();
+        assert!(dir
+            .register(&mut m, 0, entry(7, 20, 1), Cycles::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn unregister_persists_removal() {
+        let mut m = MockMachine::new(64);
+        let dir_page = PageId::new(1);
+        let mut dir = PmemDirectory::new(dir_page);
+        dir.register(&mut m, 0, entry(1, 10, 4), Cycles::ZERO)
+            .unwrap();
+        let (removed, _) = dir.unregister(&mut m, 0, 1, Cycles::ZERO).unwrap();
+        assert_eq!(removed.pages, 4);
+        assert!(dir.unregister(&mut m, 0, 1, Cycles::ZERO).is_err());
+        let recovered = PmemDirectory::recover(&mut m, 0, dir_page, Cycles::ZERO);
+        assert!(recovered.entries().is_empty());
+    }
+
+    #[test]
+    fn directory_capacity_enforced() {
+        let mut m = MockMachine::new(64);
+        let mut dir = PmemDirectory::new(PageId::new(1));
+        for i in 0..PmemDirectory::CAPACITY as u64 {
+            dir.register(&mut m, 0, entry(i, 100 + i, 1), Cycles::ZERO)
+                .unwrap();
+        }
+        assert!(dir
+            .register(&mut m, 0, entry(999, 900, 1), Cycles::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn extent_frames_iterate() {
+        let e = entry(1, 5, 3);
+        let frames: Vec<u64> = e.frames().map(|p| p.raw()).collect();
+        assert_eq!(frames, vec![5, 6, 7]);
+    }
+}

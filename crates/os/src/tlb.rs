@@ -1,0 +1,282 @@
+//! Per-core TLB model.
+//!
+//! Address translation is not free: every memory access consults the
+//! TLB, and a miss costs a page-table walk. The paper leans on this in
+//! two places — §1 (VMs request large allocations to reduce page-table
+//! walks) and §7.2 (large pages "skip one or more levels of translation").
+//! The simulator models a per-core, set-associative, LRU TLB tagged by
+//! `(ASID, VPN)`, with explicit shootdown on remap (the fault handler
+//! changes a page's backing when a zero-page mapping is upgraded to a
+//! private frame, and `free`/`exit` retire mappings).
+
+use std::collections::VecDeque;
+
+use ss_common::{Counter, Cycles};
+
+use crate::kernel::ProcId;
+
+/// TLB geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries (64, a typical L1 DTLB).
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Added latency of a TLB miss: the page-table walk (the paper's
+    /// motivation for large pages). Walks of cached page tables cost a
+    /// few tens of cycles.
+    pub walk_latency: Cycles,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            entries: 64,
+            ways: 4,
+            walk_latency: Cycles::new(60),
+        }
+    }
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Translations served from the TLB.
+    pub hits: Counter,
+    /// Translations that required a walk.
+    pub misses: Counter,
+    /// Entries removed by shootdowns.
+    pub shootdowns: Counter,
+}
+
+impl TlbStats {
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbEntry {
+    asid: u64,
+    vpn: u64,
+}
+
+/// A set-associative, LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use ss_os::tlb::{Tlb, TlbConfig};
+/// use ss_os::ProcId;
+///
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// let pid = ProcId(1);
+/// assert!(!tlb.lookup(pid, 5)); // cold miss
+/// tlb.insert(pid, 5);
+/// assert!(tlb.lookup(pid, 5));
+/// tlb.shootdown(pid, 5);
+/// assert!(!tlb.lookup(pid, 5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<VecDeque<TlbEntry>>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, entries not a
+    /// positive multiple of ways).
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.ways > 0, "tlb needs at least one way");
+        assert!(
+            config.entries > 0 && config.entries.is_multiple_of(config.ways),
+            "tlb entries must be a positive multiple of ways"
+        );
+        let sets = config.entries / config.ways;
+        Tlb {
+            config,
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `(pid, vpn)`, promoting on hit. Counts a hit or miss.
+    pub fn lookup(&mut self, pid: ProcId, vpn: u64) -> bool {
+        let set = self.set_index(vpn);
+        let entry = TlbEntry { asid: pid.0, vpn };
+        if let Some(i) = self.sets[set].iter().position(|e| *e == entry) {
+            self.stats.hits.inc();
+            let e = self.sets[set].remove(i).expect("position from iter");
+            self.sets[set].push_front(e);
+            true
+        } else {
+            self.stats.misses.inc();
+            false
+        }
+    }
+
+    /// Installs a translation after a walk.
+    pub fn insert(&mut self, pid: ProcId, vpn: u64) {
+        let set = self.set_index(vpn);
+        let entry = TlbEntry { asid: pid.0, vpn };
+        if self.sets[set].iter().any(|e| *e == entry) {
+            return;
+        }
+        if self.sets[set].len() >= self.config.ways {
+            self.sets[set].pop_back();
+        }
+        self.sets[set].push_front(entry);
+    }
+
+    /// Removes one translation (remap / unmap shootdown).
+    pub fn shootdown(&mut self, pid: ProcId, vpn: u64) {
+        let set = self.set_index(vpn);
+        let entry = TlbEntry { asid: pid.0, vpn };
+        if let Some(i) = self.sets[set].iter().position(|e| *e == entry) {
+            self.sets[set].remove(i);
+            self.stats.shootdowns.inc();
+        }
+    }
+
+    /// Removes every translation of a process (exit / context teardown).
+    pub fn flush_asid(&mut self, pid: ProcId) {
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|e| e.asid != pid.0);
+            self.stats.shootdowns.add((before - set.len()) as u64);
+        }
+    }
+
+    /// Number of resident translations.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: usize, ways: usize) -> Tlb {
+        Tlb::new(TlbConfig {
+            entries,
+            ways,
+            walk_latency: Cycles::new(60),
+        })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = tlb(8, 2);
+        let p = ProcId(1);
+        assert!(!t.lookup(p, 3));
+        t.insert(p, 3);
+        assert!(t.lookup(p, 3));
+        assert_eq!(t.stats().hits.get(), 1);
+        assert_eq!(t.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn asids_do_not_alias() {
+        let mut t = tlb(8, 2);
+        t.insert(ProcId(1), 3);
+        assert!(!t.lookup(ProcId(2), 3), "cross-process TLB hit");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = tlb(4, 2); // 2 sets of 2
+        let p = ProcId(1);
+        // VPNs 0, 2, 4 all map to set 0.
+        t.insert(p, 0);
+        t.insert(p, 2);
+        t.lookup(p, 0); // 0 is MRU
+        t.insert(p, 4); // evicts 2
+        assert!(t.lookup(p, 0));
+        assert!(!t.lookup(p, 2));
+        assert!(t.lookup(p, 4));
+    }
+
+    #[test]
+    fn shootdown_removes_exactly_one() {
+        let mut t = tlb(8, 2);
+        let p = ProcId(1);
+        t.insert(p, 1);
+        t.insert(p, 5);
+        t.shootdown(p, 1);
+        assert!(!t.lookup(p, 1));
+        assert!(t.lookup(p, 5));
+        assert_eq!(t.stats().shootdowns.get(), 1);
+        // Shooting down an absent entry is a no-op.
+        t.shootdown(p, 99);
+        assert_eq!(t.stats().shootdowns.get(), 1);
+    }
+
+    #[test]
+    fn flush_asid_clears_process() {
+        let mut t = tlb(8, 2);
+        t.insert(ProcId(1), 0);
+        t.insert(ProcId(1), 1);
+        t.insert(ProcId(2), 2);
+        t.flush_asid(ProcId(1));
+        assert!(!t.lookup(ProcId(1), 0));
+        assert!(t.lookup(ProcId(2), 2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut t = tlb(4, 2);
+        let p = ProcId(1);
+        t.insert(p, 0);
+        t.insert(p, 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        tlb(5, 2);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut t = tlb(8, 2);
+        let p = ProcId(1);
+        assert_eq!(t.stats().miss_rate(), 0.0);
+        t.lookup(p, 0);
+        t.insert(p, 0);
+        t.lookup(p, 0);
+        assert_eq!(t.stats().miss_rate(), 0.5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Time-shared execution: more processes than cores.
+//!
+//! §6.1 argues Silent Shredder matters most on *highly loaded* systems:
+//! consolidation pushes processor utilisation up, memory pressure makes
+//! page faults frequent, and fault latency (dominated by zeroing)
+//! becomes critical. This module runs an arbitrary number of processes
+//! on the fixed core count with round-robin quanta and per-switch
+//! overhead, so load can be swept past 1.0.
+//!
+//! Context switches do **not** flush the TLBs — entries are ASID-tagged,
+//! as on real hardware — but a switched-in process naturally re-misses
+//! on its cold translations.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ss_common::Cycles;
+use ss_cpu::{CpuCore, Op, RunSummary};
+use ss_os::ProcId;
+
+use crate::system::System;
+
+/// One schedulable job: a process and its remaining instruction stream.
+struct Job {
+    pid: ProcId,
+    ops: std::vec::IntoIter<Op>,
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeshareConfig {
+    /// Instructions per scheduling quantum.
+    pub quantum: u64,
+    /// Kernel overhead charged at every context switch.
+    pub switch_cost: Cycles,
+}
+
+impl Default for TimeshareConfig {
+    fn default() -> Self {
+        TimeshareConfig {
+            quantum: 20_000,
+            switch_cost: Cycles::new(2_000),
+        }
+    }
+}
+
+impl System {
+    /// Runs `jobs` (any number) over all cores with round-robin quanta.
+    /// Each job must reference memory of the given process. Returns the
+    /// per-core execution summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty or `config.quantum == 0`.
+    pub fn run_timeshared(
+        &mut self,
+        jobs: Vec<(ProcId, Vec<Op>)>,
+        config: TimeshareConfig,
+    ) -> RunSummary {
+        assert!(!jobs.is_empty(), "need at least one job");
+        assert!(config.quantum > 0, "quantum must be positive");
+        let cores = self.config().cores();
+        let mut ready: VecDeque<Job> = jobs
+            .into_iter()
+            .map(|(pid, ops)| Job {
+                pid,
+                ops: ops.into_iter(),
+            })
+            .collect();
+        let mut cpu: Vec<CpuCore> = (0..cores).map(|_| CpuCore::new()).collect();
+        let mut last_pid: Vec<Option<ProcId>> = vec![None; cores];
+        // Min-heap of idle cores by local time (ties by index).
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..cores).map(|c| Reverse((0, c))).collect();
+
+        while let (Some(Reverse((_, core))), false) = (heap.pop(), ready.is_empty()) {
+            let mut job = ready.pop_front().expect("checked non-empty");
+            // A real context switch only happens when the core changes
+            // address spaces; re-dispatching the same process is free.
+            if last_pid[core] != Some(job.pid) {
+                cpu[core].stall(config.switch_cost);
+                last_pid[core] = Some(job.pid);
+            }
+            self.set_running(core, job.pid);
+            let mut retired = 0u64;
+            let mut exhausted = false;
+            while retired < config.quantum {
+                match job.ops.next() {
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                    Some(op) => {
+                        let now = cpu[core].now();
+                        match op {
+                            Op::Compute(k) => cpu[core].retire_compute(k),
+                            Op::Load(va) => {
+                                let lat = self.datapath_load(core, va, now);
+                                cpu[core].retire_load(lat);
+                            }
+                            Op::Store(va) => {
+                                let lat = self.datapath_store(core, va, now);
+                                cpu[core].retire_store(lat);
+                            }
+                            Op::StoreLine(va) => {
+                                let lat = self.datapath_store_line(core, va, now);
+                                cpu[core].retire_store(lat);
+                            }
+                            Op::StoreNt(va) => {
+                                let lat = self.datapath_store_nt(core, va, now);
+                                cpu[core].retire_store(lat);
+                            }
+                            Op::Fence => {
+                                let lat = self.datapath_fence(now);
+                                cpu[core].retire_fence(lat);
+                            }
+                        }
+                        retired += op.instructions();
+                    }
+                }
+            }
+            self.clear_running(core);
+            if !exhausted {
+                ready.push_back(job);
+            }
+            heap.push(Reverse((cpu[core].now().raw(), core)));
+        }
+
+        RunSummary {
+            cores: cpu.into_iter().map(|c| c.stats().clone()).collect(),
+        }
+    }
+}
+
+/// Load-sweep helpers used by the `ablation_load` experiment.
+pub use TimeshareConfig as LoadConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+    use ss_common::PAGE_SIZE;
+
+    fn job_ops(heap: ss_common::VirtAddr, pages: u64) -> Vec<Op> {
+        (0..pages)
+            .flat_map(|p| {
+                [
+                    Op::StoreLine(heap.add(p * PAGE_SIZE as u64)),
+                    Op::Compute(50),
+                    Op::Load(heap.add(p * PAGE_SIZE as u64 + 512)),
+                ]
+            })
+            .collect()
+    }
+
+    fn run_load(jobs_n: usize) -> RunSummary {
+        let mut sys = System::new(SystemConfig::small_test(true)).unwrap();
+        sys.age_free_frames();
+        let mut jobs = Vec::new();
+        for _ in 0..jobs_n {
+            let pid = sys.kernel_create_process();
+            let heap = sys.sys_alloc(pid, 16 * PAGE_SIZE as u64).unwrap();
+            jobs.push((pid, job_ops(heap, 16)));
+        }
+        sys.run_timeshared(
+            jobs,
+            TimeshareConfig {
+                quantum: 20,
+                switch_cost: Cycles::new(100),
+            },
+        )
+    }
+
+    #[test]
+    fn all_jobs_complete() {
+        let summary = run_load(6); // 6 jobs on 2 cores
+                                   // 6 jobs × 16 pages × 3 ops, with Compute(50) counting 50 instr.
+        let expected: u64 = 6 * 16 * (1 + 50 + 1);
+        assert_eq!(summary.total_instructions(), expected);
+    }
+
+    #[test]
+    fn oversubscription_costs_switches() {
+        let light = run_load(2); // one job per core: no preemption needed
+        let heavy = run_load(8);
+        // Per-instruction cost should be higher under oversubscription
+        // (context switches + cache/TLB interference).
+        let cost = |s: &RunSummary| {
+            s.cores.iter().map(|c| c.cycles.raw()).sum::<u64>() as f64
+                / s.total_instructions() as f64
+        };
+        assert!(
+            cost(&heavy) > cost(&light),
+            "oversubscription should cost: {} vs {}",
+            cost(&heavy),
+            cost(&light)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_jobs_panics() {
+        let mut sys = System::new(SystemConfig::small_test(true)).unwrap();
+        sys.run_timeshared(vec![], TimeshareConfig::default());
+    }
+}

@@ -1,0 +1,444 @@
+//! PowerGraph-style graph-analytics workloads (Figs. 5 and 8–11).
+//!
+//! A synthetic graph is generated deterministically — power-law
+//! out-degrees for the Twitter-like social graph \[44\], a user×item
+//! bipartite graph for the Netflix-like ratings data \[10\] — and each
+//! application's trace is emitted as the memory accesses the real
+//! algorithm would make over CSR arrays:
+//!
+//! * **construction phase** (what the paper measures): sequential writes
+//!   of the offset and edge arrays as the input is parsed — the
+//!   write-once pattern that makes kernel zeroing dominate;
+//! * **first algorithm iterations**: sequential edge scans with random
+//!   vertex-state gathers/scatters.
+
+use ss_common::{DetRng, VirtAddr, LINE_SIZE, PAGE_SIZE};
+use ss_cpu::Op;
+
+use crate::Workload;
+
+/// Which algorithm's access pattern to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphApp {
+    /// PageRank (gather from in-neighbours, scatter rank).
+    PageRank,
+    /// Greedy colouring, unordered.
+    SimpleColoring,
+    /// Greedy colouring with a degree-ordered pass.
+    OrderedColoring,
+    /// k-core decomposition (iterative peeling).
+    KCore,
+    /// Triangle counting, undirected.
+    UdTriangleCount,
+    /// Triangle counting, directed.
+    DTriangleCount,
+    /// Triangle counting on a sampled/undirected-sparsified graph.
+    SuTriangleCount,
+    /// Alternating least squares (Netflix-like bipartite).
+    Als,
+    /// Weighted ALS.
+    Wals,
+    /// Sparse ALS.
+    Sals,
+    /// Stochastic gradient descent (bipartite).
+    Sgd,
+}
+
+impl GraphApp {
+    /// Display name matching Fig. 5's x-axis labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphApp::SuTriangleCount => "su_triangle_count",
+            GraphApp::SimpleColoring => "simple_coloring",
+            GraphApp::PageRank => "pagerank",
+            GraphApp::OrderedColoring => "d_ordered_coloring",
+            GraphApp::UdTriangleCount => "ud_triangle_count",
+            GraphApp::DTriangleCount => "d_triangle_count",
+            GraphApp::KCore => "kcore",
+            GraphApp::Als => "als",
+            GraphApp::Wals => "wals",
+            GraphApp::Sgd => "sgd",
+            GraphApp::Sals => "sals",
+        }
+    }
+
+    /// The eleven applications of Fig. 5, in its x-axis order.
+    pub fn fig5_suite() -> Vec<GraphApp> {
+        vec![
+            GraphApp::SuTriangleCount,
+            GraphApp::SimpleColoring,
+            GraphApp::PageRank,
+            GraphApp::OrderedColoring,
+            GraphApp::UdTriangleCount,
+            GraphApp::DTriangleCount,
+            GraphApp::KCore,
+            GraphApp::Als,
+            GraphApp::Wals,
+            GraphApp::Sgd,
+            GraphApp::Sals,
+        ]
+    }
+
+    /// The three applications used in Figs. 8–11 (§5).
+    pub fn fig8_suite() -> Vec<GraphApp> {
+        vec![
+            GraphApp::PageRank,
+            GraphApp::SimpleColoring,
+            GraphApp::KCore,
+        ]
+    }
+
+    /// Whether the app runs on the bipartite (Netflix-like) input.
+    pub fn is_bipartite(self) -> bool {
+        matches!(
+            self,
+            GraphApp::Als | GraphApp::Wals | GraphApp::Sals | GraphApp::Sgd
+        )
+    }
+}
+
+/// A sized, seeded graph workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphWorkload {
+    /// The application.
+    pub app: GraphApp,
+    /// Vertices (or users+items for bipartite inputs).
+    pub nodes: u64,
+    /// Average out-degree.
+    pub avg_degree: u64,
+    /// Algorithm iterations to trace after construction.
+    pub iterations: u32,
+    /// Fraction of vertices processed in the traced (first) iterations —
+    /// the paper's measurement window is construction-dominated, cutting
+    /// off early in execution.
+    pub algo_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GraphWorkload {
+    /// A default-size instance of `app` (scaled per DESIGN.md).
+    pub fn new(app: GraphApp) -> Self {
+        GraphWorkload {
+            app,
+            nodes: 8192,
+            avg_degree: 12,
+            iterations: 1,
+            algo_fraction: 0.4,
+            seed: 0x5117_EADE,
+        }
+    }
+
+    /// Generates the degree sequence (power-law for social graphs,
+    /// near-uniform for ratings).
+    fn degrees(&self, rng: &mut DetRng) -> Vec<u64> {
+        (0..self.nodes)
+            .map(|_| {
+                if self.app.is_bipartite() {
+                    1 + rng.below(self.avg_degree * 2 - 1)
+                } else {
+                    // Power-law with mean ≈ avg_degree.
+                    let d = rng.zipf(self.avg_degree * 16, 1.6) + 1;
+                    d.min(self.avg_degree * 16)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Layout of the workload's heap (all offsets in bytes from the base).
+struct Layout {
+    offsets: u64,
+    edges: u64,
+    state: u64,
+    state2: u64,
+    /// Ingress scratch buffers: PowerGraph's loaders work through large
+    /// zero-initialised staging vectors that are *read* (bounds/empty
+    /// checks, calloc'ed hash slots) far more than written. The region is
+    /// allocated and read but never stored to — on a shredded page those
+    /// reads are architectural zeros.
+    scratch: u64,
+    total: u64,
+}
+
+fn layout(nodes: u64, edge_count: u64) -> Layout {
+    let offsets = 0;
+    let edges = nodes * 8;
+    let state = edges + edge_count * 8;
+    let state2 = state + nodes * 8;
+    let scratch = state2 + nodes * 8;
+    let total = scratch + edge_count * 2;
+    Layout {
+        offsets,
+        edges,
+        state,
+        state2,
+        scratch,
+        total,
+    }
+}
+
+impl Workload for GraphWorkload {
+    fn name(&self) -> &str {
+        self.app.label()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Offsets + edges + two state arrays, rounded to pages.
+        let m = self.nodes * self.avg_degree;
+        let l = layout(self.nodes, m);
+        l.total.div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64
+    }
+
+    fn trace(&self, heap: VirtAddr) -> Vec<Op> {
+        let mut rng = DetRng::new(self.seed ^ self.app as u64);
+        let degrees = self.degrees(&mut rng);
+        let m_budget = self.nodes * self.avg_degree;
+        // Clip total edges to the declared footprint.
+        let mut total: u64 = 0;
+        let degrees: Vec<u64> = degrees
+            .into_iter()
+            .map(|d| {
+                let d = d.min(m_budget.saturating_sub(total));
+                total += d;
+                d
+            })
+            .collect();
+        let l = layout(self.nodes, m_budget);
+        let line_of = |byte_off: u64| heap.add(byte_off / LINE_SIZE as u64 * LINE_SIZE as u64);
+        let mut ops = Vec::new();
+
+        // ------------------------------------------------------------
+        // Construction phase: sequential writes of offsets and edges.
+        // Eight 8-byte values per line → one full-line store per line,
+        // with parse compute in between.
+        // ------------------------------------------------------------
+        // Allocation-touch pass: the loader reserves and first-touches
+        // its arrays up front (vector reserve + first element), taking
+        // the page faults — and the kernel zeroing — long before the
+        // arrays are filled. By fill time the zeroed lines have left the
+        // caches, which is why temporal and non-temporal zeroing cost
+        // similar write traffic on real systems (Fig. 5).
+        let data_bytes = l.scratch; // offsets + edges + state + state2
+        for page_off in (0..data_bytes).step_by(PAGE_SIZE) {
+            ops.push(Op::StoreLine(line_of(page_off)));
+            ops.push(Op::Compute(40));
+        }
+        let offset_lines = (self.nodes * 8).div_ceil(LINE_SIZE as u64);
+        for i in 0..offset_lines {
+            ops.push(Op::StoreLine(line_of(l.offsets + i * LINE_SIZE as u64)));
+            ops.push(Op::Compute(6));
+        }
+        // Staging buffers are written sparsely (vector headers, hash
+        // bucket sentinels): one line per page. That store-faults the
+        // pages into private (shredded) frames whose remaining 63 lines
+        // read as architectural zeros from the controller — unlike fully
+        // untouched pages, which map to the shared zero page and stay
+        // cache-resident.
+        let scratch_bytes = m_budget * 2;
+        let scratch_lines = scratch_bytes.div_ceil(LINE_SIZE as u64).max(1);
+        for page_off in (0..scratch_bytes).step_by(PAGE_SIZE) {
+            ops.push(Op::StoreLine(line_of(l.scratch + page_off)));
+            ops.push(Op::Compute(4));
+        }
+        let edge_lines = (total * 8).div_ceil(LINE_SIZE as u64).max(1);
+        for i in 0..edge_lines {
+            // Ingress: consult the zero-initialised staging buffer (a
+            // shredded-page read), then append the parsed edges.
+            ops.push(Op::Load(line_of(
+                l.scratch + (i % scratch_lines) * LINE_SIZE as u64,
+            )));
+            ops.push(Op::StoreLine(line_of(l.edges + i * LINE_SIZE as u64)));
+            ops.push(Op::Compute(600)); // text parsing of 8 edges
+        }
+        // Vertex state initialisation (ranks / colours / degrees).
+        let state_lines = (self.nodes * 8).div_ceil(LINE_SIZE as u64);
+        for i in 0..state_lines {
+            ops.push(Op::StoreLine(line_of(l.state + i * LINE_SIZE as u64)));
+            ops.push(Op::Compute(2));
+        }
+
+        // ------------------------------------------------------------
+        // Algorithm phase: per-app access pattern over the CSR.
+        // ------------------------------------------------------------
+        let degree_of = |u: usize| degrees[u];
+        let algo_nodes =
+            ((self.nodes as f64 * self.algo_fraction) as u64).clamp(1, self.nodes) as usize;
+        for _ in 0..self.iterations {
+            let mut edge_cursor: u64 = 0;
+            match self.app {
+                GraphApp::PageRank | GraphApp::KCore => {
+                    for u in 0..algo_nodes {
+                        ops.push(Op::Load(line_of(l.offsets + u as u64 * 8)));
+                        for _ in 0..degree_of(u) {
+                            ops.push(Op::Load(line_of(l.edges + edge_cursor * 8)));
+                            let dst = rng.zipf(self.nodes, 1.1);
+                            ops.push(Op::Load(line_of(l.state + dst * 8)));
+                            ops.push(Op::Compute(9));
+                            edge_cursor += 1;
+                        }
+                        // Scatter the new rank / updated degree.
+                        ops.push(Op::Store(heap.add(l.state2 + u as u64 * 8)));
+                        ops.push(Op::Compute(4));
+                    }
+                }
+                GraphApp::SimpleColoring | GraphApp::OrderedColoring => {
+                    if self.app == GraphApp::OrderedColoring {
+                        // Degree-ordering pass: sequential scan + sort compute.
+                        for i in 0..state_lines {
+                            ops.push(Op::Load(line_of(l.state + i * LINE_SIZE as u64)));
+                            ops.push(Op::Compute(12));
+                        }
+                    }
+                    for u in 0..algo_nodes {
+                        ops.push(Op::Load(line_of(l.offsets + u as u64 * 8)));
+                        for _ in 0..degree_of(u) {
+                            ops.push(Op::Load(line_of(l.edges + edge_cursor * 8)));
+                            let nbr = rng.zipf(self.nodes, 1.1);
+                            ops.push(Op::Load(line_of(l.state2 + nbr * 8)));
+                            ops.push(Op::Compute(2));
+                            edge_cursor += 1;
+                        }
+                        ops.push(Op::Store(heap.add(l.state2 + u as u64 * 8)));
+                    }
+                }
+                GraphApp::UdTriangleCount
+                | GraphApp::DTriangleCount
+                | GraphApp::SuTriangleCount => {
+                    // Per edge: intersect the adjacency lists of both ends
+                    // (a few sequential edge-array lines each).
+                    let sample = match self.app {
+                        GraphApp::SuTriangleCount => 2,
+                        GraphApp::UdTriangleCount => 1,
+                        _ => 1,
+                    };
+                    for u in 0..algo_nodes {
+                        ops.push(Op::Load(line_of(l.offsets + u as u64 * 8)));
+                        for _ in 0..degree_of(u) / sample {
+                            ops.push(Op::Load(line_of(l.edges + edge_cursor * 8)));
+                            // Peek into the neighbour's adjacency run.
+                            let v_start = rng.below(total.max(1));
+                            for k in 0..3u64 {
+                                ops.push(Op::Load(line_of(
+                                    l.edges + ((v_start + k * 8) % total.max(1)) * 8,
+                                )));
+                            }
+                            ops.push(Op::Compute(8));
+                            edge_cursor += sample;
+                        }
+                    }
+                }
+                GraphApp::Als | GraphApp::Wals | GraphApp::Sals | GraphApp::Sgd => {
+                    // Ratings stream: sequential edge scan; random user and
+                    // item factor access; SGD writes both factors per
+                    // rating, ALS-family accumulates and writes per user.
+                    let writes_per_rating = if self.app == GraphApp::Sgd { 2 } else { 0 };
+                    for u in 0..algo_nodes {
+                        for _ in 0..degree_of(u) {
+                            ops.push(Op::Load(line_of(l.edges + edge_cursor * 8)));
+                            let item = rng.below(self.nodes);
+                            ops.push(Op::Load(line_of(l.state + item * 8)));
+                            ops.push(Op::Load(line_of(l.state2 + u as u64 * 8)));
+                            ops.push(Op::Compute(match self.app {
+                                GraphApp::Wals => 10,
+                                GraphApp::Sals => 6,
+                                _ => 8,
+                            }));
+                            for w in 0..writes_per_rating {
+                                let t = if w == 0 { l.state } else { l.state2 };
+                                ops.push(Op::Store(heap.add(t + (item + w) % self.nodes * 8)));
+                            }
+                            edge_cursor += 1;
+                        }
+                        if self.app != GraphApp::Sgd {
+                            ops.push(Op::Store(heap.add(l.state2 + u as u64 * 8)));
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_suite_has_11_apps_in_order() {
+        let suite = GraphApp::fig5_suite();
+        assert_eq!(suite.len(), 11);
+        assert_eq!(suite[0].label(), "su_triangle_count");
+        assert_eq!(suite[2].label(), "pagerank");
+        assert_eq!(suite[10].label(), "sals");
+    }
+
+    #[test]
+    fn traces_deterministic_and_in_bounds() {
+        for app in [GraphApp::PageRank, GraphApp::Sgd, GraphApp::UdTriangleCount] {
+            let mut w = GraphWorkload::new(app);
+            w.nodes = 512;
+            w.avg_degree = 6;
+            let heap = VirtAddr::new(0x40_0000);
+            let a = w.trace(heap);
+            let b = w.trace(heap);
+            assert_eq!(a, b, "{app:?} not deterministic");
+            let end = heap.raw() + w.footprint_bytes();
+            for op in &a {
+                if let Op::Load(va) | Op::Store(va) | Op::StoreLine(va) | Op::StoreNt(va) = op {
+                    assert!(
+                        va.raw() >= heap.raw() && va.raw() < end,
+                        "{app:?}: {op:?} outside [{:#x},{end:#x})",
+                        heap.raw()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_write_once() {
+        // The construction phase fills each line exactly once, except the
+        // page-head lines the allocation-touch pass wrote first.
+        let mut w = GraphWorkload::new(GraphApp::PageRank);
+        w.nodes = 256;
+        w.iterations = 0;
+        let trace = w.trace(VirtAddr::new(0));
+        let mut counts = std::collections::HashMap::new();
+        for op in trace {
+            if let Op::StoreLine(va) = op {
+                *counts.entry(va.raw()).or_insert(0u32) += 1;
+            }
+        }
+        assert!(!counts.is_empty());
+        for (addr, n) in counts {
+            let page_head = addr % 4096 == 0;
+            let limit = if page_head { 2 } else { 1 };
+            assert!(n <= limit, "line {addr:#x} written {n} times");
+        }
+    }
+
+    #[test]
+    fn all_apps_produce_nonempty_traces() {
+        for app in GraphApp::fig5_suite() {
+            let mut w = GraphWorkload::new(app);
+            w.nodes = 256;
+            w.avg_degree = 4;
+            let trace = w.trace(VirtAddr::new(0));
+            let loads = trace.iter().filter(|o| matches!(o, Op::Load(_))).count();
+            let stores = trace
+                .iter()
+                .filter(|o| matches!(o, Op::Store(_) | Op::StoreLine(_)))
+                .count();
+            assert!(loads > 0, "{app:?} has no loads");
+            assert!(stores > 0, "{app:?} has no stores");
+        }
+    }
+
+    #[test]
+    fn bipartite_classification() {
+        assert!(GraphApp::Als.is_bipartite());
+        assert!(!GraphApp::PageRank.is_bipartite());
+    }
+}

@@ -1,0 +1,220 @@
+//! Microworkloads: small, single-purpose access patterns used by the
+//! ablations and by anyone characterising the memory system.
+//!
+//! Unlike the calibrated SPEC models, these are *pure* patterns with one
+//! knob each — useful for isolating a single mechanism (streaming write
+//! bandwidth, pointer-chase latency, hot-line wear, allocation churn).
+
+use ss_common::{DetRng, VirtAddr, LINE_SIZE, PAGE_SIZE};
+use ss_cpu::Op;
+
+use crate::Workload;
+
+/// Which access pattern to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroPattern {
+    /// Sequential full-line stores over the whole footprint (memset /
+    /// stream-write bandwidth).
+    StreamWrite,
+    /// Sequential loads over the whole footprint (stream-read).
+    StreamRead,
+    /// Dependent random loads (pointer chase — pure latency).
+    PointerChase,
+    /// Uniform random loads and partial stores (mixed OLTP-ish).
+    RandomMix,
+    /// Repeated writes to a handful of lines (wear-levelling stressor).
+    HotLine,
+    /// Allocate, touch one line per page, free, repeat (fault/shred
+    /// churn — the shredding stressor).
+    AllocChurn,
+}
+
+impl MicroPattern {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroPattern::StreamWrite => "stream_write",
+            MicroPattern::StreamRead => "stream_read",
+            MicroPattern::PointerChase => "pointer_chase",
+            MicroPattern::RandomMix => "random_mix",
+            MicroPattern::HotLine => "hot_line",
+            MicroPattern::AllocChurn => "alloc_churn",
+        }
+    }
+
+    /// Every pattern, for sweeps.
+    pub fn all() -> [MicroPattern; 6] {
+        [
+            MicroPattern::StreamWrite,
+            MicroPattern::StreamRead,
+            MicroPattern::PointerChase,
+            MicroPattern::RandomMix,
+            MicroPattern::HotLine,
+            MicroPattern::AllocChurn,
+        ]
+    }
+}
+
+/// A sized microworkload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroWorkload {
+    /// The pattern.
+    pub pattern: MicroPattern,
+    /// Footprint in pages.
+    pub pages: u64,
+    /// Operations to emit.
+    pub ops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MicroWorkload {
+    /// A default-sized instance of `pattern`.
+    pub fn new(pattern: MicroPattern) -> Self {
+        MicroWorkload {
+            pattern,
+            pages: 64,
+            ops: 20_000,
+            seed: 0xA11C,
+        }
+    }
+}
+
+impl Workload for MicroWorkload {
+    fn name(&self) -> &str {
+        self.pattern.label()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pages * PAGE_SIZE as u64
+    }
+
+    fn trace(&self, heap: VirtAddr) -> Vec<Op> {
+        let mut rng = DetRng::new(self.seed ^ self.pattern as u64);
+        let lines = self.pages * (PAGE_SIZE / LINE_SIZE) as u64;
+        let line = |l: u64| heap.add(l * LINE_SIZE as u64);
+        let mut out = Vec::with_capacity(self.ops);
+        match self.pattern {
+            MicroPattern::StreamWrite => {
+                for i in 0..self.ops {
+                    out.push(Op::StoreLine(line(i as u64 % lines)));
+                }
+            }
+            MicroPattern::StreamRead => {
+                // Touch each page once so reads have private frames, then
+                // stream over everything (untouched lines zero-fill).
+                for p in 0..self.pages {
+                    out.push(Op::StoreLine(heap.add(p * PAGE_SIZE as u64)));
+                }
+                for i in 0..self.ops.saturating_sub(self.pages as usize) {
+                    out.push(Op::Load(line(i as u64 % lines)));
+                }
+            }
+            MicroPattern::PointerChase => {
+                out.push(Op::StoreLine(line(0)));
+                // A deterministic permutation walk: next = (cur*a+c) mod lines.
+                let mut cur = 0u64;
+                for _ in 0..self.ops - 1 {
+                    cur = (cur
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407))
+                        % lines;
+                    out.push(Op::Load(line(cur)));
+                }
+            }
+            MicroPattern::RandomMix => {
+                for _ in 0..self.ops {
+                    let l = rng.below(lines);
+                    if rng.chance(0.3) {
+                        out.push(Op::Store(line(l)));
+                    } else {
+                        out.push(Op::Load(line(l)));
+                    }
+                }
+            }
+            MicroPattern::HotLine => {
+                for i in 0..self.ops {
+                    out.push(Op::StoreLine(line((i % 4) as u64)));
+                }
+            }
+            MicroPattern::AllocChurn => {
+                // One store per page, cycling over the footprint; paired
+                // with `sys_free` by the driver for true churn, but even
+                // standalone it maximises first-touch faults.
+                for i in 0..self.ops {
+                    let p = i as u64 % self.pages;
+                    out.push(Op::Store(heap.add(p * PAGE_SIZE as u64)));
+                    out.push(Op::Compute(30));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_patterns_emit_in_bounds() {
+        for pattern in MicroPattern::all() {
+            let w = MicroWorkload {
+                pages: 8,
+                ops: 500,
+                ..MicroWorkload::new(pattern)
+            };
+            let heap = VirtAddr::new(0x100000);
+            let end = heap.raw() + w.footprint_bytes();
+            let trace = w.trace(heap);
+            assert!(!trace.is_empty(), "{pattern:?} empty");
+            for op in trace {
+                if let Op::Load(va) | Op::Store(va) | Op::StoreLine(va) | Op::StoreNt(va) = op {
+                    assert!(
+                        va.raw() >= heap.raw() && va.raw() < end,
+                        "{pattern:?}: {op:?} out of bounds"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_line_touches_few_lines() {
+        let w = MicroWorkload::new(MicroPattern::HotLine);
+        let trace = w.trace(VirtAddr::new(0));
+        let distinct: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter_map(|op| match op {
+                Op::StoreLine(va) => Some(va.raw()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn stream_write_covers_whole_footprint() {
+        let w = MicroWorkload {
+            pages: 4,
+            ops: 4 * 64,
+            ..MicroWorkload::new(MicroPattern::StreamWrite)
+        };
+        let distinct: std::collections::HashSet<u64> = w
+            .trace(VirtAddr::new(0))
+            .iter()
+            .filter_map(|op| match op {
+                Op::StoreLine(va) => Some(va.raw()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(distinct.len(), 4 * 64);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<&str> =
+            MicroPattern::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

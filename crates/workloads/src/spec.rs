@@ -1,0 +1,265 @@
+//! SPEC CPU2006-like workload models (the 26 benchmarks of Figs. 8–11).
+//!
+//! Each model generates the *initialization phase* the paper checkpoints
+//! (§5): the program allocates its heap, faults pages in, initialises
+//! part of each page, and reads both data it wrote and data it never
+//! wrote (which on a shredded page is architecturally zero — the reads
+//! Silent Shredder zero-fills).
+//!
+//! The five parameters per benchmark and what figure they drive:
+//!
+//! | parameter | meaning | drives |
+//! |---|---|---|
+//! | `pages` | heap footprint (scaled ~1/64 of reference) | cache pressure |
+//! | `intensity` | memory ops per 100 instructions | Fig. 11 sensitivity |
+//! | `coverage` | fraction of each page the program writes | Fig. 8 |
+//! | `fresh_reads` | fraction of loads to never-written lines | Figs. 9–10 |
+//! | `rewrites` | extra store passes over written data | Fig. 8 |
+//!
+//! Values are calibrated to the per-benchmark behaviour reported in the
+//! paper (e.g. H264/DealII/Hmmer write little themselves → nearly all of
+//! their baseline writes are kernel zeroing; Bwaves is memory-bound and
+//! reads mostly-fresh data → the largest IPC gain). See EXPERIMENTS.md.
+
+use ss_common::{DetRng, VirtAddr, BLOCKS_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use ss_cpu::Op;
+
+use crate::Workload;
+
+/// One SPEC-like benchmark model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecWorkload {
+    name: &'static str,
+    /// Heap footprint in 4 KiB pages (scaled).
+    pub pages: u64,
+    /// Memory operations per 100 instructions.
+    pub intensity: u32,
+    /// Fraction of each page's 64 lines the program writes at init.
+    pub coverage: f64,
+    /// Fraction of loads that target never-written lines.
+    pub fresh_reads: f64,
+    /// Expected number of additional rewrite passes over written lines.
+    pub rewrites: f64,
+    /// Loads issued per page during the init phase.
+    pub loads_per_page: u32,
+}
+
+impl SpecWorkload {
+    const fn new(
+        name: &'static str,
+        pages: u64,
+        intensity: u32,
+        coverage: f64,
+        fresh_reads: f64,
+        rewrites: f64,
+    ) -> Self {
+        SpecWorkload {
+            name,
+            pages,
+            intensity,
+            coverage,
+            fresh_reads,
+            rewrites,
+            loads_per_page: 128,
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        // Stable per-name seed.
+        self.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+    }
+
+    fn compute_gap(&self) -> u64 {
+        // `intensity` counts main-memory-relevant operations per 100
+        // instructions; the rest are compute plus cache-hit accesses,
+        // folded into a compute gap (cache hits cost ~1 cycle anyway).
+        (1200 / self.intensity.max(1) as u64).max(8)
+    }
+}
+
+impl Workload for SpecWorkload {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.pages * PAGE_SIZE as u64
+    }
+
+    fn trace(&self, heap: VirtAddr) -> Vec<Op> {
+        let mut rng = DetRng::new(self.seed());
+        let covered =
+            ((self.coverage * BLOCKS_PER_PAGE as f64).ceil() as usize).clamp(1, BLOCKS_PER_PAGE);
+        let gap = self.compute_gap();
+        let line = |page: u64, l: usize| heap.add(page * PAGE_SIZE as u64 + (l * LINE_SIZE) as u64);
+        // Rewrite passes revisit a page long after its first
+        // initialisation, so the rewritten lines have been evicted and
+        // the pass produces real NVM write traffic (back-to-back passes
+        // would coalesce in the cache and understate app writes).
+        const REVISIT_DISTANCE: u64 = 192;
+        let mut ops = Vec::new();
+        for page in 0..self.pages {
+            // Initialise the covered prefix of the page (first store
+            // faults the page in and triggers the kernel shred).
+            for l in 0..covered {
+                ops.push(Op::StoreLine(line(page, l)));
+                ops.push(Op::Compute(gap));
+            }
+            // Delayed rewrite passes over a much earlier page.
+            if page >= REVISIT_DISTANCE {
+                let victim = page - REVISIT_DISTANCE;
+                let mut passes = self.rewrites;
+                while passes > 0.0 {
+                    if passes >= 1.0 || rng.chance(passes) {
+                        for l in 0..covered {
+                            ops.push(Op::StoreLine(line(victim, l)));
+                            ops.push(Op::Compute(gap));
+                        }
+                    }
+                    passes -= 1.0;
+                }
+            }
+            // Interleaved loads. Most exhibit temporal locality (they
+            // re-touch the working page and hit the caches); the rest
+            // range over the whole heap, splitting between written data
+            // and never-written (fresh) lines per `fresh_reads`.
+            for _ in 0..self.loads_per_page {
+                let (target_page, l) = if rng.chance(0.85) {
+                    (page, rng.below(covered as u64) as usize)
+                } else {
+                    let target_page = rng.below(page + 1);
+                    let fresh = covered < BLOCKS_PER_PAGE && rng.chance(self.fresh_reads);
+                    let l = if fresh {
+                        covered + rng.below((BLOCKS_PER_PAGE - covered) as u64) as usize
+                    } else {
+                        rng.below(covered as u64) as usize
+                    };
+                    (target_page, l)
+                };
+                ops.push(Op::Load(line(target_page, l)));
+                ops.push(Op::Compute(gap));
+            }
+        }
+        ops
+    }
+}
+
+/// The 26-benchmark suite in the order of the paper's figures.
+pub fn spec_suite() -> Vec<SpecWorkload> {
+    vec![
+        SpecWorkload::new("H264", 512, 3, 0.11, 0.55, 0.0),
+        SpecWorkload::new("LBM", 1024, 10, 0.90, 0.25, 2.0),
+        SpecWorkload::new("LESLIE3D", 1024, 8, 0.69, 0.45, 1.0),
+        SpecWorkload::new("LIBQUANTUM", 768, 9, 0.50, 0.65, 1.0),
+        SpecWorkload::new("MILC", 1024, 9, 0.78, 0.30, 2.0),
+        SpecWorkload::new("NAMD", 512, 4, 0.61, 0.45, 1.0),
+        SpecWorkload::new("OMNETPP", 768, 7, 0.60, 0.40, 1.5),
+        SpecWorkload::new("PERL", 512, 5, 0.61, 0.50, 1.0),
+        SpecWorkload::new("POVRAY", 384, 3, 0.41, 0.50, 1.0),
+        SpecWorkload::new("SJENG", 512, 4, 0.54, 0.45, 1.0),
+        SpecWorkload::new("SOPLEX", 768, 8, 0.69, 0.40, 1.0),
+        SpecWorkload::new("SPHINIX", 512, 6, 0.50, 0.55, 1.0),
+        SpecWorkload::new("XALAN", 768, 7, 0.61, 0.45, 1.0),
+        SpecWorkload::new("ZEUS", 1024, 8, 0.75, 0.40, 1.0),
+        SpecWorkload::new("ASTAR", 512, 6, 0.50, 0.50, 1.0),
+        SpecWorkload::new("BZIP", 640, 6, 0.61, 0.45, 1.0),
+        SpecWorkload::new("BWAVES", 1024, 12, 0.55, 0.90, 0.2),
+        SpecWorkload::new("MCF", 1024, 10, 0.61, 0.60, 1.0),
+        SpecWorkload::new("CACTUS", 768, 7, 0.61, 0.45, 1.0),
+        SpecWorkload::new("DEAL", 512, 3, 0.08, 0.60, 0.0),
+        SpecWorkload::new("GAMESS", 384, 2, 0.14, 0.65, 0.0),
+        SpecWorkload::new("GCC", 640, 6, 0.50, 0.50, 1.0),
+        SpecWorkload::new("GEMS", 1024, 9, 0.61, 0.55, 1.0),
+        SpecWorkload::new("GO", 384, 4, 0.41, 0.50, 1.0),
+        SpecWorkload::new("GROMACS", 512, 4, 0.50, 0.45, 1.0),
+        SpecWorkload::new("HMMER", 384, 2, 0.09, 0.55, 0.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_26_unique_benchmarks() {
+        let suite = spec_suite();
+        assert_eq!(suite.len(), 26);
+        let mut names: Vec<&str> = suite.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 26);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let w = &spec_suite()[0];
+        let a = w.trace(VirtAddr::new(0x1000));
+        let b = w.trace(VirtAddr::new(0x1000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_stays_within_footprint() {
+        for w in spec_suite().iter().take(4) {
+            let heap = VirtAddr::new(0x10_0000);
+            let end = heap.raw() + w.footprint_bytes();
+            for op in w.trace(heap) {
+                if let Op::Load(va) | Op::Store(va) | Op::StoreLine(va) | Op::StoreNt(va) = op {
+                    assert!(
+                        va.raw() >= heap.raw() && va.raw() < end,
+                        "{op:?} out of range"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_limits_written_lines() {
+        let w = SpecWorkload::new("T", 4, 20, 0.25, 0.5, 0.0);
+        let heap = VirtAddr::new(0);
+        let covered = 16; // 0.25 * 64
+        for op in w.trace(heap) {
+            if let Op::StoreLine(va) = op {
+                assert!(((va.raw() % PAGE_SIZE as u64) / LINE_SIZE as u64) < covered);
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_reads_target_unwritten_lines() {
+        // With fresh_reads = 1.0, every *non-local* load (≈15% of loads)
+        // must target an unwritten line; local loads stay on written data.
+        let w = SpecWorkload::new("T", 8, 20, 0.25, 1.0, 0.0);
+        let trace = w.trace(VirtAddr::new(0));
+        let fresh_loads = trace
+            .iter()
+            .filter(|op| {
+                matches!(op, Op::Load(va)
+                    if (va.raw() % PAGE_SIZE as u64) / LINE_SIZE as u64 >= 16)
+            })
+            .count();
+        let total_loads = trace.iter().filter(|op| matches!(op, Op::Load(_))).count();
+        let frac = fresh_loads as f64 / total_loads as f64;
+        assert!(
+            (0.08..=0.25).contains(&frac),
+            "expected ~15% fresh loads, got {frac:.2}"
+        );
+    }
+
+    #[test]
+    fn write_sparse_vs_write_heavy_store_counts() {
+        let sparse = &spec_suite()[0]; // H264
+        let heavy = &spec_suite()[1]; // LBM
+        let count_stores = |w: &SpecWorkload| {
+            w.trace(VirtAddr::new(0))
+                .iter()
+                .filter(|op| matches!(op, Op::StoreLine(_)))
+                .count() as f64
+                / w.pages as f64
+        };
+        assert!(count_stores(heavy) > 10.0 * count_stores(sparse));
+    }
+}

@@ -1,0 +1,80 @@
+//! The paper's Figure 3 code snippet, verbatim in simulator form:
+//!
+//! ```c
+//! char *ALLOC = (char *)malloc(SIZE);
+//! /* Point 0 */ memset(ALLOC, 0, SIZE);
+//! /* Point 1 */ memset(ALLOC, 0, SIZE);
+//! /* Point 2 */
+//! ```
+//!
+//! The first `memset` pays page faults + kernel zeroing + program
+//! zeroing; the second pays program zeroing only. The gap is the kernel
+//! zeroing cost (Fig. 4: ≈32 % of the first memset on real hardware).
+//!
+//! ```sh
+//! cargo run --release --example memset_microbench
+//! ```
+
+use silent_shredder::common::{Result, LINE_SIZE};
+use silent_shredder::prelude::*;
+
+fn run(strategy: ZeroStrategy, size_mib: u64) -> Result<(u64, u64, u64)> {
+    let mut cfg = match strategy {
+        ZeroStrategy::ShredCommand => SystemConfig::silent_shredder(),
+        _ => SystemConfig::baseline().with_zero_strategy(strategy),
+    }
+    .scaled(128, 4 * size_mib.max(8));
+    cfg.hierarchy.cores = 1;
+    let mut system = System::new(cfg)?;
+    system.age_free_frames();
+    let pid = system.spawn_process(0)?;
+    let bytes = size_mib << 20;
+    let heap = system.sys_alloc(pid, bytes)?;
+    let memset = || {
+        (0..bytes / LINE_SIZE as u64)
+            .map(|i| Op::StoreLine(heap.add(i * LINE_SIZE as u64)))
+            .collect::<Vec<_>>()
+    };
+    // Point 0 → Point 1.
+    let first = system
+        .run(vec![memset().into_iter()], None)
+        .makespan()
+        .raw();
+    let zeroing = system.kernel().stats().zeroing_cycles.raw();
+    system.reset_stats();
+    // Point 1 → Point 2.
+    let second = system
+        .run(vec![memset().into_iter()], None)
+        .makespan()
+        .raw();
+    Ok((first, second, zeroing))
+}
+
+fn main() -> Result<()> {
+    let size_mib = 8;
+    println!("malloc({size_mib} MiB) + memset x2 (the paper's Fig. 3 snippet)\n");
+    println!(
+        "{:<22} {:>14} {:>15} {:>16} {:>9}",
+        "kernel zeroing via", "first memset", "second memset", "kernel zeroing", "share"
+    );
+    for strategy in [
+        ZeroStrategy::Temporal,
+        ZeroStrategy::NonTemporal,
+        ZeroStrategy::ShredCommand,
+    ] {
+        let (first, second, zeroing) = run(strategy, size_mib)?;
+        println!(
+            "{:<22} {:>10} cyc {:>11} cyc {:>12} cyc {:>8.1}%",
+            format!("{strategy:?}"),
+            first,
+            second,
+            zeroing,
+            100.0 * zeroing as f64 / first as f64
+        );
+    }
+    println!("\nPaper: kernel zeroing is ~32% of the first memset (ours: ~27% with");
+    println!("temporal stores). The shred command removes the zero-writing itself;");
+    println!("the residual cost is page invalidation plus one counter access per");
+    println!("page — and, unlike the others, it writes nothing to the NVM.");
+    Ok(())
+}

@@ -1,0 +1,433 @@
+//! Property-based tests (proptest) over the core data structures and
+//! the controller's architectural invariants.
+
+use proptest::prelude::*;
+
+use silent_shredder::common::{BlockAddr, Cycles, DetRng, PageId, LINE_SIZE};
+use silent_shredder::core::counters::CounterBlock;
+use silent_shredder::crypto::{sha256, CtrEngine, Iv, MerkleTree};
+use silent_shredder::nvm::{StartGap, WriteScheme};
+use silent_shredder::prelude::*;
+
+proptest! {
+    /// AES-CTR line encryption round-trips for arbitrary data and IVs.
+    #[test]
+    fn ctr_roundtrip(key in any::<[u8; 16]>(),
+                     data in any::<[u8; 64]>(),
+                     page in any::<u64>(),
+                     block in 0u8..64,
+                     major in any::<u64>(),
+                     minor in 0u8..128) {
+        let engine = CtrEngine::new(key);
+        let iv = Iv::new(page, block, major, minor);
+        prop_assert_eq!(engine.decrypt_line(&iv, &engine.encrypt_line(&iv, &data)), data);
+    }
+
+    /// Changing any IV component decrypts to something other than the
+    /// plaintext (the unintelligibility property shredding relies on).
+    #[test]
+    fn ctr_wrong_iv_never_recovers(data in any::<[u8; 64]>(),
+                                   major in any::<u64>(),
+                                   bump in 1u64..1000) {
+        let engine = CtrEngine::new([7; 16]);
+        let iv = Iv::new(1, 1, major, 1);
+        let wrong = Iv::new(1, 1, major.wrapping_add(bump), 1);
+        let ct = engine.encrypt_line(&iv, &data);
+        prop_assert_ne!(engine.decrypt_line(&wrong, &ct), data);
+    }
+
+    /// SHA-256 streaming equals one-shot for arbitrary splits.
+    #[test]
+    fn sha256_streaming(data in proptest::collection::vec(any::<u8>(), 0..512),
+                        split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = silent_shredder::crypto::sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Merkle verification accepts the written value and rejects others.
+    #[test]
+    fn merkle_verify(leaves in 1usize..64,
+                     index in 0usize..64,
+                     data in proptest::collection::vec(any::<u8>(), 0..64),
+                     other in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut tree = MerkleTree::new(leaves);
+        let index = index % tree.leaf_count();
+        tree.update_leaf(index, &data);
+        prop_assert!(tree.verify_leaf(index, &data));
+        if other != data {
+            prop_assert!(!tree.verify_leaf(index, &other));
+        }
+    }
+
+    /// Counter blocks survive serialisation for arbitrary contents.
+    #[test]
+    fn counter_block_roundtrip(major in any::<u64>(),
+                               seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        let mut block = CounterBlock { major, minors: [0; 64] };
+        for m in &mut block.minors {
+            *m = (rng.next_u64() & 0x7F) as u8;
+        }
+        prop_assert_eq!(CounterBlock::from_line(&block.to_line()), block);
+    }
+
+    /// The minor-counter write discipline never produces the reserved
+    /// zero for a live block, and overflow always bumps the major.
+    #[test]
+    fn minor_discipline(writes in 1usize..400, block in 0usize..64) {
+        let mut c = CounterBlock::default();
+        let mut majors = 0u64;
+        for _ in 0..writes {
+            let before = c.major;
+            c.bump_for_write(block);
+            prop_assert_ne!(c.minors[block], 0, "live block got reserved minor");
+            if c.major != before {
+                majors += 1;
+            }
+        }
+        // 127 writes per major epoch once live.
+        prop_assert!(majors <= 1 + writes as u64 / 127);
+    }
+
+    /// Start-Gap remains a permutation under any write pattern.
+    #[test]
+    fn start_gap_permutation(lines in 1u64..64, interval in 1u64..16, writes in 0usize..500) {
+        let mut sg = StartGap::new(lines, interval);
+        for _ in 0..writes {
+            sg.on_write();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..lines {
+            prop_assert!(seen.insert(sg.remap(l)));
+        }
+    }
+
+    /// DCW never reports more flipped bits than the line holds, and zero
+    /// for identical lines.
+    #[test]
+    fn write_schemes_bounds(old in any::<[u8; 64]>(), new in any::<[u8; 64]>()) {
+        let mut flips = [false; 16];
+        let dcw = WriteScheme::Dcw.apply(&old, &new, &mut flips);
+        prop_assert!(dcw.bits_written <= 512);
+        let mut flips2 = [false; 16];
+        let same = WriteScheme::Dcw.apply(&old, &old, &mut flips2);
+        prop_assert_eq!(same.bits_written, 0);
+        let mut flips3 = [false; 16];
+        let fnw = WriteScheme::FlipNWrite.apply(&old, &new, &mut flips3);
+        // FNW is at worst half the bits plus one flip bit per word.
+        prop_assert!(fnw.bits_written <= 16 * 17);
+    }
+
+    /// Architectural read-your-writes through the real controller, with
+    /// shreds interleaved: reads return the last write since the last
+    /// shred, or zeros.
+    #[test]
+    fn controller_read_your_writes(ops in proptest::collection::vec((0u8..3, 0u64..4, 0u8..4, any::<u8>()), 1..60)) {
+        let mut mc = MemoryController::new(ControllerConfig::small_test()).unwrap();
+        // Shadow model: current architectural contents.
+        let mut shadow = std::collections::HashMap::new();
+        for (op, page, block, value) in ops {
+            let page_id = PageId::new(page + 1);
+            let addr = page_id.block_addr(block as usize);
+            match op {
+                0 => {
+                    mc.write_block(addr, &[value; LINE_SIZE], false, Cycles::ZERO).unwrap();
+                    shadow.insert(addr.raw(), [value; LINE_SIZE]);
+                }
+                1 => {
+                    mc.shred_page(page_id, true).unwrap();
+                    for b in page_id.blocks() {
+                        shadow.insert(b.raw(), [0u8; LINE_SIZE]);
+                    }
+                }
+                _ => {
+                    let read = mc.read_block(addr, Cycles::ZERO).unwrap();
+                    let expected = shadow.get(&addr.raw()).copied().unwrap_or([0u8; LINE_SIZE]);
+                    prop_assert_eq!(read.data, expected);
+                }
+            }
+        }
+    }
+
+    /// The same invariant holds with the controller write queue enabled
+    /// (forwarding + drain bursts must never change architectural state).
+    #[test]
+    fn write_queue_read_your_writes(ops in proptest::collection::vec((0u8..3, 0u64..4, 0u8..4, any::<u8>()), 1..80)) {
+        let mut mc = MemoryController::new(ControllerConfig {
+            write_queue: Some(silent_shredder::core::WriteQueueConfig {
+                capacity: 8,
+                drain_low: 1,
+                drain_high: 4,
+            }),
+            ..ControllerConfig::small_test()
+        })
+        .unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        for (op, page, block, value) in ops {
+            let page_id = PageId::new(page + 1);
+            let addr = page_id.block_addr(block as usize);
+            match op {
+                0 => {
+                    mc.write_block(addr, &[value; LINE_SIZE], false, Cycles::ZERO).unwrap();
+                    shadow.insert(addr.raw(), [value; LINE_SIZE]);
+                }
+                1 => {
+                    mc.shred_page(page_id, true).unwrap();
+                    for b in page_id.blocks() {
+                        shadow.insert(b.raw(), [0u8; LINE_SIZE]);
+                    }
+                }
+                _ => {
+                    let read = mc.read_block(addr, Cycles::ZERO).unwrap();
+                    let expected = shadow.get(&addr.raw()).copied().unwrap_or([0u8; LINE_SIZE]);
+                    prop_assert_eq!(read.data, expected);
+                }
+            }
+        }
+        // A final fence + power cycle must preserve everything.
+        mc.fence_drain(Cycles::ZERO).unwrap();
+        mc.power_loss().unwrap();
+        for (raw, expected) in shadow {
+            let read = mc.read_block(BlockAddr::new(raw), Cycles::ZERO).unwrap();
+            prop_assert_eq!(read.data, expected);
+        }
+    }
+
+    /// The same invariant holds with DEUCE enabled.
+    #[test]
+    fn deuce_read_your_writes(ops in proptest::collection::vec((0u8..3, 0u64..3, 0u8..3, any::<u8>(), 0usize..64), 1..60)) {
+        let mut mc = MemoryController::new(ControllerConfig {
+            deuce: true,
+            deuce_epoch: 4,
+            ..ControllerConfig::small_test()
+        }).unwrap();
+        let mut shadow: std::collections::HashMap<u64, [u8; 64]> = std::collections::HashMap::new();
+        for (op, page, block, value, byte) in ops {
+            let page_id = PageId::new(page + 1);
+            let addr = page_id.block_addr(block as usize);
+            match op {
+                0 => {
+                    // Partial update: mutate one byte of the current value.
+                    let mut line = shadow.get(&addr.raw()).copied().unwrap_or([0u8; 64]);
+                    line[byte] = value;
+                    mc.write_block(addr, &line, false, Cycles::ZERO).unwrap();
+                    shadow.insert(addr.raw(), line);
+                }
+                1 => {
+                    mc.shred_page(page_id, true).unwrap();
+                    for b in page_id.blocks() {
+                        shadow.insert(b.raw(), [0u8; 64]);
+                    }
+                }
+                _ => {
+                    let read = mc.read_block(addr, Cycles::ZERO).unwrap();
+                    let expected = shadow.get(&addr.raw()).copied().unwrap_or([0u8; 64]);
+                    prop_assert_eq!(read.data, expected);
+                }
+            }
+        }
+    }
+
+    /// Cache hierarchy: a value written via any core is the value read by
+    /// any other core (coherence), for arbitrary small access patterns.
+    #[test]
+    fn hierarchy_coherence(ops in proptest::collection::vec((0u8..2, 0usize..2, 0u64..32, any::<u8>()), 1..80)) {
+        use silent_shredder::cache::{AccessKind, Hierarchy, HierarchyConfig};
+        let mut h = Hierarchy::new(&HierarchyConfig {
+            cores: 2,
+            l1_size: 4 * 64 * 2,
+            l2_size: 8 * 64 * 2,
+            l3_size: 16 * 64 * 2,
+            l4_size: 32 * 64 * 2,
+            ways: 2,
+            latencies: [2, 8, 25, 35],
+            snoop_penalty: 30,
+        }).unwrap();
+        // A simple memory backing store.
+        let mut memory: std::collections::HashMap<u64, [u8; 64]> = std::collections::HashMap::new();
+        let mut shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for (op, core, lineno, value) in ops {
+            let addr = BlockAddr::new(lineno * 64);
+            if op == 0 {
+                let r = h.access(core, AccessKind::WriteLineNoFetch, addr, Some([value; 64]));
+                for (a, d) in r.writebacks {
+                    memory.insert(a.raw(), d);
+                }
+                shadow.insert(addr.raw(), value);
+            } else {
+                let r = h.access(core, AccessKind::Read, addr, None);
+                let data = match r.data {
+                    Some(d) => d,
+                    None => {
+                        let d = memory.get(&addr.raw()).copied().unwrap_or([0; 64]);
+                        for (a, wb) in h.fill(core, addr, d, false) {
+                            memory.insert(a.raw(), wb);
+                        }
+                        d
+                    }
+                };
+                for (a, d) in r.writebacks {
+                    memory.insert(a.raw(), d);
+                }
+                let expected = shadow.get(&addr.raw()).copied().unwrap_or(0);
+                prop_assert_eq!(data, [expected; 64], "core {} read stale data", core);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Kernel frame accounting: under arbitrary alloc/touch/free/exit
+    /// sequences, no frame is ever lost, double-allocated, or mapped
+    /// into two live processes at once.
+    #[test]
+    fn kernel_frame_conservation(ops in proptest::collection::vec((0u8..5, 0usize..4, 0u64..8), 1..120)) {
+        use silent_shredder::os::machine::MockMachine;
+        use silent_shredder::os::page_table::Translation;
+        use silent_shredder::common::PAGE_SIZE;
+
+        let total_frames = 64u64;
+        let mut kernel = Kernel::new(
+            KernelConfig::default(),
+            (0..total_frames).map(silent_shredder::common::PageId::new).collect(),
+        );
+        let mut machine = MockMachine::new(total_frames);
+        let mut procs: Vec<Option<silent_shredder::os::ProcId>> = vec![None; 4];
+        let mut heaps: Vec<Vec<(silent_shredder::common::VirtAddr, u64)>> = vec![Vec::new(); 4];
+
+        for (op, slot, arg) in ops {
+            match op {
+                0 => {
+                    if procs[slot].is_none() {
+                        procs[slot] = Some(kernel.create_process());
+                    }
+                }
+                1 => {
+                    if let Some(pid) = procs[slot] {
+                        if let Ok(va) = kernel.sys_alloc(pid, (arg + 1) * PAGE_SIZE as u64) {
+                            heaps[slot].push((va, arg + 1));
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(pid) = procs[slot] {
+                        if let Some(&(va, pages)) = heaps[slot].last() {
+                            let target = va.add((arg % pages) * PAGE_SIZE as u64);
+                            // A store fault may legitimately run out of
+                            // memory; anything else must map the page.
+                            match kernel.handle_fault(&mut machine, 0, pid, target, true, Cycles::ZERO) {
+                                Ok(_) | Err(silent_shredder::common::Error::OutOfMemory)
+                                | Err(silent_shredder::common::Error::UnmappedVirtual { .. }) => {}
+                                Err(e) => prop_assert!(false, "unexpected fault error: {e}"),
+                            }
+                        }
+                    }
+                }
+                3 => {
+                    if let Some(pid) = procs[slot] {
+                        if let Some((va, pages)) = heaps[slot].pop() {
+                            kernel
+                                .sys_free(&mut machine, 0, pid, va, pages * PAGE_SIZE as u64, Cycles::ZERO)
+                                .expect("free failed");
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(pid) = procs[slot].take() {
+                        heaps[slot].clear();
+                        kernel.exit_process(&mut machine, 0, pid, Cycles::ZERO).expect("exit");
+                    }
+                }
+            }
+
+            // Invariants after every step.
+            let mut mapped = std::collections::HashSet::new();
+            let mut mapped_count = 0u64;
+            for (i, pid) in procs.iter().enumerate() {
+                let Some(pid) = *pid else { continue };
+                for &(heap, pages) in &heaps[i] {
+                    for k in 0..pages {
+                        let va = heap.add(k * PAGE_SIZE as u64);
+                        if let Ok(Translation::Ok(pa)) = kernel.translate(pid, va, true) {
+                            mapped_count += 1;
+                            prop_assert!(
+                                mapped.insert(pa.page()),
+                                "frame {} mapped twice",
+                                pa.page()
+                            );
+                        }
+                    }
+                }
+            }
+            // Conservation: free + privately mapped + zero page <= total.
+            let accounted = kernel.free_frames() as u64 + mapped_count + 1;
+            prop_assert!(
+                accounted <= total_frames,
+                "frames over-accounted: {accounted} > {total_frames}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Hypervisor frame conservation: arbitrary VM create/destroy/balloon
+    /// sequences never lose or duplicate host frames.
+    #[test]
+    fn hypervisor_frame_conservation(ops in proptest::collection::vec((0u8..4, 0usize..3, 1usize..32), 1..60)) {
+        use silent_shredder::os::machine::MockMachine;
+        use silent_shredder::os::{Hypervisor, KernelConfig, VmId};
+
+        let total = 256u64;
+        let mut machine = MockMachine::new(total);
+        let mut hyp = Hypervisor::new(
+            (0..total).map(silent_shredder::common::PageId::new).collect(),
+            ZeroStrategy::NonTemporal,
+            KernelConfig::default(),
+        );
+        let mut vms: Vec<Option<VmId>> = vec![None; 3];
+        let mut granted: Vec<u64> = vec![0; 3];
+
+        for (op, slot, n) in ops {
+            match op {
+                0 => {
+                    if vms[slot].is_none() {
+                        if let Ok((vm, _)) = hyp.create_vm(&mut machine, 0, n + 2, Cycles::ZERO) {
+                            vms[slot] = Some(vm);
+                            granted[slot] = n as u64 + 2;
+                        }
+                    }
+                }
+                1 => {
+                    if let Some(vm) = vms[slot] {
+                        if let Ok((got, _)) = hyp.balloon_reclaim(&mut machine, 0, vm, n, Cycles::ZERO) {
+                            granted[slot] -= got as u64;
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(vm) = vms[slot] {
+                        if hyp.balloon_grant(&mut machine, 0, vm, n, Cycles::ZERO).is_ok() {
+                            granted[slot] += n as u64;
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(vm) = vms[slot].take() {
+                        hyp.destroy_vm(vm).expect("destroy");
+                        granted[slot] = 0;
+                    }
+                }
+            }
+            // Conservation: host free + frames granted to live VMs = total.
+            let live_granted: u64 = granted.iter().sum();
+            prop_assert_eq!(
+                hyp.free_host_frames() as u64 + live_granted,
+                total,
+                "host frames leaked or duplicated"
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden-range regression tests: pin the headline metrics at Quick
+//! scale so calibration drift is caught immediately. Ranges are wide
+//! enough to tolerate benign model changes but tight enough that a
+//! broken mechanism (zero-fill, shred accounting, counter cache) fails.
+
+use ss_bench::experiments;
+use ss_bench::runner::ExperimentScale;
+
+#[test]
+fn fig8_headline_ranges_hold() {
+    let rows = experiments::fig08_to_11(ExperimentScale::Quick).expect("fig08");
+    let avg = experiments::average_row(&rows);
+    assert!(
+        (0.35..=0.75).contains(&avg.write_savings),
+        "write savings drifted: {:.3}",
+        avg.write_savings
+    );
+    assert!(
+        (0.25..=0.70).contains(&avg.read_savings),
+        "read savings drifted: {:.3}",
+        avg.read_savings
+    );
+    assert!(
+        (1.3..=4.5).contains(&avg.read_speedup),
+        "read speedup drifted: {:.2}",
+        avg.read_speedup
+    );
+    assert!(
+        (1.0..=1.25).contains(&avg.relative_ipc),
+        "relative IPC drifted: {:.3}",
+        avg.relative_ipc
+    );
+    // Every benchmark must benefit on writes and never regress IPC badly.
+    for r in &rows {
+        assert!(r.write_savings > 0.1, "{} write savings collapsed", r.name);
+        assert!(r.relative_ipc > 0.97, "{} IPC regressed", r.name);
+    }
+}
+
+#[test]
+fn fig4_zeroing_share_in_range() {
+    let rows = experiments::fig04(ExperimentScale::Quick).expect("fig04");
+    for r in &rows {
+        assert!(
+            (0.15..=0.45).contains(&r.zeroing_fraction),
+            "zeroing share drifted: {:.3}",
+            r.zeroing_fraction
+        );
+        assert!(r.first_memset > 2 * r.second_memset);
+    }
+}
+
+#[test]
+fn fig12_miss_rate_is_monotone_nonincreasing() {
+    let rows = experiments::fig12(ExperimentScale::Quick).expect("fig12");
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].miss_rate <= pair[0].miss_rate + 0.01,
+            "miss rate rose with capacity: {pair:?}"
+        );
+    }
+    assert!(rows.first().expect("rows").miss_rate > rows.last().expect("rows").miss_rate);
+}
+
+#[test]
+fn table2_silent_shredder_has_all_features() {
+    let rows = experiments::table2(ExperimentScale::Quick).expect("table2");
+    let ss = rows
+        .iter()
+        .find(|r| r.mechanism == "Silent Shredder")
+        .expect("row");
+    assert_eq!(ss.features(), [true; 6], "{ss:?}");
+    // And no other mechanism matches it.
+    for r in &rows {
+        if r.mechanism != "Silent Shredder" {
+            assert_ne!(r.features(), [true; 6], "{} too good", r.mechanism);
+        }
+    }
+}
+
+#[test]
+fn load_sweep_benefit_does_not_collapse() {
+    let rows = experiments::ablation_load(ExperimentScale::Quick).expect("load");
+    for r in &rows {
+        assert!(
+            r.relative_ipc() > 1.0,
+            "no benefit at load {}: {:.3}",
+            r.load,
+            r.relative_ipc()
+        );
+    }
+}
