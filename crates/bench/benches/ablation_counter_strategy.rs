@@ -1,11 +1,11 @@
 //! Ablation bench: the three §4.2 shred-strategy options.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::ablation_counter_strategy;
+use ss_bench::runner::time_it;
 use ss_common::{Cycles, PageId};
 use ss_core::{ControllerConfig, MemoryController, ShredStrategy};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nShred-strategy ablation (200 shreds of a live page):");
     for r in ablation_counter_strategy().expect("ablation") {
         println!(
@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("ablation_counter_strategy");
+    println!("\nablation_counter_strategy timings:");
     for (name, strategy) in [
         ("minor_increment_all", ShredStrategy::MinorIncrementAll),
         ("major_bump_only", ShredStrategy::MajorBumpOnly),
@@ -23,19 +23,15 @@ fn bench(c: &mut Criterion) {
             ShredStrategy::MajorBumpResetMinors,
         ),
     ] {
-        group.bench_function(format!("shred/{name}"), |b| {
-            let mut mc = MemoryController::new(ControllerConfig {
-                shred_strategy: strategy,
-                ..ControllerConfig::small_test()
-            })
-            .expect("mc");
-            mc.write_block(PageId::new(1).block_addr(0), &[5; 64], false, Cycles::ZERO)
-                .expect("write");
-            b.iter(|| mc.shred_page(PageId::new(1), true).expect("shred"));
+        let mut mc = MemoryController::new(ControllerConfig {
+            shred_strategy: strategy,
+            ..ControllerConfig::small_test()
+        })
+        .expect("mc");
+        mc.write_block(PageId::new(1).block_addr(0), &[5; 64], false, Cycles::ZERO)
+            .expect("write");
+        time_it(&format!("shred/{name}"), 10_000, || {
+            mc.shred_page(PageId::new(1), true).expect("shred")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,39 +1,33 @@
 //! Ablation bench: DCW / Flip-N-Write / DEUCE under encryption.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::ablation_dcw_fnw;
+use ss_bench::runner::time_it;
 use ss_common::DetRng;
 use ss_nvm::WriteScheme;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nDCW/FNW/DEUCE ablation (mean memory-cell programmings per line write):");
     for r in ablation_dcw_fnw().expect("ablation") {
         println!("  {:<28} {:>8.1} bits/write", r.scenario, r.bits_per_write);
     }
 
-    let mut group = c.benchmark_group("ablation_dcw_fnw");
+    println!("\nablation_dcw_fnw timings:");
     for (name, scheme) in [
         ("raw", WriteScheme::Raw),
         ("dcw", WriteScheme::Dcw),
         ("flip_n_write", WriteScheme::FlipNWrite),
     ] {
-        group.bench_function(format!("scheme_apply/{name}"), |b| {
-            let mut rng = DetRng::new(7);
-            let mut old = [0u8; 64];
-            let mut new = [0u8; 64];
-            rng.fill_bytes(&mut old);
-            rng.fill_bytes(&mut new);
-            let mut flips = [false; 16];
-            b.iter(|| {
-                let out = scheme.apply(&old, &new, &mut flips);
-                std::mem::swap(&mut old, &mut new);
-                new[0] = new[0].wrapping_add(1);
-                out
-            });
+        let mut rng = DetRng::new(7);
+        let mut old = [0u8; 64];
+        let mut new = [0u8; 64];
+        rng.fill_bytes(&mut old);
+        rng.fill_bytes(&mut new);
+        let mut flips = [false; 16];
+        time_it(&format!("scheme_apply/{name}"), 100_000, || {
+            let out = scheme.apply(&old, &new, &mut flips);
+            std::mem::swap(&mut old, &mut new);
+            new[0] = new[0].wrapping_add(1);
+            out
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,11 @@
 //! Ablation bench: device wear with and without Silent Shredder.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::ablation_endurance;
-use ss_bench::runner::ExperimentScale;
+use ss_bench::runner::{time_it, ExperimentScale};
 use ss_common::{BlockAddr, DetRng};
 use ss_nvm::{NvmConfig, NvmDevice};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nEndurance ablation (quick scale):");
     for r in ablation_endurance(ExperimentScale::Quick).expect("ablation") {
         println!(
@@ -15,21 +14,15 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("ablation_endurance");
-    group.bench_function("device_write_with_wear_tracking", |b| {
-        let mut nvm = NvmDevice::new(NvmConfig {
-            capacity_bytes: 1 << 20,
-            ..NvmConfig::default()
-        });
-        let mut rng = DetRng::new(3);
-        b.iter(|| {
-            let addr = BlockAddr::new(rng.below(1 << 14) * 64);
-            nvm.write_line(addr, &[rng.next_u64() as u8; 64])
-                .expect("write")
-        });
+    println!("\nablation_endurance timings:");
+    let mut nvm = NvmDevice::new(NvmConfig {
+        capacity_bytes: 1 << 20,
+        ..NvmConfig::default()
     });
-    group.finish();
+    let mut rng = DetRng::new(3);
+    time_it("device_write_with_wear_tracking", 100_000, || {
+        let addr = BlockAddr::new(rng.below(1 << 14) * 64);
+        nvm.write_line(addr, &[rng.next_u64() as u8; 64])
+            .expect("write")
+    });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

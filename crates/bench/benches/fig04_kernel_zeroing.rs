@@ -4,9 +4,8 @@
 //! simulator's throughput on the first-memset path (faults + zeroing)
 //! vs the second-memset path (program stores only).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::fig04;
-use ss_bench::runner::ExperimentScale;
+use ss_bench::runner::{time_with_setup, ExperimentScale};
 use ss_cpu::Op;
 use ss_os::ZeroStrategy;
 use ss_sim::{System, SystemConfig};
@@ -36,38 +35,29 @@ fn memset_system() -> (System, ss_common::VirtAddr) {
     (system, heap)
 }
 
-fn bench(c: &mut Criterion) {
-    print_series();
-    let mut group = c.benchmark_group("fig04");
-    group.sample_size(20);
-    group.bench_function("first_memset_64p", |b| {
-        b.iter_with_setup(memset_system, |(mut system, heap)| {
-            let ops: Vec<Op> = (0..64 * 64)
-                .map(|i| Op::StoreLine(heap.add(i * 64)))
-                .collect();
-            system.run(vec![ops.into_iter()], None)
-        });
-    });
-    group.bench_function("second_memset_64p", |b| {
-        b.iter_with_setup(
-            || {
-                let (mut system, heap) = memset_system();
-                let ops: Vec<Op> = (0..64 * 64)
-                    .map(|i| Op::StoreLine(heap.add(i * 64)))
-                    .collect();
-                system.run(vec![ops.into_iter()], None);
-                (system, heap)
-            },
-            |(mut system, heap)| {
-                let ops: Vec<Op> = (0..64 * 64)
-                    .map(|i| Op::StoreLine(heap.add(i * 64)))
-                    .collect();
-                system.run(vec![ops.into_iter()], None)
-            },
-        );
-    });
-    group.finish();
+fn memset_ops(heap: ss_common::VirtAddr) -> Vec<Op> {
+    (0..64 * 64)
+        .map(|i| Op::StoreLine(heap.add(i * 64)))
+        .collect()
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    print_series();
+    println!("\nfig04 timings:");
+    time_with_setup(
+        "first_memset_64p",
+        10,
+        memset_system,
+        |(mut system, heap)| system.run(vec![memset_ops(heap).into_iter()], None),
+    );
+    time_with_setup(
+        "second_memset_64p",
+        10,
+        || {
+            let (mut system, heap) = memset_system();
+            system.run(vec![memset_ops(heap).into_iter()], None);
+            (system, heap)
+        },
+        |(mut system, heap)| system.run(vec![memset_ops(heap).into_iter()], None),
+    );
+}

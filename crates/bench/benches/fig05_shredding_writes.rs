@@ -1,14 +1,13 @@
 //! Figure 5 bench: kernel shredding's share of graph-construction writes
 //! under the three zeroing regimes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::fig05;
-use ss_bench::runner::{run_workload, scaled_graph, ExperimentScale};
+use ss_bench::runner::{run_workload, scaled_graph, time_it, ExperimentScale};
 use ss_os::ZeroStrategy;
 use ss_sim::SystemConfig;
 use ss_workloads::{GraphApp, GraphWorkload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nFigure 5 series (quick scale, writes relative to temporal zeroing):");
     for r in fig05(ExperimentScale::Quick).expect("fig05") {
         println!(
@@ -16,30 +15,23 @@ fn bench(c: &mut Criterion) {
             r.app, r.unmodified, r.non_temporal, r.no_zeroing
         );
     }
-    let mut group = c.benchmark_group("fig05");
-    group.sample_size(10);
+    println!("\nfig05 timings:");
     for strategy in [
         ZeroStrategy::Temporal,
         ZeroStrategy::NonTemporal,
         ZeroStrategy::None,
     ] {
-        group.bench_function(format!("pagerank_construction/{strategy:?}"), |b| {
-            let w = scaled_graph(
-                GraphWorkload::new(GraphApp::PageRank),
+        let w = scaled_graph(
+            GraphWorkload::new(GraphApp::PageRank),
+            ExperimentScale::Quick,
+        );
+        time_it(&format!("pagerank_construction/{strategy:?}"), 3, || {
+            run_workload(
+                SystemConfig::baseline().with_zero_strategy(strategy),
+                &w,
                 ExperimentScale::Quick,
-            );
-            b.iter(|| {
-                run_workload(
-                    SystemConfig::baseline().with_zero_strategy(strategy),
-                    &w,
-                    ExperimentScale::Quick,
-                )
-                .expect("run")
-            });
+            )
+            .expect("run")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! Figure 8 bench: main-memory write savings, baseline vs Silent
 //! Shredder.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::{average_row, fig08_to_11};
-use ss_bench::runner::{run_workload, scaled_spec, ExperimentScale};
+use ss_bench::runner::{run_workload, scaled_spec, time_it, ExperimentScale};
 use ss_sim::SystemConfig;
 use ss_workloads::spec_suite;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nFigure 8 series (quick scale):");
     let rows = fig08_to_11(ExperimentScale::Quick).expect("fig08");
     for r in &rows {
@@ -24,19 +23,12 @@ fn bench(c: &mut Criterion) {
         100.0 * avg.write_savings
     );
 
-    let mut group = c.benchmark_group("fig08");
-    group.sample_size(10);
+    println!("\nfig08 timings:");
     let w = scaled_spec(spec_suite()[0].clone(), ExperimentScale::Quick);
-    group.bench_function("h264_baseline", |b| {
-        b.iter(|| run_workload(SystemConfig::baseline(), &w, ExperimentScale::Quick).expect("run"));
+    time_it("h264_baseline", 3, || {
+        run_workload(SystemConfig::baseline(), &w, ExperimentScale::Quick).expect("run")
     });
-    group.bench_function("h264_shredder", |b| {
-        b.iter(|| {
-            run_workload(SystemConfig::silent_shredder(), &w, ExperimentScale::Quick).expect("run")
-        });
+    time_it("h264_shredder", 3, || {
+        run_workload(SystemConfig::silent_shredder(), &w, ExperimentScale::Quick).expect("run")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
 //! Figure 9 bench: read-traffic savings from zero-filled reads.
 //!
-//! Criterion measures the controller's two read paths directly: a
-//! zero-fill (counter-cache consult only) vs a full NVM array read with
+//! Measures the controller's two read paths directly: a zero-fill
+//! (counter-cache consult only) vs a full NVM array read with
 //! decryption.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::{average_row, fig08_to_11};
-use ss_bench::runner::ExperimentScale;
+use ss_bench::runner::{time_it, ExperimentScale};
 use ss_common::{Cycles, PageId};
 use ss_core::{ControllerConfig, MemoryController};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nFigure 9 series (quick scale):");
     let rows = fig08_to_11(ExperimentScale::Quick).expect("fig09");
     for r in &rows {
@@ -27,21 +26,16 @@ fn bench(c: &mut Criterion) {
         100.0 * avg.read_savings
     );
 
-    let mut group = c.benchmark_group("fig09");
-    group.bench_function("controller_zero_fill_read", |b| {
-        let mut mc = MemoryController::new(ControllerConfig::small_test()).expect("mc");
-        let addr = PageId::new(1).block_addr(0);
-        b.iter(|| mc.read_block(addr, Cycles::ZERO).expect("read"));
+    println!("\nfig09 timings:");
+    let addr = PageId::new(1).block_addr(0);
+    let mut mc = MemoryController::new(ControllerConfig::small_test()).expect("mc");
+    time_it("controller_zero_fill_read", 100_000, || {
+        mc.read_block(addr, Cycles::ZERO).expect("read")
     });
-    group.bench_function("controller_array_read", |b| {
-        let mut mc = MemoryController::new(ControllerConfig::small_test()).expect("mc");
-        let addr = PageId::new(1).block_addr(0);
-        mc.write_block(addr, &[7; 64], false, Cycles::ZERO)
-            .expect("write");
-        b.iter(|| mc.read_block(addr, Cycles::ZERO).expect("read"));
+    let mut mc = MemoryController::new(ControllerConfig::small_test()).expect("mc");
+    mc.write_block(addr, &[7; 64], false, Cycles::ZERO)
+        .expect("write");
+    time_it("controller_array_read", 100_000, || {
+        mc.read_block(addr, Cycles::ZERO).expect("read")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

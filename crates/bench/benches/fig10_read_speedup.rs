@@ -1,12 +1,11 @@
 //! Figure 10 bench: mean memory-read speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::{average_row, fig08_to_11};
-use ss_bench::runner::{run_workload, scaled_spec, ExperimentScale};
+use ss_bench::runner::{run_workload, scaled_spec, time_it, ExperimentScale};
 use ss_sim::SystemConfig;
 use ss_workloads::{spec_suite, Workload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nFigure 10 series (quick scale):");
     let rows = fig08_to_11(ExperimentScale::Quick).expect("fig10");
     for r in &rows {
@@ -18,8 +17,7 @@ fn bench(c: &mut Criterion) {
         avg.name, avg.read_speedup
     );
 
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(10);
+    println!("\nfig10 timings:");
     // The fresh-read-heavy benchmark where the speedup is largest.
     let bwaves = scaled_spec(
         spec_suite()
@@ -28,23 +26,15 @@ fn bench(c: &mut Criterion) {
             .expect("BWAVES"),
         ExperimentScale::Quick,
     );
-    group.bench_function("bwaves_baseline", |b| {
-        b.iter(|| {
-            run_workload(SystemConfig::baseline(), &bwaves, ExperimentScale::Quick).expect("run")
-        });
+    time_it("bwaves_baseline", 3, || {
+        run_workload(SystemConfig::baseline(), &bwaves, ExperimentScale::Quick).expect("run")
     });
-    group.bench_function("bwaves_shredder", |b| {
-        b.iter(|| {
-            run_workload(
-                SystemConfig::silent_shredder(),
-                &bwaves,
-                ExperimentScale::Quick,
-            )
-            .expect("run")
-        });
+    time_it("bwaves_shredder", 3, || {
+        run_workload(
+            SystemConfig::silent_shredder(),
+            &bwaves,
+            ExperimentScale::Quick,
+        )
+        .expect("run")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

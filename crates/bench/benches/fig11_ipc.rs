@@ -1,12 +1,11 @@
 //! Figure 11 bench: relative IPC, baseline vs Silent Shredder.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::{average_row, fig08_to_11};
-use ss_bench::runner::{run_workload, scaled_graph, ExperimentScale};
+use ss_bench::runner::{run_workload, scaled_graph, time_it, ExperimentScale};
 use ss_sim::SystemConfig;
 use ss_workloads::{GraphApp, GraphWorkload};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nFigure 11 series (quick scale):");
     let rows = fig08_to_11(ExperimentScale::Quick).expect("fig11");
     for r in &rows {
@@ -18,22 +17,15 @@ fn bench(c: &mut Criterion) {
         avg.name, avg.relative_ipc
     );
 
-    let mut group = c.benchmark_group("fig11");
-    group.sample_size(10);
+    println!("\nfig11 timings:");
     let w = scaled_graph(
         GraphWorkload::new(GraphApp::PageRank),
         ExperimentScale::Quick,
     );
-    group.bench_function("pagerank_baseline_sim", |b| {
-        b.iter(|| run_workload(SystemConfig::baseline(), &w, ExperimentScale::Quick).expect("run"));
+    time_it("pagerank_baseline_sim", 3, || {
+        run_workload(SystemConfig::baseline(), &w, ExperimentScale::Quick).expect("run")
     });
-    group.bench_function("pagerank_shredder_sim", |b| {
-        b.iter(|| {
-            run_workload(SystemConfig::silent_shredder(), &w, ExperimentScale::Quick).expect("run")
-        });
+    time_it("pagerank_shredder_sim", 3, || {
+        run_workload(SystemConfig::silent_shredder(), &w, ExperimentScale::Quick).expect("run")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

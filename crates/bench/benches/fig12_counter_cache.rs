@@ -1,12 +1,11 @@
 //! Figure 12 bench: counter (IV) cache size vs miss rate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::fig12;
-use ss_bench::runner::ExperimentScale;
+use ss_bench::runner::{time_it, ExperimentScale};
 use ss_cache::{CacheConfig, SetAssocCache};
 use ss_common::{BlockAddr, Cycles, DetRng};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nFigure 12 series (quick scale):");
     for r in fig12(ExperimentScale::Quick).expect("fig12") {
         println!(
@@ -17,29 +16,27 @@ fn bench(c: &mut Criterion) {
     }
     println!("  (paper: knee at 4MB for 16GB memory; scaled proportionally)");
 
-    // Criterion target: raw counter-cache lookup throughput at two sizes.
-    let mut group = c.benchmark_group("fig12");
+    // Timing target: raw counter-cache lookup throughput at two sizes.
+    println!("\nfig12 timings:");
     for size_kb in [16usize, 256] {
-        group.bench_function(format!("counter_cache_lookup_{size_kb}KB"), |b| {
-            let mut cache: SetAssocCache<u64> = SetAssocCache::new(
-                CacheConfig::new("ctr", size_kb << 10, 8, Cycles::new(10)).expect("cfg"),
-            );
-            let mut rng = DetRng::new(42);
-            // Warm with a working set twice the capacity.
-            let lines = ((size_kb << 10) / 64) as u64 * 2;
-            for i in 0..lines {
-                cache.insert(BlockAddr::new(i * 64), i, false);
-            }
-            b.iter(|| {
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(
+            CacheConfig::new("ctr", size_kb << 10, 8, Cycles::new(10)).expect("cfg"),
+        );
+        let mut rng = DetRng::new(42);
+        // Warm with a working set twice the capacity.
+        let lines = ((size_kb << 10) / 64) as u64 * 2;
+        for i in 0..lines {
+            cache.insert(BlockAddr::new(i * 64), i, false);
+        }
+        time_it(
+            &format!("counter_cache_lookup_{size_kb}KB"),
+            100_000,
+            || {
                 let a = BlockAddr::new(rng.below(lines) * 64);
                 if cache.get(a).is_none() {
                     cache.insert(a, 0, false);
                 }
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,19 @@
 //! Table 1 bench: prints the configuration comparison and measures
 //! system boot cost at that configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ss_bench::runner::ExperimentScale;
+use ss_bench::runner::{time_it, ExperimentScale};
 use ss_sim::report::table1;
 use ss_sim::{System, SystemConfig};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nTable 1 (paper vs this reproduction, quick scale):");
     for row in table1(&ExperimentScale::Quick.apply(SystemConfig::silent_shredder())) {
         println!("  {:<18} {:<30} {}", row.parameter, row.paper, row.ours);
     }
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
-    group.bench_function("system_boot_quick", |b| {
-        let cfg = ExperimentScale::Quick.apply(SystemConfig::silent_shredder());
-        b.iter(|| System::new(cfg.clone()).expect("boot"));
+    println!("\ntable1 timings:");
+    let cfg = ExperimentScale::Quick.apply(SystemConfig::silent_shredder());
+    time_it("system_boot_quick", 10, || {
+        System::new(cfg.clone()).expect("boot")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,9 +1,8 @@
 //! Table 2 bench: the initialization-mechanism feature matrix, measured,
 //! plus per-mechanism shred throughput in the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ss_bench::experiments::table2;
-use ss_bench::runner::ExperimentScale;
+use ss_bench::runner::{time_it, ExperimentScale};
 use ss_cache::{Hierarchy, HierarchyConfig};
 use ss_common::{Cycles, PageId};
 use ss_core::{ControllerConfig, MemoryController};
@@ -25,7 +24,7 @@ fn hardware() -> Hardware {
     Hardware::new(hierarchy, controller)
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\nTable 2, measured (quick scale):");
     for r in table2(ExperimentScale::Quick).expect("table2") {
         let f = r.features();
@@ -35,7 +34,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("table2");
+    println!("\ntable2 timings:");
     for strategy in [
         ZeroStrategy::Temporal,
         ZeroStrategy::NonTemporal,
@@ -43,18 +42,12 @@ fn bench(c: &mut Criterion) {
         ZeroStrategy::RowClone,
         ZeroStrategy::ShredCommand,
     ] {
-        group.bench_function(format!("shred_one_page/{strategy:?}"), |b| {
-            let mut hw = hardware();
-            let mut page = 0u64;
-            b.iter(|| {
-                page = (page + 1) % 900;
-                zeroing::shred_page(&mut hw, strategy, 0, PageId::new(page + 1), Cycles::ZERO)
-                    .expect("shred")
-            });
+        let mut hw = hardware();
+        let mut page = 0u64;
+        time_it(&format!("shred_one_page/{strategy:?}"), 1_000, || {
+            page = (page + 1) % 900;
+            zeroing::shred_page(&mut hw, strategy, 0, PageId::new(page + 1), Cycles::ZERO)
+                .expect("shred")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

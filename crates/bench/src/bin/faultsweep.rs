@@ -1,0 +1,146 @@
+//! Deterministic fault-injection sweep over the harness config matrix.
+//!
+//! ```text
+//! faultsweep [--seeds N] [--seed S] [--config LABEL] [--list]
+//! ```
+//!
+//! The default campaign runs seeds `0..N` (N = 32) against every
+//! configuration in [`HarnessConfig::matrix`] and prints one tally line
+//! per configuration. The report is a pure function of the seed set —
+//! no wall-clock, no environment — so the same invocation is always
+//! byte-identical. Exit status is nonzero iff any fault resolved as an
+//! undetected corruption (or a final sweep failed).
+//!
+//! `--seed S` replays a single seed with full per-fault detail: the
+//! line printed for a failing campaign seed can be rerun alone.
+
+use std::env;
+use std::process::ExitCode;
+
+use ss_harness::{run_plan, HarnessConfig, Tally};
+
+struct Options {
+    seeds: u64,
+    replay: Option<u64>,
+    config: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seeds: 32,
+        replay: None,
+        config: None,
+        list: false,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                opts.seeds = args
+                    .next()
+                    .ok_or("--seeds needs a number")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--seed" => {
+                opts.replay = Some(
+                    args.next()
+                        .ok_or("--seed needs a number")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
+            "--config" => {
+                opts.config = Some(args.next().ok_or("--config needs a label")?);
+            }
+            "--list" => opts.list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: faultsweep [--seeds N] [--seed S] [--config LABEL] [--list]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let matrix: Vec<HarnessConfig> = HarnessConfig::matrix()
+        .into_iter()
+        .filter(|c| opts.config.as_deref().is_none_or(|l| c.label == l))
+        .collect();
+    if matrix.is_empty() {
+        eprintln!(
+            "no config labelled {:?}; try --list",
+            opts.config.as_deref().unwrap_or("")
+        );
+        return ExitCode::FAILURE;
+    }
+    if opts.list {
+        for cfg in &matrix {
+            println!("{}", cfg.label);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Replay mode: one seed, full per-fault detail.
+    if let Some(seed) = opts.replay {
+        let mut clean = true;
+        for cfg in &matrix {
+            let report = run_plan(cfg, seed);
+            clean &= report.clean();
+            print!("{report}");
+        }
+        return if clean {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Campaign mode: seeds 0..N against every config.
+    println!(
+        "faultsweep: {} seed(s) x {} config(s)",
+        opts.seeds,
+        matrix.len()
+    );
+    let mut grand = Tally::default();
+    let mut failures: Vec<(String, u64)> = Vec::new();
+    for cfg in &matrix {
+        let mut tally = Tally::default();
+        for seed in 0..opts.seeds {
+            let report = run_plan(cfg, seed);
+            tally.merge(report.tally());
+            if !report.clean() {
+                failures.push((cfg.label.clone(), seed));
+            }
+        }
+        println!("  {:<18} {}", cfg.label, tally);
+        grand.merge(tally);
+    }
+    println!("  {:<18} {}", "total", grand);
+    println!("faults injected: {}", grand.total());
+    if grand.corrupted == 0 && failures.is_empty() {
+        println!("result: CLEAN (zero undetected corruptions)");
+        ExitCode::SUCCESS
+    } else {
+        for (label, seed) in &failures {
+            println!("replay with: faultsweep --config {label} --seed {seed}");
+        }
+        println!("result: FAILED ({} corrupted)", grand.corrupted);
+        ExitCode::FAILURE
+    }
+}

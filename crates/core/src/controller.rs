@@ -955,6 +955,86 @@ impl MemoryController {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fault-injection surfaces (driven by the ss-harness crate).
+    // ------------------------------------------------------------------
+
+    /// Cumulative NVM write count — the event index that fault plans
+    /// schedule against ("power loss after the Nth NVM write").
+    pub fn nvm_writes(&self) -> u64 {
+        self.nvm.stats().writes.get()
+    }
+
+    /// Current write-queue occupancy (0 when no queue is configured).
+    pub fn write_queue_len(&self) -> usize {
+        self.wqueue.as_ref().map_or(0, |q| q.len())
+    }
+
+    /// Whether `page`'s counter line is cached and dirty (modified since
+    /// it last reached NVM). Checked without disturbing LRU state.
+    pub fn counter_line_dirty(&self, page: PageId) -> bool {
+        let caddr = self.counter_addr(page);
+        self.counter_cache
+            .iter()
+            .any(|e| e.addr == caddr && e.dirty)
+    }
+
+    /// Writes `page`'s counter line back to NVM if it is cached dirty
+    /// (a targeted scrub of one counter-cache frame). Returns whether a
+    /// writeback happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NVM write errors.
+    pub fn flush_counter_line(&mut self, page: PageId) -> Result<bool> {
+        let caddr = self.counter_addr(page);
+        let dirty = self
+            .counter_cache
+            .iter()
+            .find(|e| e.addr == caddr && e.dirty)
+            .map(|e| e.value);
+        let Some(ctrs) = dirty else {
+            return Ok(false);
+        };
+        self.write_counters_to_nvm(page, &ctrs, Cycles::ZERO)?;
+        if let Some(e) = self.counter_cache.get(caddr) {
+            e.dirty = false;
+        }
+        Ok(true)
+    }
+
+    /// Drops `page`'s counter line from the cache *without* writeback —
+    /// a transient counter-cache cell fault. Returns whether the line was
+    /// present. The next access re-fetches (and Merkle-verifies) the
+    /// NVM copy.
+    pub fn drop_counter_cache_line(&mut self, page: PageId) -> bool {
+        let caddr = self.counter_addr(page);
+        self.counter_cache.invalidate(caddr).is_some()
+    }
+
+    /// Flips one stored bit of the *data* line at `addr` (NVM cell
+    /// disturb fault), following any wear-levelling remap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= LINE_SIZE * 8`.
+    pub fn flip_data_bit(&mut self, addr: BlockAddr, bit: usize) {
+        let dev = self.device_addr(addr);
+        self.nvm.flip_bit(dev, bit);
+    }
+
+    /// Flips one stored bit of `page`'s counter line in NVM. With
+    /// integrity enabled the next uncached fetch must fail Merkle
+    /// verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= LINE_SIZE * 8`.
+    pub fn flip_counter_bit(&mut self, page: PageId, bit: usize) {
+        let caddr = self.counter_addr(page);
+        self.nvm.flip_bit(caddr, bit);
+    }
 }
 
 /// Builds the write queue for a configuration, if enabled.

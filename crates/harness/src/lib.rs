@@ -1,0 +1,38 @@
+//! Deterministic fault-injection and crash-recovery harness.
+//!
+//! Silent Shredder's security argument rests on what survives a crash:
+//! the counter cache must be battery-backed write-back (§4.3) because
+//! losing a major/minor counter makes ciphertext unrecoverable, and the
+//! Merkle tree must reject replayed counters. This crate exercises
+//! exactly those boundaries:
+//!
+//! * [`FaultPlan`] — a seeded, fully deterministic schedule of faults,
+//!   indexed by cumulative NVM write count: power loss, counter-cache
+//!   line drops, single-bit NVM cell flips (data and counter lines),
+//!   counter replay, and MMIO shred failures.
+//! * [`ShadowModel`] — a plain reference model of architectural state
+//!   (expected plaintext per line, shredded pages) that the controller
+//!   is checked against after every fault.
+//! * [`run_plan`] — drives a deterministic workload against a
+//!   [`ss_core::MemoryController`], fires the plan, runs recovery
+//!   (`power_loss` → `recover` → resume or degrade), and classifies
+//!   every fault as recovered, detected, benign (with a verified bounded
+//!   effect), skipped (not applicable to the configuration), or — the
+//!   failure case — an undetected corruption.
+//! * [`scenario`] — whole-[`ss_sim::System`] crash/recovery round trips
+//!   and the write-queue-depth crash matrix used by `tests/persistence.rs`.
+//!
+//! Everything is seeded through [`ss_common::DetRng`]: the same seed
+//! always produces the same plan, the same workload, and the same
+//! report. `faultsweep --seed N` (in `crates/bench`) replays one plan
+//! with per-fault detail.
+
+pub mod engine;
+pub mod plan;
+pub mod scenario;
+pub mod shadow;
+
+pub use engine::{run_plan, FaultOutcome, FaultRecord, HarnessConfig, PlanReport, Tally};
+pub use plan::{FaultKind, FaultPlan, ScheduledFault};
+pub use scenario::{crash_at_depth, system_crash_roundtrip, system_volatile_crash, CrashVerdict};
+pub use shadow::ShadowModel;

@@ -1,0 +1,164 @@
+//! Seeded fault plans.
+
+use ss_common::{DetRng, BLOCKS_PER_PAGE, LINE_SIZE};
+use ss_core::{ControllerConfig, EncryptionMode};
+
+/// One kind of injected fault. Only kinds applicable to the controller
+/// configuration are ever scheduled (e.g. counter tampering is pointless
+/// without counters, and is *undetectable by design* without the Merkle
+/// tree — see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sudden power loss: `power_loss()` → `recover()` → resume or
+    /// degrade, then full shadow verification.
+    PowerLoss,
+    /// A counter-cache frame loses its contents. Modeled as an
+    /// ECC-scrubbed drop: the line is written back first if dirty, then
+    /// invalidated, so the next access re-fetches (and Merkle-verifies)
+    /// the NVM copy.
+    CounterCacheLineDrop,
+    /// A single stored bit of a *data* line flips in the NVM array.
+    DataBitFlip,
+    /// A single stored bit of a *counter* line flips in the NVM array.
+    /// Scheduled only when integrity is on; must be detected.
+    CounterBitFlip,
+    /// An attacker writes back a previously captured counter line
+    /// (replay). Scheduled only when integrity is on; must be detected.
+    CounterReplay,
+    /// A user-mode writer hits the kernel-only shred MMIO register;
+    /// must raise a privilege violation and shred nothing.
+    ShredDenied,
+    /// A kernel shred command is lost in flight (never reaches the
+    /// controller); architectural state must simply be unchanged.
+    ShredDropped,
+}
+
+impl FaultKind {
+    /// Short stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::PowerLoss => "power-loss",
+            FaultKind::CounterCacheLineDrop => "ctr-cache-drop",
+            FaultKind::DataBitFlip => "data-bit-flip",
+            FaultKind::CounterBitFlip => "ctr-bit-flip",
+            FaultKind::CounterReplay => "ctr-replay",
+            FaultKind::ShredDenied => "shred-denied",
+            FaultKind::ShredDropped => "shred-dropped",
+        }
+    }
+}
+
+/// A fault scheduled by event index: it fires once the controller's
+/// cumulative NVM write count reaches `after_writes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Fires when `MemoryController::nvm_writes() >= after_writes`.
+    pub after_writes: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Target page (1-based, within the harness working set).
+    pub page: u64,
+    /// Target block within the page.
+    pub block: usize,
+    /// Target bit within the 64-byte line (for bit-flip faults).
+    pub bit: usize,
+}
+
+/// A deterministic, seeded schedule of faults. Same seed + same
+/// configuration ⇒ byte-identical plan, workload, and report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The generating seed (kept for reporting/replay).
+    pub seed: u64,
+    /// Faults in firing order (non-decreasing `after_writes`).
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// Generates a plan of 3–6 faults applicable to `cfg`, targeting the
+    /// working set `1..=pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0`.
+    pub fn generate(seed: u64, cfg: &ControllerConfig, pages: u64) -> Self {
+        assert!(pages > 0, "working set must be non-empty");
+        // Domain-separate plan generation from the workload stream so
+        // adding a fault kind never perturbs the op sequence.
+        let mut rng = DetRng::new(seed ^ 0xFA01_7C0D_E5EE_D000);
+        let mut candidates = vec![
+            FaultKind::PowerLoss,
+            FaultKind::DataBitFlip,
+            FaultKind::ShredDenied,
+        ];
+        if cfg.encryption == EncryptionMode::Ctr {
+            candidates.push(FaultKind::CounterCacheLineDrop);
+            if cfg.integrity {
+                candidates.push(FaultKind::CounterBitFlip);
+                candidates.push(FaultKind::CounterReplay);
+            }
+        }
+        if cfg.shredder {
+            candidates.push(FaultKind::ShredDropped);
+        }
+        let count = 3 + rng.below(4);
+        let mut after = 0u64;
+        let mut faults = Vec::new();
+        for _ in 0..count {
+            after += 5 + rng.below(40);
+            faults.push(ScheduledFault {
+                after_writes: after,
+                kind: candidates[rng.below(candidates.len() as u64) as usize],
+                page: 1 + rng.below(pages),
+                block: rng.below(BLOCKS_PER_PAGE as u64) as usize,
+                bit: rng.below((LINE_SIZE * 8) as u64) as usize,
+            });
+        }
+        FaultPlan { seed, faults }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = ControllerConfig::small_test();
+        assert_eq!(
+            FaultPlan::generate(7, &cfg, 8),
+            FaultPlan::generate(7, &cfg, 8)
+        );
+    }
+
+    #[test]
+    fn plans_respect_config_applicability() {
+        let mut cfg = ControllerConfig::plain();
+        cfg.integrity = false;
+        for seed in 0..64 {
+            let plan = FaultPlan::generate(seed, &cfg, 8);
+            for f in &plan.faults {
+                assert!(
+                    matches!(
+                        f.kind,
+                        FaultKind::PowerLoss | FaultKind::DataBitFlip | FaultKind::ShredDenied
+                    ),
+                    "inapplicable fault {:?} scheduled for a plain config",
+                    f.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fire_points_are_ordered() {
+        let cfg = ControllerConfig::small_test();
+        for seed in 0..32 {
+            let plan = FaultPlan::generate(seed, &cfg, 8);
+            assert!(!plan.faults.is_empty());
+            for w in plan.faults.windows(2) {
+                assert!(w[0].after_writes <= w[1].after_writes);
+            }
+        }
+    }
+}

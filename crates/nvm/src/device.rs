@@ -237,6 +237,20 @@ impl NvmDevice {
         self.lines.insert(addr.raw(), data);
     }
 
+    /// Flips a single stored bit in place — models a transient NVM cell
+    /// disturb fault (fault-injection surface for the harness). A line
+    /// that was never written reads as zero, so the flip lands on an
+    /// otherwise-zero line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= LINE_SIZE * 8`.
+    pub fn flip_bit(&mut self, addr: BlockAddr, bit: usize) {
+        assert!(bit < LINE_SIZE * 8, "bit index out of line");
+        let line = self.lines.entry(addr.raw()).or_insert([0u8; LINE_SIZE]);
+        line[bit / 8] ^= 1 << (bit % 8);
+    }
+
     /// Device statistics so far.
     pub fn stats(&self) -> &NvmStats {
         &self.stats

@@ -227,6 +227,18 @@ impl System {
         self.hw.controller.power_loss()
     }
 
+    /// Post-restart recovery check: `Ok` when the encryption counters
+    /// survived the crash, [`Error::CounterLoss`] when a volatile
+    /// write-back counter cache dropped dirty counters (§7.1). The
+    /// fault-injection harness calls this after every [`Self::crash`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CounterLoss`] as described above.
+    pub fn recover(&self) -> Result<()> {
+        self.hw.controller.recover()
+    }
+
     /// Resets all statistics (caches, controller, kernel) without
     /// touching state — used to exclude warm-up from measurements.
     pub fn reset_stats(&mut self) {

@@ -1,0 +1,157 @@
+//! Drivers shared between the property suite (`tests/properties.rs`,
+//! which feeds them seeded random op sequences) and the regression
+//! suite (`tests/regression.rs`, which replays the shrunk proptest
+//! counterexamples the old suite had pinned).
+
+use std::collections::{HashMap, HashSet};
+
+use silent_shredder::common::{BlockAddr, Cycles};
+use silent_shredder::prelude::*;
+
+/// Two-core cache-hierarchy coherence: ops are `(op, core, lineno,
+/// value)` with `op` 0 = write-line, 1 = read-and-check. Panics on any
+/// stale read.
+pub fn run_hierarchy_coherence(ops: &[(u8, usize, u64, u8)]) {
+    use silent_shredder::cache::{AccessKind, Hierarchy, HierarchyConfig};
+    let mut h = Hierarchy::new(&HierarchyConfig {
+        cores: 2,
+        l1_size: 4 * 64 * 2,
+        l2_size: 8 * 64 * 2,
+        l3_size: 16 * 64 * 2,
+        l4_size: 32 * 64 * 2,
+        ways: 2,
+        latencies: [2, 8, 25, 35],
+        snoop_penalty: 30,
+    })
+    .unwrap();
+    // A simple memory backing store.
+    let mut memory: HashMap<u64, [u8; 64]> = HashMap::new();
+    let mut shadow: HashMap<u64, u8> = HashMap::new();
+    for &(op, core, lineno, value) in ops {
+        let addr = BlockAddr::new(lineno * 64);
+        if op == 0 {
+            let r = h.access(core, AccessKind::WriteLineNoFetch, addr, Some([value; 64]));
+            for (a, d) in r.writebacks {
+                memory.insert(a.raw(), d);
+            }
+            shadow.insert(addr.raw(), value);
+        } else {
+            let r = h.access(core, AccessKind::Read, addr, None);
+            let data = match r.data {
+                Some(d) => d,
+                None => {
+                    let d = memory.get(&addr.raw()).copied().unwrap_or([0; 64]);
+                    for (a, wb) in h.fill(core, addr, d, false) {
+                        memory.insert(a.raw(), wb);
+                    }
+                    d
+                }
+            };
+            for (a, d) in r.writebacks {
+                memory.insert(a.raw(), d);
+            }
+            let expected = shadow.get(&addr.raw()).copied().unwrap_or(0);
+            assert_eq!(data, [expected; 64], "core {core} read stale data");
+        }
+    }
+}
+
+/// Kernel frame accounting under `(op, slot, arg)` sequences (0 =
+/// create process, 1 = alloc `arg + 1` pages, 2 = touch a page of the
+/// newest heap, 3 = free the newest heap, other = exit). Panics if a
+/// frame is ever lost, double-allocated, or double-mapped.
+pub fn run_kernel_frame_conservation(ops: &[(u8, usize, u64)]) {
+    use silent_shredder::common::PAGE_SIZE;
+    use silent_shredder::os::machine::MockMachine;
+    use silent_shredder::os::page_table::Translation;
+
+    let total_frames = 64u64;
+    let mut kernel = Kernel::new(
+        KernelConfig::default(),
+        (0..total_frames)
+            .map(silent_shredder::common::PageId::new)
+            .collect(),
+    );
+    let mut machine = MockMachine::new(total_frames);
+    let mut procs: Vec<Option<silent_shredder::os::ProcId>> = vec![None; 4];
+    let mut heaps: Vec<Vec<(silent_shredder::common::VirtAddr, u64)>> = vec![Vec::new(); 4];
+
+    for &(op, slot, arg) in ops {
+        match op {
+            0 => {
+                if procs[slot].is_none() {
+                    procs[slot] = Some(kernel.create_process());
+                }
+            }
+            1 => {
+                if let Some(pid) = procs[slot] {
+                    if let Ok(va) = kernel.sys_alloc(pid, (arg + 1) * PAGE_SIZE as u64) {
+                        heaps[slot].push((va, arg + 1));
+                    }
+                }
+            }
+            2 => {
+                if let Some(pid) = procs[slot] {
+                    if let Some(&(va, pages)) = heaps[slot].last() {
+                        let target = va.add((arg % pages) * PAGE_SIZE as u64);
+                        // A store fault may legitimately run out of
+                        // memory; anything else must map the page.
+                        match kernel.handle_fault(&mut machine, 0, pid, target, true, Cycles::ZERO)
+                        {
+                            Ok(_)
+                            | Err(silent_shredder::common::Error::OutOfMemory)
+                            | Err(silent_shredder::common::Error::UnmappedVirtual { .. }) => {}
+                            Err(e) => panic!("unexpected fault error: {e}"),
+                        }
+                    }
+                }
+            }
+            3 => {
+                if let Some(pid) = procs[slot] {
+                    if let Some((va, pages)) = heaps[slot].pop() {
+                        kernel
+                            .sys_free(
+                                &mut machine,
+                                0,
+                                pid,
+                                va,
+                                pages * PAGE_SIZE as u64,
+                                Cycles::ZERO,
+                            )
+                            .expect("free failed");
+                    }
+                }
+            }
+            _ => {
+                if let Some(pid) = procs[slot].take() {
+                    heaps[slot].clear();
+                    kernel
+                        .exit_process(&mut machine, 0, pid, Cycles::ZERO)
+                        .expect("exit");
+                }
+            }
+        }
+
+        // Invariants after every step.
+        let mut mapped = HashSet::new();
+        let mut mapped_count = 0u64;
+        for (i, pid) in procs.iter().enumerate() {
+            let Some(pid) = *pid else { continue };
+            for &(heap, pages) in &heaps[i] {
+                for k in 0..pages {
+                    let va = heap.add(k * PAGE_SIZE as u64);
+                    if let Ok(Translation::Ok(pa)) = kernel.translate(pid, va, true) {
+                        mapped_count += 1;
+                        assert!(mapped.insert(pa.page()), "frame {} mapped twice", pa.page());
+                    }
+                }
+            }
+        }
+        // Conservation: free + privately mapped + zero page <= total.
+        let accounted = kernel.free_frames() as u64 + mapped_count + 1;
+        assert!(
+            accounted <= total_frames,
+            "frames over-accounted: {accounted} > {total_frames}"
+        );
+    }
+}

@@ -138,3 +138,62 @@ fn pfree_prevents_data_resurrection() {
         .iter()
         .all(|(_, line)| *line != RECORD));
 }
+
+// ---------------------------------------------------------------------
+// Harness-driven crash matrix (ss-harness): every counter-persistence
+// mode crossed with a power cut at every write-queue depth. The legal
+// outcomes are clean recovery or — for volatile counters only — a loud
+// CounterLoss; wrong data is never acceptable.
+// ---------------------------------------------------------------------
+
+use ss_harness::{crash_at_depth, system_crash_roundtrip, system_volatile_crash, CrashVerdict};
+
+#[test]
+fn crash_matrix_persistence_by_queue_depth() {
+    for persistence in [
+        CounterPersistence::BatteryBackedWriteBack,
+        CounterPersistence::WriteThrough,
+        CounterPersistence::VolatileWriteBack,
+    ] {
+        for depth in 0..=8 {
+            let verdict = crash_at_depth(persistence, depth);
+            match (persistence, depth) {
+                // Persistent counters: ADR drains the queue, the battery
+                // (or write-through) preserves the counters — recovery
+                // must be clean at every depth.
+                (
+                    CounterPersistence::BatteryBackedWriteBack | CounterPersistence::WriteThrough,
+                    _,
+                ) => assert_eq!(
+                    verdict,
+                    CrashVerdict::Recovered,
+                    "{persistence:?} at queue depth {depth}"
+                ),
+                // Volatile counters with nothing written: nothing dirty,
+                // nothing lost.
+                (CounterPersistence::VolatileWriteBack, 0) => assert_eq!(
+                    verdict,
+                    CrashVerdict::Recovered,
+                    "volatile counters with an empty queue"
+                ),
+                // Volatile counters with any queued writes: the §7.1
+                // failure mode — must be reported, never papered over.
+                (CounterPersistence::VolatileWriteBack, _) => assert_eq!(
+                    verdict,
+                    CrashVerdict::CounterLoss,
+                    "volatile counters at queue depth {depth}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn whole_system_crash_roundtrip_recovers() {
+    assert_eq!(system_crash_roundtrip(), CrashVerdict::Recovered);
+}
+
+#[test]
+fn whole_system_volatile_crash_is_detected() {
+    assert_eq!(system_volatile_crash(), CrashVerdict::CounterLoss);
+}

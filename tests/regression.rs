@@ -90,3 +90,33 @@ fn load_sweep_benefit_does_not_collapse() {
         );
     }
 }
+
+mod common;
+
+/// Triaged from `tests/properties.proptest-regressions` (seed
+/// `fd373913…`, shrunk by proptest against `hierarchy_coherence`): core
+/// 0 fills a two-way L1 set (lines 24, 8, 4 alias once 24 is evicted),
+/// rewrites line 24, and core 1 must then snoop the *rewritten* value
+/// out of core 0's private cache rather than read a stale copy from a
+/// shared level or memory.
+#[test]
+fn regression_cross_core_read_after_rewrite_sees_newest_value() {
+    common::run_hierarchy_coherence(&[
+        (0, 0, 24, 0),
+        (0, 0, 8, 0),
+        (0, 0, 4, 0),
+        (0, 0, 24, 1),
+        (1, 1, 24, 0),
+    ]);
+}
+
+/// Triaged from `tests/properties.proptest-regressions` (seed
+/// `d65d8538…`, shrunk by proptest against `kernel_frame_conservation`):
+/// one process allocates a 1-page heap and then a 4-page heap, and the
+/// first store fault on the newer heap must map a frame without
+/// double-mapping or losing any — the shrunk sequence caught frame
+/// accounting going wrong on the second, larger allocation.
+#[test]
+fn regression_second_alloc_touch_conserves_frames() {
+    common::run_kernel_frame_conservation(&[(0, 1, 0), (1, 1, 0), (1, 1, 3), (2, 1, 0)]);
+}
