@@ -1,7 +1,7 @@
 //! Deterministic fault-injection sweep over the harness config matrix.
 //!
 //! ```text
-//! faultsweep [--seeds N] [--seed S] [--config LABEL] [--list]
+//! faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] [--list]
 //! ```
 //!
 //! The default campaign runs seeds `0..N` (N = 32) against every
@@ -13,16 +13,24 @@
 //!
 //! `--seed S` replays a single seed with full per-fault detail: the
 //! line printed for a failing campaign seed can be rerun alone.
+//!
+//! `--json FILE` additionally writes the results to `FILE` as JSON
+//! (campaign: per-config tallies; replay: per-fault records). The JSON
+//! is hand-rolled with a fixed key order, so it is exactly as
+//! deterministic as the text report, which stays byte-identical whether
+//! or not `--json` is given.
 
 use std::env;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use ss_harness::{run_plan, HarnessConfig, Tally};
+use ss_harness::{run_plan, HarnessConfig, PlanReport, Tally};
 
 struct Options {
     seeds: u64,
     replay: Option<u64>,
     config: Option<String>,
+    json: Option<String>,
     list: bool,
 }
 
@@ -31,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
         seeds: 32,
         replay: None,
         config: None,
+        json: None,
         list: false,
     };
     let mut args = env::args().skip(1);
@@ -54,10 +63,13 @@ fn parse_args() -> Result<Options, String> {
             "--config" => {
                 opts.config = Some(args.next().ok_or("--config needs a label")?);
             }
+            "--json" => {
+                opts.json = Some(args.next().ok_or("--json needs a file path")?);
+            }
             "--list" => opts.list = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: faultsweep [--seeds N] [--seed S] [--config LABEL] [--list]"
+                    "usage: faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] [--list]"
                         .to_string(),
                 );
             }
@@ -68,6 +80,131 @@ fn parse_args() -> Result<Options, String> {
         return Err("--seeds must be at least 1".to_string());
     }
     Ok(opts)
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A tally as a JSON object (fixed key order).
+fn tally_json(t: &Tally) -> String {
+    format!(
+        "{{\"recovered\":{},\"detected\":{},\"benign\":{},\"skipped\":{},\"corrupted\":{}}}",
+        t.recovered, t.detected, t.benign, t.skipped, t.corrupted
+    )
+}
+
+/// Campaign results as a JSON document.
+fn campaign_json(
+    seeds: u64,
+    per_config: &[(String, Tally)],
+    grand: &Tally,
+    failures: &[(String, u64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"seeds\": {seeds},");
+    out.push_str("  \"configs\": [\n");
+    for (i, (label, tally)) in per_config.iter().enumerate() {
+        let comma = if i + 1 < per_config.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"label\":\"{}\",\"tally\":{}}}{comma}",
+            json_escape(label),
+            tally_json(tally)
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"total\": {},", tally_json(grand));
+    let _ = writeln!(out, "  \"faults_injected\": {},", grand.total());
+    out.push_str("  \"failures\": [");
+    for (i, (label, seed)) in failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"config\":\"{}\",\"seed\":{seed}}}",
+            json_escape(label)
+        );
+    }
+    out.push_str("],\n");
+    let _ = writeln!(
+        out,
+        "  \"clean\": {}",
+        grand.corrupted == 0 && failures.is_empty()
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Replay results (full per-fault records) as a JSON document.
+fn replay_json(seed: u64, reports: &[PlanReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    out.push_str("  \"configs\": [\n");
+    for (i, report) in reports.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"label\":\"{}\",\"ops\":{},\"clean\":{},",
+            json_escape(&report.label),
+            report.ops,
+            report.clean()
+        );
+        out.push_str("     \"records\": [\n");
+        for (j, r) in report.records.iter().enumerate() {
+            let comma = if j + 1 < report.records.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "       {{\"kind\":\"{}\",\"page\":{},\"block\":{},\"bit\":{},\
+                 \"after_writes\":{},\"fired_at\":{},\"outcome\":\"{}\",\"detail\":\"{}\"}}{comma}",
+                r.fault.kind.label(),
+                r.fault.page,
+                r.fault.block,
+                r.fault.bit,
+                r.fault.after_writes,
+                r.fired_at,
+                r.outcome.label(),
+                json_escape(&r.detail)
+            );
+        }
+        out.push_str("     ],\n");
+        let final_failure = match &report.final_failure {
+            Some(e) => format!("\"{}\"", json_escape(e)),
+            None => "null".to_string(),
+        };
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(out, "     \"final_failure\": {final_failure}}}{comma}");
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"clean\": {}", reports.iter().all(|r| r.clean()));
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `json` to `path`, mapping failure to a process exit.
+fn write_json(path: &str, json: &str) -> Result<(), String> {
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -99,10 +236,18 @@ fn main() -> ExitCode {
     // Replay mode: one seed, full per-fault detail.
     if let Some(seed) = opts.replay {
         let mut clean = true;
+        let mut reports = Vec::with_capacity(matrix.len());
         for cfg in &matrix {
             let report = run_plan(cfg, seed);
             clean &= report.clean();
             print!("{report}");
+            reports.push(report);
+        }
+        if let Some(path) = &opts.json {
+            if let Err(e) = write_json(path, &replay_json(seed, &reports)) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
         return if clean {
             ExitCode::SUCCESS
@@ -119,6 +264,7 @@ fn main() -> ExitCode {
     );
     let mut grand = Tally::default();
     let mut failures: Vec<(String, u64)> = Vec::new();
+    let mut per_config: Vec<(String, Tally)> = Vec::new();
     for cfg in &matrix {
         let mut tally = Tally::default();
         for seed in 0..opts.seeds {
@@ -129,10 +275,18 @@ fn main() -> ExitCode {
             }
         }
         println!("  {:<18} {}", cfg.label, tally);
+        per_config.push((cfg.label.clone(), tally));
         grand.merge(tally);
     }
     println!("  {:<18} {}", "total", grand);
     println!("faults injected: {}", grand.total());
+    if let Some(path) = &opts.json {
+        let json = campaign_json(opts.seeds, &per_config, &grand, &failures);
+        if let Err(e) = write_json(path, &json) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if grand.corrupted == 0 && failures.is_empty() {
         println!("result: CLEAN (zero undetected corruptions)");
         ExitCode::SUCCESS

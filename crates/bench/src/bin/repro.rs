@@ -349,6 +349,19 @@ fn main() -> ExitCode {
                 rows[0].nvm_writes as f64 / rows[1].nvm_writes as f64
             );
         }
+
+        hr("Ablation: self-healing path (ECC, retry, remap, scrub, quarantine)");
+        let rows = experiments::ablation_self_healing().expect("ablation failed");
+        println!(
+            "{:<28} {:>10} {:>10} {:>8} {:>12} {:>12}",
+            "config", "corrected", "retried ok", "remaps", "quarantined", "scrub heals"
+        );
+        for r in &rows {
+            println!(
+                "{:<28} {:>10} {:>10} {:>8} {:>12} {:>12}",
+                r.config, r.corrected, r.retried_ok, r.remaps, r.quarantined, r.scrub_heals
+            );
+        }
     }
 
     println!("\ndone.");

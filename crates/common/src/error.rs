@@ -56,6 +56,23 @@ pub enum Error {
         /// The raw handle.
         id: u64,
     },
+    /// A line read saw more bit errors than the ECC code can correct
+    /// (but no more than it can detect): the data is known-bad and must
+    /// not be served. Retry (transient) or remap (permanent) may recover.
+    UncorrectableEcc {
+        /// Device address of the failing line.
+        addr: PhysAddr,
+        /// Number of raw bit flips observed (may undercount past the
+        /// detection bound).
+        flips: u32,
+    },
+    /// The line is quarantined: it failed ECC persistently and could not
+    /// be remapped to a spare (pool exhausted or rescue failed). Reads
+    /// and writes degrade to this loud error instead of serving garbage.
+    Quarantined {
+        /// Device address of the quarantined line.
+        addr: PhysAddr,
+    },
 }
 
 impl fmt::Display for Error {
@@ -76,6 +93,15 @@ impl fmt::Display for Error {
             Error::CounterLoss => write!(f, "encryption counters lost; data unrecoverable"),
             Error::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
             Error::NoSuchProcess { id } => write!(f, "no such process or vm: {id}"),
+            Error::UncorrectableEcc { addr, flips } => {
+                write!(f, "uncorrectable ECC error at {addr} ({flips} bit flips)")
+            }
+            Error::Quarantined { addr } => {
+                write!(
+                    f,
+                    "line at {addr} is quarantined (unrecoverable media failure)"
+                )
+            }
         }
     }
 }
@@ -111,6 +137,13 @@ mod tests {
                 detail: "zero ways".into(),
             },
             Error::NoSuchProcess { id: 9 },
+            Error::UncorrectableEcc {
+                addr: PhysAddr::new(0x40),
+                flips: 2,
+            },
+            Error::Quarantined {
+                addr: PhysAddr::new(0x80),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

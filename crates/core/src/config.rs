@@ -1,7 +1,9 @@
 //! Memory-controller configuration.
 
 use ss_common::{Cycles, Error, Result, PAGE_SIZE};
-use ss_nvm::NvmTiming;
+use ss_nvm::{EccConfig, NvmTiming};
+
+use crate::heal::RetryPolicy;
 
 /// How lines are encrypted on their way to NVM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +89,28 @@ pub struct ControllerConfig {
     pub wear_leveling: bool,
     /// Writes between gap movements when wear levelling is on.
     pub start_gap_interval: u64,
+    /// Per-line write-endurance limit forwarded to the NVM device
+    /// (accept-write / fail-read: worn lines keep taking writes but grow
+    /// weak cells that surface on reads). `None` models pristine media.
+    pub endurance_limit: Option<u64>,
+    /// ECC strength of the backing NVM (default SECDED).
+    pub nvm_ecc: EccConfig,
+    /// Transient (soft) read-error probability per bit, forwarded to the
+    /// NVM device. 0.0 disables background transients.
+    pub transient_read_ber: f64,
+    /// Seed of the device's deterministic fault stream (weak-cell
+    /// positions and transient arrivals).
+    pub nvm_fault_seed: u64,
+    /// Spare lines reserved after the counter region for bad-line
+    /// remapping. 0 disables remapping: degrading lines go straight to
+    /// quarantine.
+    pub spare_lines: u64,
+    /// Read-retry policy for transient uncorrectable ECC errors.
+    pub retry: RetryPolicy,
+    /// Background read scrubber: visit one data line every this many
+    /// demand writes, when the write path is idle. `None` disables
+    /// scrubbing.
+    pub scrub_interval: Option<u64>,
     /// AES-128 processor key.
     pub key: [u8; 16],
 }
@@ -114,6 +138,13 @@ impl Default for ControllerConfig {
             write_queue: None,
             wear_leveling: false,
             start_gap_interval: 64,
+            endurance_limit: None,
+            nvm_ecc: EccConfig::secded(),
+            transient_read_ber: 0.0,
+            nvm_fault_seed: 0,
+            spare_lines: 32,
+            retry: RetryPolicy::default(),
+            scrub_interval: None,
             key: *b"silent-shredder!",
         }
     }
@@ -195,6 +226,29 @@ impl ControllerConfig {
                 detail: "start-gap interval must be positive".into(),
             });
         }
+        if !self.nvm_ecc.is_valid() {
+            return Err(Error::InvalidConfig {
+                detail: "ecc correct bound must not exceed detect bound".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.transient_read_ber) {
+            return Err(Error::InvalidConfig {
+                detail: format!(
+                    "transient read BER {} not in [0, 1]",
+                    self.transient_read_ber
+                ),
+            });
+        }
+        if self.endurance_limit == Some(0) {
+            return Err(Error::InvalidConfig {
+                detail: "endurance limit must be positive when set".into(),
+            });
+        }
+        if self.scrub_interval == Some(0) {
+            return Err(Error::InvalidConfig {
+                detail: "scrub interval must be positive when set".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -245,5 +299,37 @@ mod tests {
     #[test]
     fn frames_computed() {
         assert_eq!(ControllerConfig::small_test().frames(), 256);
+    }
+
+    #[test]
+    fn healing_fields_validated() {
+        let bad_ecc = ControllerConfig {
+            nvm_ecc: EccConfig::strength(4, 2),
+            ..ControllerConfig::small_test()
+        };
+        assert!(bad_ecc.validate().is_err());
+        let bad_ber = ControllerConfig {
+            transient_read_ber: 1.5,
+            ..ControllerConfig::small_test()
+        };
+        assert!(bad_ber.validate().is_err());
+        let zero_limit = ControllerConfig {
+            endurance_limit: Some(0),
+            ..ControllerConfig::small_test()
+        };
+        assert!(zero_limit.validate().is_err());
+        let zero_scrub = ControllerConfig {
+            scrub_interval: Some(0),
+            ..ControllerConfig::small_test()
+        };
+        assert!(zero_scrub.validate().is_err());
+        let good = ControllerConfig {
+            endurance_limit: Some(256),
+            transient_read_ber: 1e-4,
+            spare_lines: 64,
+            scrub_interval: Some(32),
+            ..ControllerConfig::small_test()
+        };
+        assert!(good.validate().is_ok());
     }
 }

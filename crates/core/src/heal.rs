@@ -1,0 +1,222 @@
+//! Self-healing policy state: read-retry, spare-pool remapping, and
+//! quarantine for the NVM data region.
+//!
+//! The paper motivates Silent Shredder with NVM's limited write
+//! endurance (§1, §6.3); this module gives the controller the recovery
+//! machinery a production part would pair with it. Three layers, in
+//! escalation order:
+//!
+//! 1. **Retry** ([`RetryPolicy`]): a transient (soft) read error is
+//!    re-read up to `max_retries` times with bounded, deterministic
+//!    exponential backoff. Soft errors do not repeat, so retries almost
+//!    always clear them.
+//! 2. **Remap** ([`SparePool`]): a line whose *permanent* weak cells are
+//!    still within the ECC correction bound is rescued — decrypted,
+//!    re-encrypted under a fresh IV (minor-counter bump), and moved to a
+//!    spare line, with the counter + Merkle update committing the move.
+//! 3. **Quarantine**: a line that is uncorrectable or cannot get a spare
+//!    degrades loudly — every access returns
+//!    [`ss_common::Error::Quarantined`] instead of silent garbage. A
+//!    later full-line write may revive it if a spare has become
+//!    moot/available.
+//!
+//! The spare pool and quarantine list model the controller's persistent
+//! metadata: they survive [`power_loss`](crate::MemoryController::power_loss)
+//! like the remap tables in real NVDIMM firmware do.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ss_common::{BlockAddr, Counter, Cycles, LINE_SIZE};
+
+/// Bounded deterministic retry policy for transient read errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-reads after a failed read (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Cycles,
+}
+
+impl RetryPolicy {
+    /// Backoff charged before retry `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, saturating.
+    pub fn backoff(&self, attempt: u32) -> Cycles {
+        let shift = attempt.saturating_sub(1).min(16);
+        Cycles::new(self.backoff_base.raw().saturating_mul(1 << shift))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: Cycles::new(16),
+        }
+    }
+}
+
+/// Healing activity counters, exposed through
+/// [`ControllerStats`](crate::ControllerStats).
+#[derive(Debug, Clone, Default)]
+pub struct HealthStats {
+    /// Reads the device ECC corrected on the controller's behalf.
+    pub ecc_corrected: Counter,
+    /// Read retries issued after an uncorrectable transient error.
+    pub retries: Counter,
+    /// Reads that succeeded only after at least one retry.
+    pub retried_ok: Counter,
+    /// Total deterministic backoff charged across retries, in cycles.
+    pub backoff_cycles: u64,
+    /// Lines remapped into the spare pool (including write-path revives).
+    pub remaps: Counter,
+    /// Remap attempts that failed (spare pool exhausted or the rescue
+    /// read was already uncorrectable).
+    pub remap_failures: Counter,
+    /// Quarantine events (lines retired without a successful remap).
+    pub quarantined: Counter,
+    /// Lines read by the background scrubber.
+    pub scrub_reads: Counter,
+    /// Scrub passes that found and healed (or retired) a degrading line.
+    pub scrub_heals: Counter,
+}
+
+/// The bad-line remap table: a pool of spare lines appended after the
+/// counter region, a map from failed device slots to their spare, and
+/// the quarantine list for lines that could not be saved.
+#[derive(Debug, Clone)]
+pub struct SparePool {
+    /// Device byte address of the first spare line.
+    base: u64,
+    /// Number of spare lines in the pool.
+    total: u64,
+    /// Bump allocator over the pool (spares are never reused: a spare
+    /// that itself wears out is replaced by the next free slot).
+    next_free: u64,
+    /// Failed device line → spare device line.
+    map: HashMap<u64, u64>,
+    /// Device lines that failed remap; every access errors loudly.
+    quarantined: BTreeSet<u64>,
+}
+
+impl SparePool {
+    /// An empty pool of `lines` spares starting at device address `base`.
+    pub fn new(base: u64, lines: u64) -> Self {
+        SparePool {
+            base,
+            total: lines,
+            next_free: 0,
+            map: HashMap::new(),
+            quarantined: BTreeSet::new(),
+        }
+    }
+
+    /// Where accesses to `dev` actually land (identity when not
+    /// remapped).
+    pub fn redirect(&self, dev: BlockAddr) -> BlockAddr {
+        match self.map.get(&dev.raw()) {
+            Some(spare) => BlockAddr::new(*spare),
+            None => dev,
+        }
+    }
+
+    /// Whether `dev` has been remapped to a spare.
+    pub fn is_remapped(&self, dev: BlockAddr) -> bool {
+        self.map.contains_key(&dev.raw())
+    }
+
+    /// Assigns the next free spare to `dev` (replacing any previous
+    /// assignment, so a worn-out spare can itself be retired). Returns
+    /// the spare's device address, or `None` when the pool is exhausted.
+    pub fn allocate(&mut self, dev: BlockAddr) -> Option<BlockAddr> {
+        if self.next_free >= self.total {
+            return None;
+        }
+        let spare = self.base + self.next_free * LINE_SIZE as u64;
+        self.next_free += 1;
+        self.map.insert(dev.raw(), spare);
+        Some(BlockAddr::new(spare))
+    }
+
+    /// Puts `dev` on the quarantine list.
+    pub fn quarantine(&mut self, dev: BlockAddr) {
+        self.quarantined.insert(dev.raw());
+    }
+
+    /// Removes `dev` from the quarantine list (a full-line write revived
+    /// it through a fresh spare).
+    pub fn unquarantine(&mut self, dev: BlockAddr) {
+        self.quarantined.remove(&dev.raw());
+    }
+
+    /// Whether `dev` is quarantined.
+    pub fn is_quarantined(&self, dev: BlockAddr) -> bool {
+        self.quarantined.contains(&dev.raw())
+    }
+
+    /// Number of lines currently remapped to spares.
+    pub fn remapped_count(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// Number of lines currently quarantined.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// Spare lines still unallocated.
+    pub fn free(&self) -> u64 {
+        self.total - self.next_free
+    }
+
+    /// Device byte address of the first spare line.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Cycles::new(16));
+        assert_eq!(p.backoff(2), Cycles::new(32));
+        assert_eq!(p.backoff(3), Cycles::new(64));
+        // Deterministic: same attempt, same backoff.
+        assert_eq!(p.backoff(3), p.backoff(3));
+    }
+
+    #[test]
+    fn pool_allocates_redirects_and_exhausts() {
+        let mut pool = SparePool::new(0x1000, 2);
+        let a = BlockAddr::new(0);
+        let b = BlockAddr::new(64);
+        assert_eq!(pool.redirect(a), a, "identity before remap");
+        let s0 = pool.allocate(a).unwrap();
+        assert_eq!(s0.raw(), 0x1000);
+        assert_eq!(pool.redirect(a), s0);
+        assert!(pool.is_remapped(a));
+        assert_eq!(pool.free(), 1);
+        // Re-allocating the same line retires its old spare.
+        let s1 = pool.allocate(a).unwrap();
+        assert_eq!(s1.raw(), 0x1000 + 64);
+        assert_eq!(pool.redirect(a), s1);
+        assert_eq!(pool.free(), 0);
+        assert!(pool.allocate(b).is_none(), "pool should be exhausted");
+        assert_eq!(pool.remapped_count(), 1);
+    }
+
+    #[test]
+    fn quarantine_roundtrip() {
+        let mut pool = SparePool::new(0x1000, 1);
+        let a = BlockAddr::new(128);
+        assert!(!pool.is_quarantined(a));
+        pool.quarantine(a);
+        assert!(pool.is_quarantined(a));
+        assert_eq!(pool.quarantined_count(), 1);
+        pool.unquarantine(a);
+        assert!(!pool.is_quarantined(a));
+    }
+}

@@ -12,8 +12,8 @@ use std::fmt;
 
 use ss_common::{Cycles, DetRng, Error, PageId, BLOCKS_PER_PAGE, LINE_SIZE};
 use ss_core::{
-    ControllerConfig, CounterPersistence, EncryptionMode, MemoryController, WriteQueueConfig,
-    SHRED_REG,
+    ControllerConfig, CounterPersistence, EccConfig, EncryptionMode, MemoryController,
+    WriteQueueConfig, SHRED_REG,
 };
 
 use crate::plan::{FaultKind, FaultPlan, ScheduledFault};
@@ -107,6 +107,36 @@ impl HarnessConfig {
             "ctr-bat-mt-deuce",
             ControllerConfig {
                 deuce: true,
+                ..base()
+            },
+        ));
+        // Self-healing demonstrators. `ctr-bat-endu`: wear-out so
+        // aggressive (every third write to a line grows a weak cell)
+        // that organic failures, rescues, and scrubbing all trigger
+        // within one plan; chipkill-class ECC (3,5) keeps the union of
+        // accumulated weak cells and a 2-flip injected transient within
+        // the detection bound, so nothing can alias silently.
+        // `ctr-bat-ber`: a high soft-error rate exercising inline
+        // correction (1-bit) and retry/backoff (2-bit bursts) on
+        // ordinary reads; detect=4 covers the worst union of an
+        // injected 2-flip transient and an organic 2-bit burst.
+        out.push(HarnessConfig::new(
+            "ctr-bat-endu",
+            ControllerConfig {
+                endurance_limit: Some(2),
+                nvm_ecc: EccConfig::strength(3, 5),
+                spare_lines: 64,
+                scrub_interval: Some(48),
+                ..base()
+            },
+        ));
+        out.push(HarnessConfig::new(
+            "ctr-bat-ber",
+            ControllerConfig {
+                transient_read_ber: 2e-5,
+                nvm_ecc: EccConfig::strength(1, 4),
+                spare_lines: 64,
+                scrub_interval: Some(64),
                 ..base()
             },
         ));
@@ -695,6 +725,124 @@ fn inject(
                 Err(e) => (FaultOutcome::Corrupted, e, true),
             }
         }
+        FaultKind::TransientReadError => {
+            // Give the line architectural content first, else zero-fill
+            // serves the read without ever touching the array. Then arm
+            // a soft error of 1–2 flips and demand-read: the controller
+            // must serve the expected plaintext via inline correction or
+            // retry; any software-visible error or wrong data corrupts.
+            let prep = [(f.bit as u8) ^ 0x5A; LINE_SIZE];
+            if let Err(e) = mc.write_block(addr, &prep, false, Cycles::ZERO) {
+                return (
+                    FaultOutcome::Corrupted,
+                    format!("prep write failed: {e}"),
+                    true,
+                );
+            }
+            shadow.note_write(addr, prep);
+            let flips = 1 + (f.bit as u32 & 1);
+            mc.inject_data_read_error(addr, flips);
+            let corrected = mc.stats().health.ecc_corrected.get();
+            let retried = mc.stats().health.retried_ok.get();
+            let read = match mc.read_block(addr, Cycles::ZERO) {
+                Ok(r) => r,
+                Err(e) => {
+                    return (
+                        FaultOutcome::Corrupted,
+                        format!("transient read error surfaced to software: {e}"),
+                        true,
+                    );
+                }
+            };
+            if mc.clear_injected_read_error(addr) {
+                // Store-forwarding from the write queue satisfied the
+                // read without touching the array; the error is moot.
+                return (
+                    FaultOutcome::Benign,
+                    format!("{flips}-flip transient never consumed (store-forwarded); cleared"),
+                    false,
+                );
+            }
+            if let Some(want) = shadow.expected(addr, cfg.zero_fresh()) {
+                if read.data != want {
+                    return (
+                        FaultOutcome::Corrupted,
+                        "transient read error returned wrong plaintext".into(),
+                        true,
+                    );
+                }
+            }
+            let via = if mc.stats().health.retried_ok.get() > retried {
+                "retry with backoff"
+            } else if mc.stats().health.ecc_corrected.get() > corrected {
+                "inline ECC correction"
+            } else {
+                // The error fired but neither counter moved — it must
+                // have been absorbed somewhere unexpected.
+                return (
+                    FaultOutcome::Corrupted,
+                    "transient consumed without correction or retry".into(),
+                    true,
+                );
+            };
+            (
+                FaultOutcome::Recovered,
+                format!("{flips}-flip transient healed by {via}"),
+                false,
+            )
+        }
+        FaultKind::StuckLine => {
+            // Give the line architectural content, grow a permanent weak
+            // cell in it, then demand-read. If the read touches the
+            // array the controller must correct inline and rescue the
+            // line to a spare under a fresh IV; with a write queue
+            // forwarding the read, the wear-out stays latent and heals
+            // on a later array read or scrub pass.
+            let prep = [(f.bit as u8) ^ 0xA5; LINE_SIZE];
+            if let Err(e) = mc.write_block(addr, &prep, false, Cycles::ZERO) {
+                return (
+                    FaultOutcome::Corrupted,
+                    format!("prep write failed: {e}"),
+                    true,
+                );
+            }
+            shadow.note_write(addr, prep);
+            let remaps = mc.remapped_lines();
+            mc.force_line_failure(addr, 1);
+            let read = match mc.read_block(addr, Cycles::ZERO) {
+                Ok(r) => r,
+                Err(e) => {
+                    return (
+                        FaultOutcome::Corrupted,
+                        format!("stuck line surfaced to software: {e}"),
+                        true,
+                    );
+                }
+            };
+            if let Some(want) = shadow.expected(addr, cfg.zero_fresh()) {
+                if read.data != want {
+                    return (
+                        FaultOutcome::Corrupted,
+                        "stuck line returned wrong plaintext".into(),
+                        true,
+                    );
+                }
+            }
+            if mc.remapped_lines() > remaps {
+                shadow.note_remap(addr);
+                (
+                    FaultOutcome::Recovered,
+                    "weak line ECC-corrected and remapped to a spare".into(),
+                    false,
+                )
+            } else {
+                (
+                    FaultOutcome::Benign,
+                    "wear-out latent (store-forwarded read); heals on next array read".into(),
+                    false,
+                )
+            }
+        }
     }
 }
 
@@ -847,8 +995,38 @@ mod tests {
         assert!(matrix
             .iter()
             .any(|c| c.controller.encryption == EncryptionMode::None));
+        assert!(
+            matrix
+                .iter()
+                .any(|c| c.controller.endurance_limit.is_some()),
+            "sweep must cover organic wear-out"
+        );
+        assert!(
+            matrix.iter().any(|c| c.controller.transient_read_ber > 0.0),
+            "sweep must cover organic soft errors"
+        );
         for cfg in &matrix {
             cfg.controller.validate().expect("matrix config invalid");
         }
+    }
+
+    #[test]
+    fn healing_configs_run_clean_and_demonstrate_both_paths() {
+        let matrix = HarnessConfig::matrix();
+        let mut saw_retry = false;
+        let mut saw_remap = false;
+        for label in ["ctr-bat-endu", "ctr-bat-ber"] {
+            let cfg = matrix.iter().find(|c| c.label == label).unwrap();
+            for seed in 0..8 {
+                let report = run_plan(cfg, seed);
+                assert!(report.clean(), "{label} seed {seed} not clean:\n{report}");
+                for r in &report.records {
+                    saw_retry |= r.detail.contains("retry with backoff");
+                    saw_remap |= r.detail.contains("remapped to a spare");
+                }
+            }
+        }
+        assert!(saw_retry, "no fault was healed via the retry path");
+        assert!(saw_remap, "no fault was healed via the remap path");
     }
 }

@@ -31,6 +31,16 @@ pub enum FaultKind {
     /// A kernel shred command is lost in flight (never reaches the
     /// controller); architectural state must simply be unchanged.
     ShredDropped,
+    /// A transient (soft) read error of 1–2 raw bit flips on a data
+    /// line's next array read. Scheduled only when the device ECC can
+    /// handle 2 flips non-silently; must be healed by inline correction
+    /// or retry, never visible to software.
+    TransientReadError,
+    /// A line develops a permanent weak (stuck) cell. Scheduled only
+    /// when ECC can correct it and a spare pool exists; the controller
+    /// must rescue the line to a spare under a fresh IV on the next
+    /// array read.
+    StuckLine,
 }
 
 impl FaultKind {
@@ -44,6 +54,8 @@ impl FaultKind {
             FaultKind::CounterReplay => "ctr-replay",
             FaultKind::ShredDenied => "shred-denied",
             FaultKind::ShredDropped => "shred-dropped",
+            FaultKind::TransientReadError => "transient-read",
+            FaultKind::StuckLine => "stuck-line",
         }
     }
 }
@@ -101,6 +113,16 @@ impl FaultPlan {
         if cfg.shredder {
             candidates.push(FaultKind::ShredDropped);
         }
+        // Media-error kinds need the healing machinery to be classifiable
+        // as anything but corruption: a 2-flip transient must at least be
+        // *detected* (else it aliases silently), and a stuck cell needs
+        // correction headroom plus a spare to be rescued to.
+        if cfg.nvm_ecc.correct >= 1 && cfg.nvm_ecc.detect >= 2 {
+            candidates.push(FaultKind::TransientReadError);
+        }
+        if cfg.nvm_ecc.correct >= 1 && cfg.spare_lines > 0 {
+            candidates.push(FaultKind::StuckLine);
+        }
         let count = 3 + rng.below(4);
         let mut after = 0u64;
         let mut faults = Vec::new();
@@ -133,6 +155,8 @@ mod tests {
 
     #[test]
     fn plans_respect_config_applicability() {
+        // Plain config: no counters, no integrity, no shredder — but
+        // (with default ECC + spares) media-error kinds still apply.
         let mut cfg = ControllerConfig::plain();
         cfg.integrity = false;
         for seed in 0..64 {
@@ -141,9 +165,34 @@ mod tests {
                 assert!(
                     matches!(
                         f.kind,
-                        FaultKind::PowerLoss | FaultKind::DataBitFlip | FaultKind::ShredDenied
+                        FaultKind::PowerLoss
+                            | FaultKind::DataBitFlip
+                            | FaultKind::ShredDenied
+                            | FaultKind::TransientReadError
+                            | FaultKind::StuckLine
                     ),
                     "inapplicable fault {:?} scheduled for a plain config",
+                    f.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn media_error_kinds_require_healing_machinery() {
+        // No ECC and no spares: a transient would alias silently and a
+        // stuck cell could never be rescued — neither may be scheduled.
+        let cfg = ControllerConfig {
+            nvm_ecc: ss_core::EccConfig::disabled(),
+            spare_lines: 0,
+            ..ControllerConfig::small_test()
+        };
+        for seed in 0..64 {
+            let plan = FaultPlan::generate(seed, &cfg, 8);
+            for f in &plan.faults {
+                assert!(
+                    !matches!(f.kind, FaultKind::TransientReadError | FaultKind::StuckLine),
+                    "media fault {:?} scheduled without ECC/spares",
                     f.kind
                 );
             }

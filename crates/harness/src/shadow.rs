@@ -26,6 +26,10 @@ pub struct ShadowModel {
     /// Plaintext lines that were live when their page was shredded: a
     /// cold scan of an *encrypted* NVM array must never surface them.
     secrets: HashSet<Line>,
+    /// Lines known to have been rescued into the controller's spare
+    /// pool. Remapping is architecturally invisible, so this changes no
+    /// expectation — it only lets the harness report healing coverage.
+    remapped: HashSet<u64>,
 }
 
 impl ShadowModel {
@@ -103,6 +107,22 @@ impl ShadowModel {
     pub fn tracked_count(&self) -> usize {
         self.lines.len()
     }
+
+    /// Records that the controller rescued `addr` to a spare line. The
+    /// expected plaintext is untouched: healing must be transparent.
+    pub fn note_remap(&mut self, addr: BlockAddr) {
+        self.remapped.insert(addr.raw());
+    }
+
+    /// Whether `addr` is known to live in the spare pool.
+    pub fn was_remapped(&self, addr: BlockAddr) -> bool {
+        self.remapped.contains(&addr.raw())
+    }
+
+    /// Number of lines known-remapped so far.
+    pub fn remap_count(&self) -> usize {
+        self.remapped.len()
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +163,17 @@ mod tests {
         // The pre-shred value stays secret; the new one is live.
         assert!(s.is_secret(&[1; LINE_SIZE]));
         assert!(!s.is_secret(&[2; LINE_SIZE]));
+    }
+
+    #[test]
+    fn remap_tracking_changes_no_expectation() {
+        let mut s = ShadowModel::new();
+        let addr = PageId::new(2).block_addr(1);
+        s.note_write(addr, [9; LINE_SIZE]);
+        s.note_remap(addr);
+        assert!(s.was_remapped(addr));
+        assert_eq!(s.remap_count(), 1);
+        assert_eq!(s.expected(addr, false), Some([9; LINE_SIZE]));
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The NVM device: a byte-addressable, persistent line store with timing,
 //! energy, endurance and remanence modelling.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use ss_common::{BlockAddr, Counter, Error, Result, LINE_SIZE};
+use ss_common::{BlockAddr, Counter, DetRng, Error, Result, LINE_SIZE};
 
+use crate::ecc::{EccConfig, LineRead};
 use crate::endurance::WearTracker;
 use crate::timing::{EnergyModel, NvmTiming};
 use crate::write_reduction::WriteScheme;
@@ -35,11 +36,31 @@ pub struct NvmConfig {
     pub write_scheme: WriteScheme,
     /// The modelled technology.
     pub kind: MemoryKind,
-    /// Write-endurance limit per line; writes beyond it fail with
-    /// [`ss_common::Error::InvalidConfig`]-free semantics: the write is
-    /// accepted but the line is recorded as failed and reads return
-    /// corrupted (stuck-at) data. `None` disables failure injection.
+    /// Per-line write-endurance limit; `None` disables wear-out
+    /// modelling entirely.
+    ///
+    /// Semantics are **accept-write / fail-read**: a write that pushes a
+    /// line's wear past the limit is still accepted and stored —
+    /// `write_line` never returns an error for wear-out — but the line
+    /// is marked failed and subsequent *reads* see a growing set of weak
+    /// cells (bits that read back inverted), starting at one weak bit
+    /// and gaining another each further `limit` writes. Under the
+    /// configured [`EccConfig`] the first failures therefore surface as
+    /// [`LineRead::Corrected`] (the rescue window in which a controller
+    /// can remap the line); once the weak-cell count exceeds the
+    /// correction bound, reads fail loudly with
+    /// [`ss_common::Error::UncorrectableEcc`].
     pub endurance_limit: Option<u64>,
+    /// ECC strength applied on every line read.
+    pub ecc: EccConfig,
+    /// Transient (soft) read-error probability per bit per line read.
+    /// `0.0` (the default) disables background transients; faults can
+    /// still be injected one-shot via [`NvmDevice::inject_read_error`].
+    pub transient_read_ber: f64,
+    /// Seed for the device's deterministic fault stream (weak-cell
+    /// positions, transient error draws). Same seed + same access
+    /// sequence ⇒ identical faults.
+    pub fault_seed: u64,
 }
 
 impl Default for NvmConfig {
@@ -51,6 +72,9 @@ impl Default for NvmConfig {
             write_scheme: WriteScheme::Raw,
             kind: MemoryKind::Nvm,
             endurance_limit: None,
+            ecc: EccConfig::secded(),
+            transient_read_ber: 0.0,
+            fault_seed: 0,
         }
     }
 }
@@ -73,6 +97,16 @@ pub struct NvmStats {
     pub power_cycles: u64,
     /// Lines that exceeded the endurance limit (failure injection).
     pub failed_lines: u64,
+    /// Reads whose bit errors ECC corrected in place.
+    pub ecc_corrected_reads: Counter,
+    /// Total raw bit flips repaired by ECC.
+    pub ecc_corrected_bits: u64,
+    /// Reads rejected as uncorrectable (within the detection bound).
+    pub ecc_uncorrectable_reads: Counter,
+    /// Reads whose flip count exceeded the detection bound and aliased
+    /// into silently corrupted data — the failure mode scrubbing and
+    /// remapping exist to keep at zero.
+    pub ecc_silent_escapes: Counter,
 }
 
 /// A persistent, line-granularity NVM array.
@@ -88,20 +122,28 @@ pub struct NvmDevice {
     flip_bits: HashMap<u64, [bool; LINE_SIZE / 4]>,
     wear: WearTracker,
     stats: NvmStats,
-    /// Lines whose cells wore out (stuck-at failure model).
-    failed: std::collections::HashSet<u64>,
+    /// Worn-out lines → number of weak cells (bits that read inverted).
+    failed: HashMap<u64, u32>,
+    /// One-shot injected transient read errors: addr → flip count,
+    /// consumed by the next read of that line.
+    injected: HashMap<u64, u32>,
+    /// Deterministic stream for background transient draws.
+    fault_rng: DetRng,
 }
 
 impl NvmDevice {
     /// Creates a zero-filled device.
     pub fn new(config: NvmConfig) -> Self {
+        let fault_rng = DetRng::new(config.fault_seed ^ 0x7A17_FAD5_EED0_0BE5);
         NvmDevice {
             config,
             lines: HashMap::new(),
             flip_bits: HashMap::new(),
             wear: WearTracker::new(),
             stats: NvmStats::default(),
-            failed: std::collections::HashSet::new(),
+            failed: HashMap::new(),
+            injected: HashMap::new(),
+            fault_rng,
         }
     }
 
@@ -121,23 +163,127 @@ impl NvmDevice {
         }
     }
 
-    /// Reads one 64 B line.
+    /// Reads one 64 B line through the ECC model.
+    ///
+    /// Raw bit errors come from three sources, unioned per read: weak
+    /// cells on worn-out lines (permanent, deterministic positions),
+    /// one-shot injected transients ([`NvmDevice::inject_read_error`]),
+    /// and background transients drawn at
+    /// [`NvmConfig::transient_read_ber`]. Up to [`EccConfig::correct`]
+    /// flips are repaired ([`LineRead::Corrected`]); up to
+    /// [`EccConfig::detect`] the read fails loudly; beyond that the code
+    /// aliases and corrupted data is served as [`LineRead::Clean`]
+    /// (counted in [`NvmStats::ecc_silent_escapes`]).
     ///
     /// # Errors
     ///
-    /// Returns [`Error::AddrOutOfRange`] if `addr` is beyond capacity.
-    pub fn read_line(&mut self, addr: BlockAddr) -> Result<[u8; LINE_SIZE]> {
+    /// Returns [`Error::AddrOutOfRange`] if `addr` is beyond capacity,
+    /// or [`Error::UncorrectableEcc`] for a detected-but-uncorrectable
+    /// error.
+    pub fn read_line(&mut self, addr: BlockAddr) -> Result<LineRead> {
         self.check_range(addr)?;
         self.stats.reads.inc();
         self.stats.energy_pj += self.config.energy.read_pj;
-        let mut data = self.peek(addr);
-        if self.failed.contains(&addr.raw()) {
-            // Worn-out cells: model stuck-at-one faults on every byte.
-            for b in &mut data {
-                *b |= 0x01;
+        let data = self.peek(addr);
+        let flipped = self.error_bits(addr);
+        if flipped.is_empty() {
+            return Ok(LineRead::Clean(data));
+        }
+        let flips = flipped.len() as u32;
+        let ecc = self.config.ecc;
+        if flips <= ecc.correct {
+            self.stats.ecc_corrected_reads.inc();
+            self.stats.ecc_corrected_bits += u64::from(flips);
+            Ok(LineRead::Corrected { data, flips })
+        } else if flips <= ecc.detect {
+            self.stats.ecc_uncorrectable_reads.inc();
+            Err(Error::UncorrectableEcc {
+                addr: addr.addr(),
+                flips,
+            })
+        } else {
+            // Past the detection bound the code aliases to a valid
+            // codeword: the flips are served as if the line were clean.
+            self.stats.ecc_silent_escapes.inc();
+            let mut garbled = data;
+            for bit in flipped {
+                garbled[bit / 8] ^= 1 << (bit % 8);
+            }
+            Ok(LineRead::Clean(garbled))
+        }
+    }
+
+    /// The set of raw bit positions that read wrong on this access.
+    fn error_bits(&mut self, addr: BlockAddr) -> Vec<usize> {
+        let mut bits: BTreeSet<usize> = BTreeSet::new();
+        // Permanent weak cells: positions are a pure function of the
+        // fault seed and address, so the same cells stay weak forever.
+        if let Some(&weak) = self.failed.get(&addr.raw()) {
+            let mut rng = DetRng::new(
+                self.config
+                    .fault_seed
+                    .wrapping_add(addr.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    ^ 0x5EAF_CE11_F1A7_B175,
+            );
+            let weak = (weak as usize).min(LINE_SIZE * 8);
+            while bits.len() < weak {
+                bits.insert(rng.below((LINE_SIZE * 8) as u64) as usize);
             }
         }
-        Ok(data)
+        // One-shot injected transient, consumed by this read.
+        if let Some(flips) = self.injected.remove(&addr.raw()) {
+            let want = (bits.len() + flips as usize).min(LINE_SIZE * 8);
+            while bits.len() < want {
+                bits.insert(self.fault_rng.below((LINE_SIZE * 8) as u64) as usize);
+            }
+        }
+        // Background transients at the configured bit-error rate.
+        if self.config.transient_read_ber > 0.0 {
+            let p_line = (self.config.transient_read_ber * (LINE_SIZE * 8) as f64).min(1.0);
+            if self.fault_rng.chance(p_line) {
+                // Mostly single-bit events; occasionally a double-bit
+                // burst so the uncorrectable→retry path gets exercised.
+                let n = if self.fault_rng.chance(0.2) { 2 } else { 1 };
+                let want = (bits.len() + n).min(LINE_SIZE * 8);
+                while bits.len() < want {
+                    bits.insert(self.fault_rng.below((LINE_SIZE * 8) as u64) as usize);
+                }
+            }
+        }
+        bits.into_iter().collect()
+    }
+
+    /// Schedules a one-shot transient read error: the next `read_line`
+    /// of `addr` sees `flips` extra raw bit errors (then the line is
+    /// healthy again, modelling a soft error). Fault-injection surface
+    /// for the harness.
+    pub fn inject_read_error(&mut self, addr: BlockAddr, flips: u32) {
+        if flips > 0 {
+            self.injected.insert(addr.raw(), flips);
+        }
+    }
+
+    /// Cancels a pending injected read error (e.g. the access it was
+    /// aimed at never reached the array). Returns whether one was
+    /// pending.
+    pub fn clear_injected_error(&mut self, addr: BlockAddr) -> bool {
+        self.injected.remove(&addr.raw()).is_some()
+    }
+
+    /// Forces a line into the worn-out state with `weak_bits` weak cells
+    /// (at least 1) — fault-injection surface modelling a stuck line.
+    pub fn fail_line(&mut self, addr: BlockAddr, weak_bits: u32) {
+        let raw = addr.raw();
+        if !self.failed.contains_key(&raw) {
+            self.stats.failed_lines += 1;
+        }
+        let entry = self.failed.entry(raw).or_insert(0);
+        *entry = (*entry).max(weak_bits.max(1));
+    }
+
+    /// Number of weak cells on a worn-out line (0 if healthy).
+    pub fn weak_bit_count(&self, addr: BlockAddr) -> u32 {
+        self.failed.get(&addr.raw()).copied().unwrap_or(0)
     }
 
     /// Writes one 64 B line, applying the configured write-reduction
@@ -162,8 +308,18 @@ impl NvmDevice {
         } else {
             self.wear.record_write(addr);
             if let Some(limit) = self.config.endurance_limit {
-                if self.wear.wear(addr) > limit && self.failed.insert(addr.raw()) {
-                    self.stats.failed_lines += 1;
+                let wear = self.wear.wear(addr);
+                if wear > limit {
+                    // One weak cell at first failure, another for every
+                    // further `limit` writes: degradation is gradual, so
+                    // ECC-corrected reads give the controller a rescue
+                    // window before the line turns uncorrectable.
+                    let weak = 1 + ((wear - limit - 1) / limit.max(1)) as u32;
+                    if !self.failed.contains_key(&addr.raw()) {
+                        self.stats.failed_lines += 1;
+                    }
+                    let entry = self.failed.entry(addr.raw()).or_insert(0);
+                    *entry = (*entry).max(weak);
                 }
             }
         }
@@ -173,7 +329,7 @@ impl NvmDevice {
 
     /// Whether `addr`'s cells have worn out.
     pub fn is_failed(&self, addr: BlockAddr) -> bool {
-        self.failed.contains(&addr.raw())
+        self.failed.contains_key(&addr.raw())
     }
 
     /// Reads a line without touching stats or timing — used internally and
@@ -203,6 +359,9 @@ impl NvmDevice {
             write_scheme: WriteScheme::Raw,
             kind: MemoryKind::Dram,
             endurance_limit: None,
+            ecc: EccConfig::secded(),
+            transient_read_ber: 0.0,
+            fault_seed: 0,
         }
     }
 
@@ -294,7 +453,10 @@ mod tests {
     #[test]
     fn unwritten_lines_read_zero() {
         let mut d = dev();
-        assert_eq!(d.read_line(BlockAddr::new(0)).unwrap(), [0u8; LINE_SIZE]);
+        assert_eq!(
+            d.read_line(BlockAddr::new(0)).unwrap(),
+            LineRead::Clean([0u8; LINE_SIZE])
+        );
     }
 
     #[test]
@@ -302,7 +464,7 @@ mod tests {
         let mut d = dev();
         let a = BlockAddr::new(128);
         d.write_line(a, &[9u8; LINE_SIZE]).unwrap();
-        assert_eq!(d.read_line(a).unwrap(), [9u8; LINE_SIZE]);
+        assert_eq!(d.read_line(a).unwrap().into_data(), [9u8; LINE_SIZE]);
         assert_eq!(d.stats().reads.get(), 1);
         assert_eq!(d.stats().writes.get(), 1);
     }
@@ -328,7 +490,7 @@ mod tests {
         d.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
         d.power_cycle();
         assert_eq!(
-            d.read_line(a).unwrap(),
+            d.read_line(a).unwrap().into_data(),
             [0u8; LINE_SIZE],
             "DRAM retained data"
         );
@@ -341,7 +503,7 @@ mod tests {
         let a = BlockAddr::new(64);
         d.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
         d.power_cycle();
-        assert_eq!(d.read_line(a).unwrap(), [0xEE; LINE_SIZE]);
+        assert_eq!(d.read_line(a).unwrap().into_data(), [0xEE; LINE_SIZE]);
         assert_eq!(d.stats().power_cycles, 1);
     }
 
@@ -398,30 +560,152 @@ mod tests {
         assert_eq!(d.wear().total_writes(), 1);
     }
 
+    /// Pins the documented accept-write / fail-read contract of
+    /// `endurance_limit`: writes past the limit are always accepted
+    /// (never an error), and it is *reads* that degrade — first as
+    /// ECC-corrected, then (more weak cells) as uncorrectable.
     #[test]
-    fn endurance_failure_injection() {
+    fn endurance_limit_accepts_writes_fails_reads() {
+        let limit = 3u64;
         let mut d = NvmDevice::new(NvmConfig {
             capacity_bytes: 1 << 20,
-            endurance_limit: Some(3),
+            endurance_limit: Some(limit),
             ..NvmConfig::default()
         });
         let a = BlockAddr::new(0);
         for i in 0..3 {
             d.write_line(a, &[i; LINE_SIZE]).unwrap();
             assert!(!d.is_failed(a), "failed too early at write {i}");
+            assert_eq!(d.read_line(a).unwrap(), LineRead::Clean([i; LINE_SIZE]));
         }
-        // The 4th write exceeds the limit: the line wears out.
+        // The 4th write exceeds the limit. It is still ACCEPTED and the
+        // data is stored — wear-out never errors the write path.
         d.write_line(a, &[0xF0; LINE_SIZE]).unwrap();
         assert!(d.is_failed(a));
         assert_eq!(d.stats().failed_lines, 1);
-        // Reads now return corrupted (stuck-at-one) data.
-        let read = d.read_line(a).unwrap();
-        assert_ne!(read, [0xF0; LINE_SIZE]);
-        assert!(read.iter().all(|&b| b & 1 == 1));
+        assert_eq!(d.weak_bit_count(a), 1);
+        assert_eq!(d.peek(a), [0xF0; LINE_SIZE]);
+        // One weak cell is within SECDED's correction bound: the read
+        // succeeds with repaired data and reports the flip.
+        assert_eq!(
+            d.read_line(a).unwrap(),
+            LineRead::Corrected {
+                data: [0xF0; LINE_SIZE],
+                flips: 1
+            }
+        );
+        assert_eq!(d.stats().ecc_corrected_reads.get(), 1);
+        // Keep writing: every further `limit` writes grows another weak
+        // cell. Writes are STILL accepted; reads eventually turn
+        // uncorrectable.
+        for i in 0..limit {
+            d.write_line(a, &[i as u8; LINE_SIZE]).unwrap();
+        }
+        assert_eq!(d.weak_bit_count(a), 2);
+        assert!(matches!(
+            d.read_line(a),
+            Err(Error::UncorrectableEcc { flips: 2, .. })
+        ));
+        assert_eq!(d.stats().ecc_uncorrectable_reads.get(), 1);
         // Unrelated lines are unaffected.
         let b = BlockAddr::new(64);
         d.write_line(b, &[7; LINE_SIZE]).unwrap();
-        assert_eq!(d.read_line(b).unwrap(), [7; LINE_SIZE]);
+        assert_eq!(d.read_line(b).unwrap(), LineRead::Clean([7; LINE_SIZE]));
+    }
+
+    #[test]
+    fn weak_cell_positions_are_stable() {
+        let mut d = dev();
+        let a = BlockAddr::new(256);
+        d.write_line(a, &[0x5A; LINE_SIZE]).unwrap();
+        d.fail_line(a, 1);
+        let first = d.read_line(a).unwrap();
+        let second = d.read_line(a).unwrap();
+        assert_eq!(first, second, "weak cells moved between reads");
+        assert_eq!(first.flips(), 1);
+        assert_eq!(*first.data(), [0x5A; LINE_SIZE]);
+    }
+
+    #[test]
+    fn injected_read_error_is_one_shot() {
+        let mut d = dev();
+        let a = BlockAddr::new(0);
+        d.write_line(a, &[3; LINE_SIZE]).unwrap();
+        // Two flips: detected but uncorrectable under SECDED.
+        d.inject_read_error(a, 2);
+        assert!(matches!(
+            d.read_line(a),
+            Err(Error::UncorrectableEcc { flips: 2, .. })
+        ));
+        // The transient is consumed: a retry succeeds.
+        assert_eq!(d.read_line(a).unwrap(), LineRead::Clean([3; LINE_SIZE]));
+        // A single-bit transient is corrected inline.
+        d.inject_read_error(a, 1);
+        let r = d.read_line(a).unwrap();
+        assert!(r.was_corrected());
+        assert_eq!(*r.data(), [3; LINE_SIZE]);
+        // clear_injected_error cancels a pending fault.
+        d.inject_read_error(a, 2);
+        assert!(d.clear_injected_error(a));
+        assert!(!d.clear_injected_error(a));
+        assert_eq!(d.read_line(a).unwrap(), LineRead::Clean([3; LINE_SIZE]));
+    }
+
+    #[test]
+    fn disabled_ecc_serves_silent_garbage() {
+        let mut d = NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            ecc: EccConfig::disabled(),
+            ..NvmConfig::default()
+        });
+        let a = BlockAddr::new(0);
+        d.write_line(a, &[0xAA; LINE_SIZE]).unwrap();
+        d.inject_read_error(a, 1);
+        // No ECC: the flip escapes silently as a "clean" read.
+        let r = d.read_line(a).unwrap();
+        assert!(!r.was_corrected());
+        assert_ne!(r.into_data(), [0xAA; LINE_SIZE]);
+        assert_eq!(d.stats().ecc_silent_escapes.get(), 1);
+    }
+
+    #[test]
+    fn beyond_detection_bound_aliases_silently() {
+        let mut d = dev();
+        let a = BlockAddr::new(0);
+        d.write_line(a, &[0; LINE_SIZE]).unwrap();
+        d.inject_read_error(a, 3);
+        let r = d.read_line(a).unwrap();
+        assert!(!r.was_corrected(), "3 flips must alias, not correct");
+        let wrong: usize = r.data().iter().map(|b| b.count_ones() as usize).sum();
+        assert_eq!(wrong, 3, "exactly the injected flips leak through");
+        assert_eq!(d.stats().ecc_silent_escapes.get(), 1);
+    }
+
+    #[test]
+    fn transient_ber_stream_is_deterministic() {
+        let cfg = NvmConfig {
+            capacity_bytes: 1 << 20,
+            transient_read_ber: 1e-3,
+            fault_seed: 7,
+            ..NvmConfig::default()
+        };
+        let run = |mut d: NvmDevice| -> Vec<u32> {
+            let a = BlockAddr::new(0);
+            d.write_line(a, &[1; LINE_SIZE]).unwrap();
+            (0..64)
+                .map(|_| match d.read_line(a) {
+                    Ok(r) => r.flips(),
+                    Err(_) => u32::MAX,
+                })
+                .collect()
+        };
+        let a = run(NvmDevice::new(cfg.clone()));
+        let b = run(NvmDevice::new(cfg));
+        assert_eq!(a, b, "same seed must give the same transient stream");
+        assert!(
+            a.iter().any(|&f| f > 0),
+            "a 1e-3 BER over 64 reads should fire at least once"
+        );
     }
 
     #[test]

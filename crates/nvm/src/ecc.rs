@@ -1,0 +1,154 @@
+//! Per-line ECC model: correct-up-to / detect-up-to bounds over a 64 B line.
+//!
+//! Real NVM DIMMs protect each line with an error-correcting code —
+//! typically SECDED (single-error-correct, double-error-detect) per
+//! codeword. We model the *architectural contract* of the code rather
+//! than its wire format: a read that sees at most [`EccConfig::correct`]
+//! raw bit flips is silently repaired and reported as
+//! [`LineRead::Corrected`]; between `correct` and [`EccConfig::detect`]
+//! flips the data is known-bad and the read fails loudly with
+//! [`ss_common::Error::UncorrectableEcc`]; beyond the detection bound
+//! the code *aliases* — the corrupted word decodes as a valid codeword
+//! and the error escapes silently, exactly the failure mode a
+//! controller-level scrubber and remap path must keep rare.
+
+use ss_common::LINE_SIZE;
+
+/// ECC strength applied to every line read.
+///
+/// Invariant: `correct <= detect`. The default is classic SECDED
+/// semantics (`correct = 1`, `detect = 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccConfig {
+    /// Maximum number of raw bit flips the code corrects in place.
+    pub correct: u32,
+    /// Maximum number of raw bit flips the code detects (inclusive).
+    /// Flips beyond this bound alias into silent corruption.
+    pub detect: u32,
+}
+
+impl EccConfig {
+    /// SECDED-style: correct 1 flip, detect 2, per 64 B line.
+    pub fn secded() -> Self {
+        EccConfig {
+            correct: 1,
+            detect: 2,
+        }
+    }
+
+    /// No ECC at all: every flip is served silently (the pre-healing
+    /// device behaviour).
+    pub fn disabled() -> Self {
+        EccConfig {
+            correct: 0,
+            detect: 0,
+        }
+    }
+
+    /// A stronger (chipkill-like) code for sensitivity experiments.
+    pub fn strength(correct: u32, detect: u32) -> Self {
+        EccConfig { correct, detect }
+    }
+
+    /// Whether the strength bounds are coherent.
+    pub fn is_valid(&self) -> bool {
+        self.correct <= self.detect && self.detect as usize <= LINE_SIZE * 8
+    }
+}
+
+impl Default for EccConfig {
+    fn default() -> Self {
+        EccConfig::secded()
+    }
+}
+
+/// Outcome of a successful line read under the ECC model.
+///
+/// `Clean` carries data the code believes error-free (which includes
+/// silent aliasing beyond the detection bound); `Corrected` carries
+/// repaired data plus the flip count, so the controller can notice a
+/// degrading line *before* it becomes uncorrectable and rescue it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineRead {
+    /// No bit errors observed (as far as the code can tell).
+    Clean([u8; LINE_SIZE]),
+    /// `flips` raw bit errors were corrected; data is good.
+    Corrected {
+        /// The repaired line contents.
+        data: [u8; LINE_SIZE],
+        /// How many raw bit flips the code repaired.
+        flips: u32,
+    },
+}
+
+impl LineRead {
+    /// The (possibly repaired) line contents.
+    pub fn data(&self) -> &[u8; LINE_SIZE] {
+        match self {
+            LineRead::Clean(d) => d,
+            LineRead::Corrected { data, .. } => data,
+        }
+    }
+
+    /// Consumes the read, returning the line contents.
+    pub fn into_data(self) -> [u8; LINE_SIZE] {
+        match self {
+            LineRead::Clean(d) => d,
+            LineRead::Corrected { data, .. } => data,
+        }
+    }
+
+    /// Number of bit flips the code repaired (0 for a clean read).
+    pub fn flips(&self) -> u32 {
+        match self {
+            LineRead::Clean(_) => 0,
+            LineRead::Corrected { flips, .. } => *flips,
+        }
+    }
+
+    /// Whether ECC had to intervene on this read.
+    pub fn was_corrected(&self) -> bool {
+        matches!(self, LineRead::Corrected { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secded_bounds() {
+        let e = EccConfig::secded();
+        assert_eq!((e.correct, e.detect), (1, 2));
+        assert!(e.is_valid());
+        assert_eq!(EccConfig::default(), e);
+    }
+
+    #[test]
+    fn disabled_corrects_nothing() {
+        let e = EccConfig::disabled();
+        assert_eq!((e.correct, e.detect), (0, 0));
+        assert!(e.is_valid());
+    }
+
+    #[test]
+    fn inverted_bounds_invalid() {
+        assert!(!EccConfig::strength(3, 1).is_valid());
+        assert!(EccConfig::strength(2, 4).is_valid());
+    }
+
+    #[test]
+    fn line_read_accessors() {
+        let clean = LineRead::Clean([7u8; LINE_SIZE]);
+        assert_eq!(clean.flips(), 0);
+        assert!(!clean.was_corrected());
+        assert_eq!(clean.data()[0], 7);
+        let fixed = LineRead::Corrected {
+            data: [9u8; LINE_SIZE],
+            flips: 1,
+        };
+        assert_eq!(fixed.flips(), 1);
+        assert!(fixed.was_corrected());
+        assert_eq!(fixed.into_data(), [9u8; LINE_SIZE]);
+    }
+}

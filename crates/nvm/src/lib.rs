@@ -8,6 +8,12 @@
 //!   estimation ([`endurance`]).
 //! * **Data remanence** — the array retains its contents across power-off;
 //!   [`NvmDevice::cold_scan`] models an attacker physically reading the chip.
+//! * **Media errors** — every read goes through a per-line ECC model
+//!   ([`ecc`]): wear-out grows weak cells, transients can be injected or
+//!   drawn at a configured bit-error rate, and reads come back as
+//!   [`LineRead::Clean`] / [`LineRead::Corrected`] or fail loudly with
+//!   [`ss_common::Error::UncorrectableEcc`] — never silent garbage
+//!   within the detection bound.
 //!
 //! It also implements the device-level write-reduction techniques the paper
 //! discusses as being *defeated by encryption's diffusion* (§1, §8):
@@ -23,20 +29,22 @@
 //! let mut nvm = NvmDevice::new(NvmConfig::default());
 //! let addr = BlockAddr::new(0x1000);
 //! nvm.write_line(addr, &[7u8; 64])?;
-//! assert_eq!(nvm.read_line(addr)?, [7u8; 64]);
+//! assert_eq!(nvm.read_line(addr)?.into_data(), [7u8; 64]);
 //! // Data survives "power off" — the remanence vulnerability.
 //! nvm.power_cycle();
-//! assert_eq!(nvm.read_line(addr)?, [7u8; 64]);
+//! assert_eq!(nvm.read_line(addr)?.into_data(), [7u8; 64]);
 //! # Ok::<(), ss_common::Error>(())
 //! ```
 
 pub mod device;
+pub mod ecc;
 pub mod endurance;
 pub mod timing;
 pub mod wear_level;
 pub mod write_reduction;
 
 pub use device::{MemoryKind, NvmConfig, NvmDevice, NvmStats};
+pub use ecc::{EccConfig, LineRead};
 pub use endurance::WearTracker;
 pub use timing::{EnergyModel, NvmTiming};
 pub use wear_level::StartGap;

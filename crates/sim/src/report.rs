@@ -1,6 +1,7 @@
 //! Metric extraction: everything the paper's figures are made of.
 
 use ss_common::MemStats;
+use ss_core::HealthStats;
 use ss_cpu::RunSummary;
 use ss_os::KernelStats;
 
@@ -29,6 +30,9 @@ pub struct RunReport {
     pub nvm_writes: u64,
     /// Aggregate TLB miss rate across cores.
     pub tlb_miss_rate: f64,
+    /// Self-healing activity (ECC corrections, retries, remaps,
+    /// quarantines, scrubbing) at the controller.
+    pub health: HealthStats,
 }
 
 impl RunReport {
@@ -61,7 +65,14 @@ impl RunReport {
             } else {
                 tlb_misses as f64 / tlb_total as f64
             },
+            health: cstats.health.clone(),
         }
+    }
+
+    /// Total healing interventions: ECC corrections, successful
+    /// retries, and bad-line remaps. Zero on a fault-free device.
+    pub fn healing_events(&self) -> u64 {
+        self.health.ecc_corrected.get() + self.health.retried_ok.get() + self.health.remaps.get()
     }
 
     /// Mean per-core IPC (Fig. 11's metric).

@@ -162,6 +162,73 @@ fn volatile_counter_cache_is_a_real_crash_hazard() {
 }
 
 #[test]
+fn shredding_survives_bad_line_remapping() {
+    // The self-healing path must never weaken shredding: wear out every
+    // line of a shredded page so the scrubber rescues them all into the
+    // spare pool, then check (a) reads still zero-fill and (b) no cold
+    // scan of the raw array — original frames *and* spares — surfaces
+    // the pre-shred plaintext.
+    use silent_shredder::common::BLOCKS_PER_PAGE;
+    let mut mc = controller(ControllerConfig {
+        spare_lines: 128,
+        ..ControllerConfig::small_test()
+    });
+    let page = PageId::new(2);
+    for b in 0..BLOCKS_PER_PAGE {
+        mc.write_block(page.block_addr(b), &SECRET, false, Cycles::ZERO)
+            .unwrap();
+    }
+    mc.shred_page(page, true).unwrap();
+    for b in 0..BLOCKS_PER_PAGE {
+        mc.force_line_failure(page.block_addr(b), 1);
+    }
+    // One full scrub pass over the data region heals every weak line.
+    let data_lines = 1 << 14; // small_test: 1 MiB / 64 B
+    for _ in 0..data_lines {
+        mc.scrub_step(Cycles::ZERO).unwrap();
+    }
+    assert_eq!(
+        mc.remapped_lines(),
+        BLOCKS_PER_PAGE as u64,
+        "every worn line of the page must be rescued to a spare"
+    );
+    for b in 0..BLOCKS_PER_PAGE {
+        let read = mc.read_block(page.block_addr(b), Cycles::ZERO).unwrap();
+        assert!(read.zero_filled, "remapped shredded line must zero-fill");
+        assert_eq!(read.data, [0u8; 64]);
+    }
+    for (addr, line) in mc.cold_scan_data() {
+        assert_ne!(
+            line, SECRET,
+            "pre-shred plaintext resurfaced at {addr} after remapping"
+        );
+    }
+}
+
+#[test]
+fn quarantined_lines_fail_loudly_not_silently() {
+    // When ECC detects more than it can correct and the spare pool is
+    // exhausted, reads must degrade to a *loud* error — never garbage.
+    let mut mc = controller(ControllerConfig {
+        spare_lines: 0,
+        ..ControllerConfig::small_test()
+    });
+    let addr = PageId::new(1).block_addr(0);
+    mc.write_block(addr, &SECRET, false, Cycles::ZERO).unwrap();
+    // Two weak cells exceed SECDED's single-bit correction.
+    mc.force_line_failure(addr, 2);
+    let err = mc.read_block(addr, Cycles::ZERO).unwrap_err();
+    assert!(matches!(err, Error::Quarantined { .. }));
+    // With no spare to rescue to, writes degrade loudly too: the
+    // address stays quarantined rather than accepting data it would
+    // later serve corrupted.
+    let err = mc
+        .write_block(addr, &[7u8; 64], false, Cycles::ZERO)
+        .unwrap_err();
+    assert!(matches!(err, Error::Quarantined { .. }));
+}
+
+#[test]
 fn ecb_mode_leaks_equality_ctr_does_not() {
     let mut ecb = controller(ControllerConfig {
         data_capacity: 1 << 20,
