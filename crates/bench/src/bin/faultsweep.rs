@@ -101,12 +101,9 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// A tally as a JSON object (fixed key order).
+/// A tally as a JSON object (fixed key order, rendered by ss-harness).
 fn tally_json(t: &Tally) -> String {
-    format!(
-        "{{\"recovered\":{},\"detected\":{},\"benign\":{},\"skipped\":{},\"corrupted\":{}}}",
-        t.recovered, t.detected, t.benign, t.skipped, t.corrupted
-    )
+    t.to_json()
 }
 
 /// Campaign results as a JSON document.
@@ -153,48 +150,17 @@ fn campaign_json(
     out
 }
 
-/// Replay results (full per-fault records) as a JSON document.
+/// Replay results (full per-fault records) as a JSON document. Each
+/// config object is `PlanReport::to_json` verbatim, so the replay file
+/// and the determinism test compare the exact same bytes.
 fn replay_json(seed: u64, reports: &[PlanReport]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"seed\": {seed},");
     out.push_str("  \"configs\": [\n");
     for (i, report) in reports.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    {{\"label\":\"{}\",\"ops\":{},\"clean\":{},",
-            json_escape(&report.label),
-            report.ops,
-            report.clean()
-        );
-        out.push_str("     \"records\": [\n");
-        for (j, r) in report.records.iter().enumerate() {
-            let comma = if j + 1 < report.records.len() {
-                ","
-            } else {
-                ""
-            };
-            let _ = writeln!(
-                out,
-                "       {{\"kind\":\"{}\",\"page\":{},\"block\":{},\"bit\":{},\
-                 \"after_writes\":{},\"fired_at\":{},\"outcome\":\"{}\",\"detail\":\"{}\"}}{comma}",
-                r.fault.kind.label(),
-                r.fault.page,
-                r.fault.block,
-                r.fault.bit,
-                r.fault.after_writes,
-                r.fired_at,
-                r.outcome.label(),
-                json_escape(&r.detail)
-            );
-        }
-        out.push_str("     ],\n");
-        let final_failure = match &report.final_failure {
-            Some(e) => format!("\"{}\"", json_escape(e)),
-            None => "null".to_string(),
-        };
         let comma = if i + 1 < reports.len() { "," } else { "" };
-        let _ = writeln!(out, "     \"final_failure\": {final_failure}}}{comma}");
+        let _ = writeln!(out, "    {}{comma}", report.to_json());
     }
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"clean\": {}", reports.iter().all(|r| r.clean()));

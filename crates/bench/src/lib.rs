@@ -15,6 +15,8 @@
 //! and the `faultsweep` binary runs the fault-injection campaign from the
 //! `ss-harness` crate.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod runner;
 

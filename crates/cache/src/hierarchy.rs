@@ -19,7 +19,7 @@
 //! [`Hierarchy::invalidate_page`] implements the bulk invalidation a
 //! shred command or a non-temporal zeroing pass sends (Fig. 6, step 2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ss_common::{BlockAddr, Cycles, PageId, Result, BLOCKS_PER_PAGE, LINE_SIZE};
 
@@ -136,7 +136,7 @@ pub struct Hierarchy {
     l3: SetAssocCache<Line>,
     l4: SetAssocCache<Line>,
     /// Which cores hold each line in a private cache (bitmask).
-    directory: HashMap<u64, u16>,
+    directory: BTreeMap<u64, u16>,
     lat: [Cycles; 4],
     snoop_penalty: Cycles,
     cores: usize,
@@ -177,7 +177,7 @@ impl Hierarchy {
             l2,
             l3: SetAssocCache::new(CacheConfig::new("L3", config.l3_size, config.ways, lat[2])?),
             l4: SetAssocCache::new(CacheConfig::new("L4", config.l4_size, config.ways, lat[3])?),
-            directory: HashMap::new(),
+            directory: BTreeMap::new(),
             lat,
             snoop_penalty: Cycles::new(config.snoop_penalty),
             cores: config.cores,

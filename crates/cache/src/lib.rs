@@ -25,6 +25,8 @@
 //! assert_eq!(c.get(BlockAddr::new(0)).map(|e| e.value), Some(42));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hierarchy;
 pub mod set_assoc;
 

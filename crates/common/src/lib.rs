@@ -18,6 +18,8 @@
 //! assert_eq!(PAGE_SIZE / LINE_SIZE, 64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod error;
 pub mod rng;

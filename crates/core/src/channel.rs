@@ -41,12 +41,24 @@ impl ChannelSched {
     /// accesses and sustained throughput is bandwidth-limited, while each
     /// individual requester still waits out the full array latency.
     pub fn schedule(&mut self, now: Cycles, service: Cycles) -> Cycles {
-        let (idx, &free_at) = self
-            .busy_until
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &t)| t)
-            .expect("at least one channel");
+        // Fold instead of min_by_key().expect(): the constructor
+        // guarantees at least one channel, and the fold needs no panic
+        // path even if that ever changed (SEC-001).
+        let (idx, free_at) =
+            self.busy_until
+                .iter()
+                .enumerate()
+                .fold(
+                    (0usize, u64::MAX),
+                    |best, (i, &t)| {
+                        if t < best.1 {
+                            (i, t)
+                        } else {
+                            best
+                        }
+                    },
+                );
+        let free_at = if free_at == u64::MAX { 0 } else { free_at };
         let start = now.raw().max(free_at);
         self.busy_until[idx] = start + self.transfer_cycles;
         Cycles::new(start - now.raw() + service.raw() + self.transfer_cycles)

@@ -1,6 +1,6 @@
 //! The secure NVMM controller (Fig. 6 and Fig. 7 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ss_cache::{CacheConfig, SetAssocCache};
 use ss_common::{
@@ -59,7 +59,7 @@ pub struct MemoryController {
     ecb: Option<EcbEngine>,
     merkle: Option<MerkleTree>,
     channels: ChannelSched,
-    deuce_meta: HashMap<u64, DeuceMeta>,
+    deuce_meta: BTreeMap<u64, DeuceMeta>,
     stats: ControllerStats,
     /// NVM byte offset where the counter region begins.
     counter_base: u64,
@@ -67,7 +67,7 @@ pub struct MemoryController {
     start_gap: Option<StartGap>,
     /// Pages owned by secure enclaves (§4.1): their deallocation shred is
     /// triggered by hardware, not the (possibly untrusted) OS.
-    enclave_pages: std::collections::HashSet<u64>,
+    enclave_pages: std::collections::BTreeSet<u64>,
     /// Optional write queue (read priority + forwarding). Entries hold
     /// *device-space* addresses and ciphertext, inside the ADR
     /// persistence domain.
@@ -141,11 +141,11 @@ impl MemoryController {
             ecb,
             merkle,
             channels,
-            deuce_meta: HashMap::new(),
+            deuce_meta: BTreeMap::new(),
             stats: ControllerStats::default(),
             counter_base,
             start_gap,
-            enclave_pages: std::collections::HashSet::new(),
+            enclave_pages: std::collections::BTreeSet::new(),
             wqueue,
             counters_lost: false,
             heal: SparePool::new(spare_base, config_spare_lines),
@@ -456,16 +456,16 @@ impl MemoryController {
         }
     }
 
-    fn decrypt_ctr(&self, addr: BlockAddr, ctrs: &CounterBlock, cipher: &Line) -> Line {
-        let engine = self.ctr.as_ref().expect("ctr mode has an engine");
+    fn decrypt_ctr(&self, addr: BlockAddr, ctrs: &CounterBlock, cipher: &Line) -> Result<Line> {
+        let engine = engine_of(&self.ctr, "ctr")?;
         let page = addr.page();
         let block = addr.block_in_page();
-        if self.config.deuce {
+        Ok(if self.config.deuce {
             let minors = self.chunk_minors(addr, ctrs.minors[block]);
             deuce::decrypt_chunked(engine, page.raw(), block as u8, ctrs.major, minors, cipher)
         } else {
             engine.decrypt_line(&ctrs.iv(page.raw(), block), cipher)
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -553,7 +553,7 @@ impl MemoryController {
                     Err(Error::UncorrectableEcc { .. }) => return self.fail_remap(dev),
                     Err(e) => return Err(e),
                 };
-                let plain = self.decrypt_ctr(addr, &ctrs, &cipher);
+                let plain = self.decrypt_ctr(addr, &ctrs, &cipher)?;
                 // Fresh IV: bump the minor exactly like a demand write,
                 // so rescued plaintext is never re-encrypted under a
                 // previously used (page, block, counter) tuple.
@@ -566,7 +566,7 @@ impl MemoryController {
                 let new_cipher = if self.config.deuce {
                     self.deuce_meta
                         .insert(addr.raw(), DeuceMeta::new_epoch(minor));
-                    let engine = self.ctr.as_ref().expect("ctr engine");
+                    let engine = engine_of(&self.ctr, "ctr")?;
                     deuce::encrypt_chunked(
                         engine,
                         page.raw(),
@@ -576,7 +576,7 @@ impl MemoryController {
                         &plain,
                     )
                 } else {
-                    let engine = self.ctr.as_ref().expect("ctr engine");
+                    let engine = engine_of(&self.ctr, "ctr")?;
                     engine.encrypt_line(&new_ctrs.iv(page.raw(), block), &plain)
                 };
                 let Some(new_slot) = self.heal.allocate(dev) else {
@@ -672,7 +672,7 @@ impl MemoryController {
                     self.sched(now, self.config.nvm_timing.read_cycles()) + self.config.aes_latency;
                 let cipher = self.nvm_read_data(addr)?;
                 self.stats.mem.reads.inc();
-                let data = self.ecb.as_ref().expect("ecb engine").decrypt_line(&cipher);
+                let data = engine_of(&self.ecb, "ecb")?.decrypt_line(&cipher);
                 ReadResult {
                     data,
                     latency,
@@ -700,7 +700,7 @@ impl MemoryController {
                         + self.config.xor_latency;
                     let cipher = self.nvm_read_data(addr)?;
                     self.stats.mem.reads.inc();
-                    let data = self.decrypt_ctr(addr, &ctrs, &cipher);
+                    let data = self.decrypt_ctr(addr, &ctrs, &cipher)?;
                     ReadResult {
                         data,
                         latency,
@@ -738,7 +738,7 @@ impl MemoryController {
                 self.nvm_write_data(addr, data)?;
             }
             EncryptionMode::Ecb => {
-                let cipher = self.ecb.as_ref().expect("ecb engine").encrypt_line(data);
+                let cipher = engine_of(&self.ecb, "ecb")?.encrypt_line(data);
                 if self.wqueue.is_none() {
                     self.sched(now, self.config.nvm_timing.write_cycles());
                 }
@@ -752,18 +752,15 @@ impl MemoryController {
                 if ctrs.bump_for_write(block) == BumpOutcome::Overflowed {
                     self.reencrypt_page(page, &old_ctrs, &ctrs, block, now)?;
                 }
-                let engine = self.ctr.as_ref().expect("ctr engine");
-                let new_minor = ctrs.minors[block];
                 let cipher = if self.config.deuce {
-                    self.deuce_write_cipher(addr, &old_ctrs, &ctrs, data)
+                    self.deuce_write_cipher(addr, &old_ctrs, &ctrs, data)?
                 } else {
-                    engine.encrypt_line(&ctrs.iv(page.raw(), block), data)
+                    engine_of(&self.ctr, "ctr")?.encrypt_line(&ctrs.iv(page.raw(), block), data)
                 };
                 if self.wqueue.is_none() {
                     self.sched(now, self.config.nvm_timing.write_cycles());
                 }
                 self.nvm_write_data(addr, &cipher)?;
-                let _ = new_minor;
                 self.install_counters(page, ctrs, true, now)?;
             }
         }
@@ -785,8 +782,8 @@ impl MemoryController {
         old_ctrs: &CounterBlock,
         new_ctrs: &CounterBlock,
         data: &Line,
-    ) -> Line {
-        let engine = self.ctr.as_ref().expect("ctr engine");
+    ) -> Result<Line> {
+        let engine = engine_of(&self.ctr, "ctr")?;
         let page = addr.page();
         let block = addr.block_in_page();
         let new_minor = new_ctrs.minors[block];
@@ -797,14 +794,14 @@ impl MemoryController {
             // Whole line under the new minor; epoch restarts here.
             self.deuce_meta
                 .insert(addr.raw(), DeuceMeta::new_epoch(new_minor));
-            return deuce::encrypt_chunked(
+            return Ok(deuce::encrypt_chunked(
                 engine,
                 page.raw(),
                 block as u8,
                 new_ctrs.major,
                 [new_minor; CHUNKS],
                 data,
-            );
+            ));
         }
         // Recover the old plaintext (hardware knows the dirty-word mask
         // from the cache; we reconstruct it by decrypting the old line —
@@ -852,7 +849,7 @@ impl MemoryController {
             }
         }
         self.deuce_meta.insert(addr.raw(), meta);
-        cipher
+        Ok(cipher)
     }
 
     /// Re-encrypts every live block of `page` after a minor-counter
@@ -877,9 +874,9 @@ impl MemoryController {
             self.sched(now, self.config.nvm_timing.read_cycles());
             let cipher = self.nvm_read_data(addr)?;
             self.stats.mem.reads.inc();
-            let plain = self.decrypt_ctr(addr, old_ctrs, &cipher);
+            let plain = self.decrypt_ctr(addr, old_ctrs, &cipher)?;
             self.deuce_meta.remove(&addr.raw());
-            let engine = self.ctr.as_ref().expect("ctr engine");
+            let engine = engine_of(&self.ctr, "ctr")?;
             let new_cipher = engine.encrypt_line(&new_ctrs.iv(page.raw(), b), &plain);
             self.sched(now, self.config.nvm_timing.write_cycles());
             self.nvm_write_data(addr, &new_cipher)?;
@@ -943,9 +940,9 @@ impl MemoryController {
                 self.sched(now, self.config.nvm_timing.read_cycles());
                 let cipher = self.nvm_read_data(addr)?;
                 self.stats.mem.reads.inc();
-                let plain = self.decrypt_ctr(addr, &old_ctrs, &cipher);
+                let plain = self.decrypt_ctr(addr, &old_ctrs, &cipher)?;
                 self.deuce_meta.remove(&addr.raw());
-                let engine = self.ctr.as_ref().expect("ctr engine");
+                let engine = engine_of(&self.ctr, "ctr")?;
                 let new_cipher = engine.encrypt_line(&ctrs.iv(page.raw(), b), &plain);
                 self.sched(now, self.config.nvm_timing.write_cycles());
                 self.nvm_write_data(addr, &new_cipher)?;
@@ -1086,7 +1083,7 @@ impl MemoryController {
                     self.nvm_write_data(addr, &zero)?;
                 }
                 EncryptionMode::Ecb => {
-                    let cipher = self.ecb.as_ref().expect("ecb engine").encrypt_line(&zero);
+                    let cipher = engine_of(&self.ecb, "ecb")?.encrypt_line(&zero);
                     self.nvm_write_data(addr, &cipher)?;
                 }
                 EncryptionMode::Ctr => {
@@ -1095,7 +1092,7 @@ impl MemoryController {
                     if ctrs.bump_for_write(b) == BumpOutcome::Overflowed {
                         self.reencrypt_page(page, &old_ctrs, &ctrs, b, now)?;
                     }
-                    let engine = self.ctr.as_ref().expect("ctr engine");
+                    let engine = engine_of(&self.ctr, "ctr")?;
                     let cipher = engine.encrypt_line(&ctrs.iv(page.raw(), b), &zero);
                     self.deuce_meta.remove(&addr.raw());
                     self.nvm_write_data(addr, &cipher)?;
@@ -1229,11 +1226,9 @@ impl MemoryController {
         self.check_data_addr(addr)?;
         match self.config.encryption {
             EncryptionMode::None => Ok(self.nvm_peek_data(addr)),
-            EncryptionMode::Ecb => Ok(self
-                .ecb
-                .as_ref()
-                .expect("ecb engine")
-                .decrypt_line(&self.nvm_peek_data(addr))),
+            EncryptionMode::Ecb => {
+                Ok(engine_of(&self.ecb, "ecb")?.decrypt_line(&self.nvm_peek_data(addr)))
+            }
             EncryptionMode::Ctr => {
                 let page = addr.page();
                 let caddr = self.counter_addr(page);
@@ -1245,7 +1240,7 @@ impl MemoryController {
                     return Ok([0u8; LINE_SIZE]);
                 }
                 let cipher = self.nvm_peek_data(addr);
-                Ok(self.decrypt_ctr(addr, &ctrs, &cipher))
+                self.decrypt_ctr(addr, &ctrs, &cipher)
             }
         }
     }
@@ -1375,6 +1370,16 @@ impl MemoryController {
     pub fn is_line_quarantined(&self, addr: BlockAddr) -> bool {
         self.heal.is_quarantined(self.device_addr(addr))
     }
+}
+
+/// Typed-error access to an optional crypto engine. The encryption
+/// mode guarantees the matching engine exists, but the controller and
+/// heal paths must never panic (SEC-001): a mode/engine mismatch
+/// surfaces as [`Error::InvalidConfig`] the harness can classify.
+fn engine_of<'a, T>(engine: &'a Option<T>, mode: &str) -> Result<&'a T> {
+    engine.as_ref().ok_or_else(|| Error::InvalidConfig {
+        detail: format!("{mode} operation issued without a {mode} engine"),
+    })
 }
 
 /// Builds the write queue for a configuration, if enabled.

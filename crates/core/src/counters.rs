@@ -136,7 +136,9 @@ impl CounterBlock {
 
     /// Deserialises from a 64 B NVM line.
     pub fn from_line(line: &[u8; LINE_SIZE]) -> Self {
-        let major = u64::from_le_bytes(line[..8].try_into().expect("8 bytes"));
+        let mut major_bytes = [0u8; 8];
+        major_bytes.copy_from_slice(&line[..8]);
+        let major = u64::from_le_bytes(major_bytes);
         let mut minors = [0u8; BLOCKS_PER_PAGE];
         let mut bit = 0usize;
         for m in &mut minors {

@@ -24,7 +24,7 @@
 //! metadata: they survive [`power_loss`](crate::MemoryController::power_loss)
 //! like the remap tables in real NVDIMM firmware do.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ss_common::{BlockAddr, Counter, Cycles, LINE_SIZE};
 
@@ -93,7 +93,7 @@ pub struct SparePool {
     /// that itself wears out is replaced by the next free slot).
     next_free: u64,
     /// Failed device line → spare device line.
-    map: HashMap<u64, u64>,
+    map: BTreeMap<u64, u64>,
     /// Device lines that failed remap; every access errors loudly.
     quarantined: BTreeSet<u64>,
 }
@@ -105,7 +105,7 @@ impl SparePool {
             base,
             total: lines,
             next_free: 0,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             quarantined: BTreeSet::new(),
         }
     }

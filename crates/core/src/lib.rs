@@ -43,6 +43,8 @@
 //! # Ok::<(), ss_common::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod config;
 pub mod controller;

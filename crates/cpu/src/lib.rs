@@ -14,6 +14,8 @@
 //! `ss-sim` on top of the cache hierarchy, the OS page-fault handler and
 //! the Silent Shredder controller.
 
+#![forbid(unsafe_code)]
+
 pub mod core_model;
 pub mod inst;
 pub mod machine;

@@ -40,9 +40,8 @@ impl CtrEngine {
     /// Generates the 64-byte one-time pad for `iv`.
     pub fn pad(&self, iv: &Iv) -> Line {
         let mut pad = [0u8; LINE_SIZE];
-        for chunk in 0..4u8 {
-            let block = self.aes.encrypt_block(&iv.to_bytes(chunk));
-            pad[chunk as usize * 16..(chunk as usize + 1) * 16].copy_from_slice(&block);
+        for (chunk, dst) in (0..4u8).zip(pad.chunks_exact_mut(16)) {
+            dst.copy_from_slice(&self.aes.encrypt_block(&iv.to_bytes(chunk)));
         }
         pad
     }

@@ -39,10 +39,10 @@ impl EcbEngine {
     /// Encrypts a 64 B line chunk-by-chunk.
     pub fn encrypt_line(&self, plain: &Line) -> Line {
         let mut out = [0u8; LINE_SIZE];
-        for (i, chunk) in plain.chunks_exact(16).enumerate() {
+        for (dst, chunk) in out.chunks_exact_mut(16).zip(plain.chunks_exact(16)) {
             let mut block = [0u8; 16];
             block.copy_from_slice(chunk);
-            out[i * 16..(i + 1) * 16].copy_from_slice(&self.aes.encrypt_block(&block));
+            dst.copy_from_slice(&self.aes.encrypt_block(&block));
         }
         out
     }
@@ -50,10 +50,10 @@ impl EcbEngine {
     /// Decrypts a 64 B line chunk-by-chunk.
     pub fn decrypt_line(&self, cipher: &Line) -> Line {
         let mut out = [0u8; LINE_SIZE];
-        for (i, chunk) in cipher.chunks_exact(16).enumerate() {
+        for (dst, chunk) in out.chunks_exact_mut(16).zip(cipher.chunks_exact(16)) {
             let mut block = [0u8; 16];
             block.copy_from_slice(chunk);
-            out[i * 16..(i + 1) * 16].copy_from_slice(&self.aes.decrypt_block(&block));
+            dst.copy_from_slice(&self.aes.decrypt_block(&block));
         }
         out
     }

@@ -90,11 +90,11 @@ impl Iv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn encoding_is_injective_over_fields() {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for page in [0u64, 1, 999] {
             for block in [0u8, 1, 63] {
                 for major in [0u64, 1, u64::MAX] {

@@ -82,8 +82,10 @@ impl MerkleTree {
         let mut level_digest = hash_leaf(leaf_data);
         let mut level_start = leaves;
         loop {
-            for node in &mut nodes[level_start..level_start * 2] {
-                *node = level_digest;
+            if let Some(level) = nodes.get_mut(level_start..level_start * 2) {
+                for node in level {
+                    *node = level_digest;
+                }
             }
             if level_start == 1 {
                 break;
@@ -101,7 +103,21 @@ impl MerkleTree {
 
     /// The current root digest (kept on-chip in the threat model).
     pub fn root(&self) -> Digest {
-        self.nodes[1]
+        self.node(1)
+    }
+
+    /// Checked node read. Indices are in range by construction (the heap
+    /// layout is allocated up front and never shrinks), so the zero
+    /// fallback is unreachable; it exists so the hot path stays panic-free.
+    fn node(&self, i: usize) -> Digest {
+        self.nodes.get(i).copied().unwrap_or([0u8; 32])
+    }
+
+    /// Checked node write; out-of-range writes are silently impossible.
+    fn set_node(&mut self, i: usize, digest: Digest) {
+        if let Some(node) = self.nodes.get_mut(i) {
+            *node = digest;
+        }
     }
 
     /// Re-hashes leaf `index` from `data` and updates the path to the root.
@@ -112,10 +128,10 @@ impl MerkleTree {
     pub fn update_leaf(&mut self, index: usize, data: &[u8]) {
         assert!(index < self.leaves, "leaf index {index} out of range");
         let mut i = self.leaves + index;
-        self.nodes[i] = hash_leaf(data);
+        self.set_node(i, hash_leaf(data));
         while i > 1 {
             i /= 2;
-            self.nodes[i] = hash_node(&self.nodes[2 * i].clone(), &self.nodes[2 * i + 1].clone());
+            self.set_node(i, hash_node(&self.node(2 * i), &self.node(2 * i + 1)));
         }
     }
 
@@ -131,7 +147,7 @@ impl MerkleTree {
         let mut digest = hash_leaf(data);
         let mut i = self.leaves + index;
         while i > 1 {
-            let sibling = self.nodes[i ^ 1];
+            let sibling = self.node(i ^ 1);
             digest = if i.is_multiple_of(2) {
                 hash_node(&digest, &sibling)
             } else {
@@ -154,7 +170,10 @@ impl MerkleTree {
             node_index > 1 && node_index < self.nodes.len(),
             "node {node_index} is not a tamperable off-chip node"
         );
-        std::mem::replace(&mut self.nodes[node_index], value)
+        match self.nodes.get_mut(node_index) {
+            Some(node) => std::mem::replace(node, value),
+            None => [0u8; 32],
+        }
     }
 
     /// The flat node count (for tests/tools that want to iterate).

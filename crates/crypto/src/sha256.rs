@@ -3,6 +3,12 @@
 //! Used as the hash for the counter-integrity Merkle tree. A streaming
 //! [`Sha256`] hasher is provided along with the one-shot [`sha256`].
 
+// The FIPS 180-4 compression kernel indexes fixed 64-entry schedule
+// and constant tables with loop indices bounded by those lengths, so
+// the crate-wide `clippy::indexing_slicing` deny is lifted for this
+// module only (same rationale as `aes.rs`).
+#![allow(clippy::indexing_slicing)]
+
 /// A 32-byte SHA-256 digest.
 pub type Digest = [u8; 32];
 

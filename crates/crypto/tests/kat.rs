@@ -12,7 +12,7 @@
 //! * A seeded sweep checks [`Iv`] encoding injectivity and pad
 //!   uniqueness across distinct (page, block, major, minor) tuples.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ss_common::DetRng;
 use ss_crypto::{Aes128, CtrEngine, EcbEngine, Iv};
@@ -145,9 +145,9 @@ fn sp800_38a_ctr_aes128() {
 fn iv_uniqueness_over_counter_fields() {
     let engine = CtrEngine::new([0x42; 16]);
     let mut rng = DetRng::new(0x0177_2026);
-    let mut tuples = HashSet::new();
-    let mut encodings = HashSet::new();
-    let mut pads = HashSet::new();
+    let mut tuples = BTreeSet::new();
+    let mut encodings = BTreeSet::new();
+    let mut pads = BTreeSet::new();
     let mut fresh = 0usize;
     while fresh < 512 {
         let page = rng.next_u64() & ((1 << 48) - 1);

@@ -275,6 +275,15 @@ impl Tally {
     pub fn total(&self) -> u64 {
         self.recovered + self.detected + self.benign + self.skipped + self.corrupted
     }
+
+    /// Renders as a JSON object with a fixed key order — byte-stable so
+    /// two sweep files from the same seeds `cmp` equal.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"recovered\":{},\"detected\":{},\"benign\":{},\"skipped\":{},\"corrupted\":{}}}",
+            self.recovered, self.detected, self.benign, self.skipped, self.corrupted
+        )
+    }
 }
 
 impl fmt::Display for Tally {
@@ -316,6 +325,76 @@ impl PlanReport {
     pub fn clean(&self) -> bool {
         self.final_failure.is_none() && self.tally().corrupted == 0
     }
+
+    /// Renders the full report as one JSON object on a single line:
+    /// fixed key order, records in firing order, no maps anywhere on
+    /// the path. `faultsweep --json` embeds this verbatim, and the
+    /// determinism test byte-compares it across runs.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"label\":\"{}\",\"seed\":{},\"ops\":{},\"clean\":{},\"tally\":{},\"records\":[",
+            json_escape(&self.label),
+            self.seed,
+            self.ops,
+            self.clean(),
+            self.tally().to_json()
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("],\"final_failure\":");
+        match &self.final_failure {
+            Some(e) => {
+                out.push('"');
+                out.push_str(&json_escape(e));
+                out.push('"');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl FaultRecord {
+    /// Renders as a JSON object with a fixed key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"page\":{},\"block\":{},\"bit\":{},\"after_writes\":{},\
+             \"fired_at\":{},\"outcome\":\"{}\",\"detail\":\"{}\"}}",
+            self.fault.kind.label(),
+            self.fault.page,
+            self.fault.block,
+            self.fault.bit,
+            self.fault.after_writes,
+            self.fired_at,
+            self.outcome.label(),
+            json_escape(&self.detail)
+        )
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for PlanReport {
@@ -940,9 +1019,23 @@ mod tests {
     #[test]
     fn same_seed_byte_identical_report() {
         for cfg in HarnessConfig::matrix().iter().take(4) {
-            let a = format!("{}", run_plan(cfg, 11));
-            let b = format!("{}", run_plan(cfg, 11));
-            assert_eq!(a, b, "nondeterministic report for {}", cfg.label);
+            let a = run_plan(cfg, 11);
+            let b = run_plan(cfg, 11);
+            assert_eq!(
+                format!("{a}"),
+                format!("{b}"),
+                "nondeterministic report for {}",
+                cfg.label
+            );
+            // The machine-readable form must be byte-identical too: CI
+            // compares two sweep JSON files with cmp.
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "nondeterministic JSON for {}",
+                cfg.label
+            );
+            assert_eq!(a.tally().to_json(), b.tally().to_json());
         }
     }
 
@@ -984,7 +1077,7 @@ mod tests {
             labels.len(),
             labels
                 .iter()
-                .collect::<std::collections::HashSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
                 .len(),
             "labels must be unique"
         );

@@ -27,6 +27,8 @@
 //! report. `faultsweep --seed N` (in `crates/bench`) replays one plan
 //! with per-fault detail.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod plan;
 pub mod scenario;

@@ -6,7 +6,7 @@
 //! lines, and the set of plaintext lines that were shredded away and
 //! must never reappear in a cold scan of the NVM array.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ss_common::{BlockAddr, PageId, BLOCKS_PER_PAGE, LINE_SIZE};
 
@@ -19,17 +19,17 @@ pub type Line = [u8; LINE_SIZE];
 pub struct ShadowModel {
     /// Expected plaintext by raw block address. A shred sets every block
     /// of the page to zeros, so shredded lines stay tracked.
-    lines: HashMap<u64, Line>,
+    lines: BTreeMap<u64, Line>,
     /// Pages currently in the fully/partially shredded state (at least
     /// one shred since the last boot, not since overwritten everywhere).
-    shredded_pages: HashSet<u64>,
+    shredded_pages: BTreeSet<u64>,
     /// Plaintext lines that were live when their page was shredded: a
     /// cold scan of an *encrypted* NVM array must never surface them.
-    secrets: HashSet<Line>,
+    secrets: BTreeSet<Line>,
     /// Lines known to have been rescued into the controller's spare
     /// pool. Remapping is architecturally invisible, so this changes no
     /// expectation — it only lets the harness report healing coverage.
-    remapped: HashSet<u64>,
+    remapped: BTreeSet<u64>,
 }
 
 impl ShadowModel {

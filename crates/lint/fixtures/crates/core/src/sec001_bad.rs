@@ -1,0 +1,13 @@
+//! Golden fixture: SEC-001 (panics on controller/heal paths).
+
+pub fn risky(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+pub fn risky_msg(v: Option<u64>) -> u64 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("controller abort");
+}

@@ -1,0 +1,14 @@
+//! Golden fixture: SEC-001 clean — typed propagation in production
+//! code; the trailing test module may unwrap freely.
+
+pub fn safe(v: Option<u64>) -> Result<u64, String> {
+    v.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_here() {
+        assert_eq!(super::safe(Some(3)).unwrap(), 3);
+    }
+}

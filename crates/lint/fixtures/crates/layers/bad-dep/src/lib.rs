@@ -1,0 +1,3 @@
+//! Golden fixture crate root (clean; the manifest is the offender).
+
+#![forbid(unsafe_code)]

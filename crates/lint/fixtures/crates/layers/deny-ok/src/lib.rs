@@ -1,0 +1,3 @@
+//! Golden fixture crate root using deny instead of forbid.
+
+#![deny(unsafe_code)]

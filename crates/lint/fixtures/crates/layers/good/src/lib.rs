@@ -1,0 +1,3 @@
+//! Golden fixture crate root (clean).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,3 @@
+//! Golden fixture crate root missing the mandatory unsafe_code forbid.
+
+pub fn nothing() {}

@@ -1,0 +1,4 @@
+//! Golden fixture crate root (clean; the missing layer entry is the
+//! offence).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,13 @@
+//! Golden fixture: `lint:allow-file` waives one rule for the whole
+//! file; other rules keep firing.
+
+// lint:allow-file(DET-001): fixture-wide escape
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn leak() -> u64 {
+    let t = std::time::Instant::now();
+    let _: HashMap<u64, u64> = HashMap::new();
+    t.elapsed().as_nanos() as u64
+}

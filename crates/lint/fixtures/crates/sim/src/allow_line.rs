@@ -1,0 +1,9 @@
+//! Golden fixture: line-level `lint:allow` escapes. Only the final,
+//! unescaped violation may fire.
+
+use std::collections::HashMap; // lint:allow(DET-001) same-line escape
+
+// lint:allow(DET-001) escape on the comment line above the offence
+use std::collections::HashMap;
+
+use std::collections::HashSet;

@@ -1,0 +1,8 @@
+//! Golden fixture: DET-001 (randomized-iteration containers).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn index() -> HashMap<u64, u64> {
+    HashMap::new()
+}

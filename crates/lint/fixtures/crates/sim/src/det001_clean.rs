@@ -1,0 +1,11 @@
+//! Golden fixture: DET-001 clean — ordered containers only, and the
+//! word HashMap in comments or strings must not fire.
+
+use std::collections::BTreeMap;
+
+pub fn index() -> BTreeMap<u64, u64> {
+    // a HashMap would be nondeterministic here
+    let msg = "HashMap";
+    let _ = msg;
+    BTreeMap::new()
+}

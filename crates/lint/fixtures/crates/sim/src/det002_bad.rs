@@ -1,0 +1,8 @@
+//! Golden fixture: DET-002 (wall-clock / OS-environment inputs).
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+    let _ = std::env::var("SEED");
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+//! Golden fixture: DET-003 (RNGs outside ss_common::rng::DetRng).
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    let state = RandomState::new();
+    let _ = (rng.gen::<u64>(), state);
+    0
+}

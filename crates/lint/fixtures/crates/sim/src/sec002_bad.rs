@@ -1,0 +1,8 @@
+//! Golden fixture: SEC-002 (raw device surface outside ss-core).
+
+use ss_nvm::NvmDevice;
+
+pub fn bypass(dev: &mut NvmDevice) {
+    dev.write_line(0, &[0u8; 64]);
+    dev.flip_bit(0, 3);
+}

@@ -1,0 +1,285 @@
+//! `lint.toml` — the in-repo analyzer configuration.
+//!
+//! Hand-rolled parser for the small TOML subset the config needs (the
+//! workspace is zero-dependency by policy, enforced by LAYER-001
+//! itself). Supported syntax:
+//!
+//! ```toml
+//! # comment
+//! [[allow]]
+//! rule = "DET-002"
+//! path = "crates/bench/src/runner.rs"   # exact file, or a "dir/" prefix
+//! reason = "why this escape is sound"
+//!
+//! [layers.ss-core]
+//! deps = ["ss-common", "ss-crypto"]
+//! ```
+//!
+//! Anything outside this subset is a hard error: a config typo must
+//! fail the lint run loudly, not silently relax a rule.
+
+use std::collections::BTreeMap;
+
+/// One allowlist entry: `rule` is waived for `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule ID (`DET-001`, …).
+    pub rule: String,
+    /// Repo-relative file path, or a directory prefix ending in `/`.
+    pub path: String,
+    /// Human justification (required: an unexplained escape is a smell).
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// File/directory allowlist.
+    pub allows: Vec<AllowEntry>,
+    /// Declared crate layering: crate name → allowed `[dependencies]`.
+    pub layers: BTreeMap<String, Vec<String>>,
+}
+
+impl LintConfig {
+    /// Whether `rule` is waived for `path` by the allowlist.
+    pub fn allows(&self, rule: &str, path: &str) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && (a.path == path || (a.path.ends_with('/') && path.starts_with(&a.path)))
+        })
+    }
+
+    /// Parses the configuration file contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for any syntax or
+    /// schema violation.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = LintConfig::default();
+        let mut section = Section::None;
+        let mut pending: Option<(usize, String)> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let stripped = strip_comment(raw).trim().to_string();
+            if stripped.is_empty() {
+                continue;
+            }
+            // Multi-line arrays: buffer from `key = [` to the closing `]`.
+            let line = match pending.take() {
+                Some((start, mut buf)) => {
+                    buf.push(' ');
+                    buf.push_str(&stripped);
+                    if !buf.contains(']') {
+                        pending = Some((start, buf));
+                        continue;
+                    }
+                    buf
+                }
+                None => {
+                    if stripped.contains('[') && !stripped.contains(']') && stripped.contains('=') {
+                        pending = Some((lineno, stripped));
+                        continue;
+                    }
+                    stripped
+                }
+            };
+            if line == "[[allow]]" {
+                cfg.finish_allow(&mut section, lineno)?;
+                section = Section::Allow {
+                    rule: None,
+                    path: None,
+                    reason: None,
+                };
+                continue;
+            }
+            if let Some(name) = line
+                .strip_prefix("[layers.")
+                .and_then(|r| r.strip_suffix(']'))
+            {
+                cfg.finish_allow(&mut section, lineno)?;
+                let name = name.trim_matches('"').to_string();
+                if name.is_empty() {
+                    return Err(format!("lint.toml:{lineno}: empty layer name"));
+                }
+                if cfg.layers.contains_key(&name) {
+                    return Err(format!("lint.toml:{lineno}: duplicate layer {name:?}"));
+                }
+                cfg.layers.insert(name.clone(), Vec::new());
+                section = Section::Layer(name);
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("lint.toml:{lineno}: unknown section {line}"));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("lint.toml:{lineno}: expected key = value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match &mut section {
+                Section::None => {
+                    return Err(format!("lint.toml:{lineno}: key outside any section"));
+                }
+                Section::Allow { rule, path, reason } => {
+                    let v = parse_string(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: expected a string"))?;
+                    match key {
+                        "rule" => *rule = Some(v),
+                        "path" => *path = Some(v),
+                        "reason" => *reason = Some(v),
+                        other => {
+                            return Err(format!("lint.toml:{lineno}: unknown allow key {other:?}"));
+                        }
+                    }
+                }
+                Section::Layer(name) => {
+                    if key != "deps" {
+                        return Err(format!("lint.toml:{lineno}: unknown layer key {key:?}"));
+                    }
+                    let deps = parse_string_array(value)
+                        .ok_or_else(|| format!("lint.toml:{lineno}: expected an array"))?;
+                    if let Some(layer) = cfg.layers.get_mut(name) {
+                        *layer = deps;
+                    }
+                }
+            }
+        }
+        let last = text.lines().count();
+        cfg.finish_allow(&mut section, last)?;
+        Ok(cfg)
+    }
+
+    /// Closes a pending `[[allow]]` section, validating completeness.
+    fn finish_allow(&mut self, section: &mut Section, lineno: usize) -> Result<(), String> {
+        if let Section::Allow { rule, path, reason } = std::mem::replace(section, Section::None) {
+            match (rule, path, reason) {
+                (Some(rule), Some(path), Some(reason)) => {
+                    self.allows.push(AllowEntry { rule, path, reason });
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{lineno}: [[allow]] needs rule, path, and reason"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+enum Section {
+    None,
+    Allow {
+        rule: Option<String>,
+        path: Option<String>,
+        reason: Option<String>,
+    },
+    Layer(String),
+}
+
+/// Drops a trailing `# comment` that is not inside a string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"value"`.
+fn parse_string(v: &str) -> Option<String> {
+    v.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+}
+
+/// Parses `["a", "b"]` (possibly empty).
+fn parse_string_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|item| !item.is_empty()) // tolerate a trailing comma
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_allows_and_layers() {
+        let cfg = LintConfig::parse(
+            r#"
+# top comment
+[[allow]]
+rule = "DET-002"
+path = "crates/bench/src/runner.rs"
+reason = "self-timed runner"
+
+[[allow]]
+rule = "SEC-002"
+path = "crates/bench/"   # directory prefix
+reason = "attacker-model experiments"
+
+[layers.ss-common]
+deps = []
+
+[layers.ss-core]
+deps = ["ss-common", "ss-crypto"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.allows.len(), 2);
+        assert!(cfg.allows("DET-002", "crates/bench/src/runner.rs"));
+        assert!(!cfg.allows("DET-002", "crates/bench/src/lib.rs"));
+        assert!(cfg.allows("SEC-002", "crates/bench/src/experiments.rs"));
+        assert_eq!(cfg.layers["ss-core"], vec!["ss-common", "ss-crypto"]);
+        assert!(cfg.layers["ss-common"].is_empty());
+    }
+
+    #[test]
+    fn multi_line_arrays_parse() {
+        let cfg = LintConfig::parse(
+            "[layers.ss-sim]\ndeps = [\n    \"ss-common\",\n    \"ss-core\",\n]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.layers["ss-sim"], vec!["ss-common", "ss-core"]);
+    }
+
+    #[test]
+    fn incomplete_allow_is_an_error() {
+        let err = LintConfig::parse("[[allow]]\nrule = \"DET-001\"\n").unwrap_err();
+        assert!(err.contains("needs rule, path, and reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        assert!(LintConfig::parse("[surprise]\n").is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = LintConfig::parse(
+            "[[allow]]\nrule = \"X\"\npath = \"p\"\nreason = \"r\"\nfoo = \"bar\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown allow key"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_layer_is_an_error() {
+        let err =
+            LintConfig::parse("[layers.ss-a]\ndeps = []\n[layers.ss-a]\ndeps = []\n").unwrap_err();
+        assert!(err.contains("duplicate layer"), "{err}");
+    }
+}

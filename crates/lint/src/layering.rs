@@ -1,0 +1,212 @@
+//! Manifest-level rules: crate layering (LAYER-001) and mandatory
+//! `#![forbid(unsafe_code)]` crate roots (META-001).
+
+use std::path::Path;
+
+use crate::config::LintConfig;
+use crate::lexer;
+use crate::rules::find_seq;
+use crate::Finding;
+
+/// A parsed (just enough) `Cargo.toml`.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Repo-relative path of the manifest.
+    pub path: String,
+    /// `package.name`, if present (the virtual workspace table has none).
+    pub name: Option<String>,
+    /// `[dependencies]` entries as `(line, dep_name)`.
+    pub deps: Vec<(usize, String)>,
+}
+
+/// Extracts the package name and `[dependencies]` from manifest text.
+/// Line-based: good enough for this workspace's hand-written manifests.
+pub fn parse_manifest(path: &str, text: &str) -> Manifest {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if section == "package" && key == "name" {
+                name = Some(value.trim().trim_matches('"').to_string());
+            }
+            if section == "dependencies" {
+                deps.push((idx + 1, key.trim_matches('"').to_string()));
+            }
+        }
+    }
+    Manifest {
+        path: path.to_string(),
+        name,
+        deps,
+    }
+}
+
+/// LAYER-001: every crate's `[dependencies]` must match the layering
+/// declared in `lint.toml`. Two failure modes:
+///
+/// * an `ss-*` dependency not in the crate's declared layer (e.g.
+///   `ss-os` reaching for `ss-nvm` directly), and
+/// * any dependency on a crate outside the workspace at all — the
+///   workspace is zero-dependency by policy (offline builds, no
+///   supply-chain surface), so an external crate is a layering
+///   violation of the whole workspace, not a version question.
+pub fn check_layering(manifest: &Manifest, config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let Some(name) = &manifest.name else {
+        return findings;
+    };
+    let Some(allowed) = config.layers.get(name) else {
+        findings.push(Finding::new(
+            &manifest.path,
+            1,
+            "LAYER-001",
+            format!("crate {name} has no [layers.{name}] entry in lint.toml"),
+        ));
+        return findings;
+    };
+    for (line, dep) in &manifest.deps {
+        if !dep.starts_with("ss-") && dep != "silent-shredder" {
+            findings.push(Finding::new(
+                &manifest.path,
+                *line,
+                "LAYER-001",
+                format!("external dependency {dep:?}: the workspace is zero-dependency by policy"),
+            ));
+        } else if !allowed.iter().any(|a| a == dep) {
+            findings.push(Finding::new(
+                &manifest.path,
+                *line,
+                "LAYER-001",
+                format!("{name} may not depend on {dep} (not in its declared layer)"),
+            ));
+        }
+    }
+    findings
+}
+
+/// META-001: every crate root must carry `#![forbid(unsafe_code)]`.
+/// `#![deny(unsafe_code)]` is tolerated only with an allowlist entry in
+/// `lint.toml` documenting the exception.
+pub fn check_crate_root(rel_path: &str, root_file: &Path, config: &LintConfig) -> Vec<Finding> {
+    let Ok(text) = std::fs::read_to_string(root_file) else {
+        return vec![Finding::new(
+            rel_path,
+            1,
+            "META-001",
+            "crate root file is unreadable",
+        )];
+    };
+    let scrubbed = lexer::scrub(&text);
+    let mut saw_deny = false;
+    for ln in 1..=scrubbed.lines.len() {
+        let toks = scrubbed.tokens(ln);
+        if find_seq(
+            &toks,
+            &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"],
+        )
+        .is_some()
+        {
+            return Vec::new();
+        }
+        if find_seq(
+            &toks,
+            &["#", "!", "[", "deny", "(", "unsafe_code", ")", "]"],
+        )
+        .is_some()
+        {
+            saw_deny = true;
+        }
+    }
+    if saw_deny && config.allows("META-001", rel_path) {
+        return Vec::new();
+    }
+    vec![Finding::new(
+        rel_path,
+        1,
+        "META-001",
+        if saw_deny {
+            "crate root denies (not forbids) unsafe_code without a lint.toml exception"
+        } else {
+            "crate root is missing #![forbid(unsafe_code)]"
+        },
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn layer_cfg() -> LintConfig {
+        LintConfig::parse(
+            "[layers.ss-os]\ndeps = [\"ss-common\"]\n[layers.ss-core]\ndeps = [\"ss-common\", \"ss-nvm\"]\n",
+        )
+        .expect("config parses")
+    }
+
+    #[test]
+    fn manifest_parse_extracts_name_and_deps() {
+        let m = parse_manifest(
+            "crates/os/Cargo.toml",
+            "[package]\nname = \"ss-os\"\n\n[dependencies]\nss-common.workspace = true\n",
+        );
+        assert_eq!(m.name.as_deref(), Some("ss-os"));
+        assert_eq!(m.deps.len(), 1);
+        assert_eq!(m.deps[0].1, "ss-common.workspace");
+    }
+
+    #[test]
+    fn dotted_workspace_dep_is_normalised() {
+        // `ss-common.workspace = true` must count as a dep on ss-common.
+        let m = parse_manifest(
+            "x/Cargo.toml",
+            "[package]\nname = \"ss-os\"\n[dependencies]\nss-common.workspace = true\n",
+        );
+        let findings = check_layering(&normalise(m), &layer_cfg());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn undeclared_dep_is_flagged() {
+        let m = parse_manifest(
+            "x/Cargo.toml",
+            "[package]\nname = \"ss-os\"\n[dependencies]\nss-nvm.workspace = true\n",
+        );
+        let findings = check_layering(&normalise(m), &layer_cfg());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("may not depend on ss-nvm"));
+    }
+
+    #[test]
+    fn external_dep_is_flagged() {
+        let m = parse_manifest(
+            "x/Cargo.toml",
+            "[package]\nname = \"ss-core\"\n[dependencies]\nserde = \"1\"\n",
+        );
+        let findings = check_layering(&normalise(m), &layer_cfg());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("zero-dependency"));
+    }
+
+    #[test]
+    fn missing_layer_entry_is_flagged() {
+        let m = parse_manifest("x/Cargo.toml", "[package]\nname = \"ss-new\"\n");
+        let findings = check_layering(&normalise(m), &layer_cfg());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no [layers.ss-new] entry"));
+    }
+
+    fn normalise(m: Manifest) -> Manifest {
+        crate::normalise_manifest(m)
+    }
+}

@@ -1,0 +1,496 @@
+//! A hand-rolled Rust source scrubber.
+//!
+//! `ss-lint` deliberately avoids `syn` (the workspace is fully offline
+//! and zero-dependency), so rules operate on a *scrubbed* view of each
+//! source file: comments and string/char literals are blanked out, and
+//! what remains is split into identifier/punctuation tokens. That is
+//! enough to match the rule catalog (`HashMap`, `Instant::now`,
+//! `.unwrap()`, …) without false positives from doc comments, message
+//! strings, or test fixtures embedded in string literals.
+//!
+//! While scrubbing, `// lint:allow(RULE-ID, …)` and
+//! `// lint:allow-file(RULE-ID, …)` escape hatches are harvested from
+//! the comment text (see [`Scrubbed::line_allows`]).
+
+use std::collections::BTreeSet;
+
+/// One token of scrubbed source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `cfg`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `(`, `!`, …).
+    Punct(char),
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Token::Ident(i) if i == s)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Token::Punct(p) if *p == c)
+    }
+}
+
+/// A source file with comments and literals blanked out.
+#[derive(Debug, Clone, Default)]
+pub struct Scrubbed {
+    /// Scrubbed source lines (1-indexed via `line - 1`).
+    pub lines: Vec<String>,
+    /// Rules allowed on each line by `// lint:allow(...)` directives.
+    /// A directive on a comment-only line applies to the next line that
+    /// carries code, so the escape can sit above the offending line.
+    pub line_allows: Vec<BTreeSet<String>>,
+    /// Rules allowed for the whole file by `// lint:allow-file(...)`.
+    pub file_allows: BTreeSet<String>,
+}
+
+impl Scrubbed {
+    /// Tokenizes the scrubbed line at 1-indexed `line`.
+    pub fn tokens(&self, line: usize) -> Vec<Token> {
+        tokenize(self.lines.get(line - 1).map(String::as_str).unwrap_or(""))
+    }
+
+    /// Whether `rule` is allowed (escaped) on 1-indexed `line`.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        self.file_allows.contains(rule)
+            || self
+                .line_allows
+                .get(line - 1)
+                .is_some_and(|s| s.contains(rule))
+    }
+}
+
+/// Splits a scrubbed line into identifier and punctuation tokens.
+/// Whitespace separates tokens; everything that is not part of an
+/// identifier (`[A-Za-z0-9_]`, not starting with a digit) becomes a
+/// one-character punctuation token.
+pub fn tokenize(line: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut ident = String::new();
+    for c in line.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            ident.push(c);
+        } else {
+            if !ident.is_empty() {
+                out.push(Token::Ident(std::mem::take(&mut ident)));
+            }
+            if !c.is_whitespace() {
+                out.push(Token::Punct(c));
+            }
+        }
+    }
+    if !ident.is_empty() {
+        out.push(Token::Ident(ident));
+    }
+    out
+}
+
+/// Lexer state while scanning a file.
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust.
+    BlockComment(u32),
+    Str,
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scrubs `source`: blanks comments and string/char literals (replacing
+/// them with spaces so token boundaries survive) and harvests
+/// `lint:allow` directives from comment text.
+pub fn scrub(source: &str) -> Scrubbed {
+    let mut out = Scrubbed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut state = State::Code;
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut pending_allows: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0;
+    let n = chars.len();
+
+    // Finishes the current source line: records scrubbed code, resolves
+    // directives found in this line's comments, and handles the
+    // "directive-only line applies to the next code line" rule.
+    macro_rules! flush_line {
+        () => {{
+            let mut allows: BTreeSet<String> = std::mem::take(&mut pending_allows);
+            let (line_rules, file_rules) = parse_directives(&comment_line);
+            out.file_allows.extend(file_rules);
+            let has_code = code_line.chars().any(|c| !c.is_whitespace());
+            if has_code {
+                allows.extend(line_rules);
+            } else {
+                // Comment-only line: defer the allowance to the next
+                // line that carries code.
+                pending_allows = line_rules;
+                pending_allows.extend(allows.iter().cloned());
+                allows.clear();
+            }
+            out.lines.push(std::mem::take(&mut code_line));
+            out.line_allows.push(allows);
+            comment_line.clear();
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Code;
+            }
+            flush_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        code_line.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code_line.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code_line.push(' ');
+                    }
+                    'r' | 'b' => {
+                        // Raw (r", r#", br#") and byte (b", br") strings.
+                        if let Some(skip) = raw_string_open(&chars, i) {
+                            state = State::RawStr(skip.hashes);
+                            for _ in 0..skip.len {
+                                code_line.push(' ');
+                            }
+                            i += skip.len;
+                            continue;
+                        }
+                        code_line.push(c);
+                    }
+                    '\'' => {
+                        // Disambiguate char literals from lifetimes: a
+                        // lifetime's tick is followed by an identifier
+                        // that is NOT closed by another tick.
+                        if char_literal_starts(&chars, i) {
+                            state = State::CharLit;
+                            code_line.push(' ');
+                        } else {
+                            code_line.push(' ');
+                        }
+                    }
+                    _ => code_line.push(c),
+                }
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                code_line.push(' ');
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code_line.push(' ');
+                    code_line.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code_line.push(' ');
+                    code_line.push(' ');
+                    i += 2;
+                    continue;
+                }
+                comment_line.push(c);
+                code_line.push(' ');
+            }
+            State::Str => {
+                if c == '\\' {
+                    code_line.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        code_line.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    code_line.push(' ');
+                } else {
+                    code_line.push(' ');
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && count_hashes(&chars, i + 1) >= hashes {
+                    for _ in 0..=hashes {
+                        code_line.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                    continue;
+                }
+                code_line.push(' ');
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code_line.push(' ');
+                    if i + 1 < n {
+                        code_line.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '\'' {
+                    state = State::Code;
+                    code_line.push(' ');
+                } else {
+                    code_line.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    // Final line without a trailing newline.
+    if !code_line.is_empty() || !comment_line.is_empty() || out.lines.is_empty() {
+        flush_line!();
+    }
+    out
+}
+
+struct RawOpen {
+    hashes: u32,
+    /// Characters consumed by the opener (`r##"` → 4).
+    len: usize,
+}
+
+/// Detects a raw/byte string opener at `chars[i]` (`r"`, `r#"`, `b"`,
+/// `br#"`, …). Returns how much to consume and how many `#`s close it.
+fn raw_string_open(chars: &[char], i: usize) -> Option<RawOpen> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    if !raw {
+        if hashes > 0 {
+            return None;
+        }
+        // b"..." is an ordinary (escaped) string; handle as Str by
+        // reporting a zero-hash raw opener only for true raw strings.
+        return None;
+    }
+    Some(RawOpen {
+        hashes,
+        len: j - i + 1,
+    })
+}
+
+/// Counts consecutive `#` characters starting at `chars[i]`.
+fn count_hashes(chars: &[char], i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i + n as usize) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Whether the `'` at `chars[i]` starts a char literal (vs a lifetime).
+fn char_literal_starts(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c != '\'' => {
+            // `'x'` is a char literal; `'x,` / `'x>` / `'x ` is a
+            // lifetime. Lifetimes are single identifiers, so scan the
+            // identifier and check for a closing tick.
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let mut j = i + 2;
+                while chars
+                    .get(j)
+                    .is_some_and(|&k| k.is_ascii_alphanumeric() || k == '_')
+                {
+                    j += 1;
+                }
+                chars.get(j) == Some(&'\'') && j == i + 2
+            } else {
+                // Punctuation right after the tick: `'('`? Only valid as
+                // a char literal.
+                true
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Extracts `lint:allow(...)` / `lint:allow-file(...)` rule lists from
+/// one line's accumulated comment text.
+fn parse_directives(comment: &str) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut line_rules = BTreeSet::new();
+    let mut file_rules = BTreeSet::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:allow") {
+        let after = &rest[pos + "lint:allow".len()..];
+        let (is_file, args) = if let Some(a) = after.strip_prefix("-file(") {
+            (true, a)
+        } else if let Some(a) = after.strip_prefix('(') {
+            (false, a)
+        } else {
+            rest = after;
+            continue;
+        };
+        if let Some(end) = args.find(')') {
+            for rule in args[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    if is_file {
+                        file_rules.insert(rule.to_string());
+                    } else {
+                        line_rules.insert(rule.to_string());
+                    }
+                }
+            }
+            rest = &args[end..];
+        } else {
+            break;
+        }
+    }
+    (line_rules, file_rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrubbed_line(src: &str) -> String {
+        scrub(src).lines[0].clone()
+    }
+
+    #[test]
+    fn strips_line_comments() {
+        let line = scrubbed_line("let x = 1; // HashMap");
+        assert_eq!(line.trim_end(), "let x = 1;");
+        assert!(!line.contains("HashMap"));
+    }
+
+    #[test]
+    fn strips_doc_comments() {
+        let s = scrub("/// uses a HashMap internally\nlet x = 1;");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert_eq!(s.lines[1], "let x = 1;");
+    }
+
+    #[test]
+    fn strips_strings_keeping_code() {
+        let line = scrubbed_line(r#"let s = "HashMap"; let m = 3;"#);
+        assert!(!line.contains("HashMap"));
+        assert!(line.contains("let m = 3;"));
+    }
+
+    #[test]
+    fn strips_escaped_quote_in_string() {
+        let line = scrubbed_line(r#"let s = "a\"HashMap"; foo();"#);
+        assert!(!line.contains("HashMap"));
+        assert!(line.contains("foo()"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let line = scrubbed_line(r##"let s = r#"HashMap"#; bar();"##);
+        assert!(!line.contains("HashMap"));
+        assert!(line.contains("bar()"));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = scrub("a /* x /* HashMap */ y */ b");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert!(s.lines[0].contains('a'));
+        assert!(s.lines[0].contains('b'));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let s = scrub("a /* one\nHashMap\ntwo */ b");
+        assert!(!s.lines[1].contains("HashMap"));
+        assert!(s.lines[2].contains('b'));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        // Lifetime survives as code (the identifier matters for `'a`-free
+        // rules either way); char literal contents are blanked.
+        let line = scrubbed_line("fn f<'a>(x: &'a str) { let c = 'H'; }");
+        assert!(line.contains("fn f"));
+        assert!(!line.contains('H'));
+        let line = scrubbed_line(r"let c = '\''; next();");
+        assert!(line.contains("next()"));
+    }
+
+    #[test]
+    fn tokenize_splits_idents_and_puncts() {
+        let toks = tokenize("map.unwrap();");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("map".into()),
+                Token::Punct('.'),
+                Token::Ident("unwrap".into()),
+                Token::Punct('('),
+                Token::Punct(')'),
+                Token::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_line_allow_directive() {
+        let s = scrub("let m = HashMap::new(); // lint:allow(DET-001)");
+        assert!(s.allows(1, "DET-001"));
+        assert!(!s.allows(1, "DET-002"));
+    }
+
+    #[test]
+    fn preceding_line_allow_directive() {
+        let s = scrub("// lint:allow(DET-001): justified\nlet m = HashMap::new();");
+        assert!(s.allows(2, "DET-001"));
+        assert!(!s.allows(1, "DET-001") || s.lines[0].trim().is_empty());
+    }
+
+    #[test]
+    fn file_allow_directive() {
+        let s = scrub("// lint:allow-file(SEC-002)\nfn f() {}\nfn g() {}");
+        assert!(s.allows(3, "SEC-002"));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let s = scrub("x(); // lint:allow(DET-001, DET-002)");
+        assert!(s.allows(1, "DET-001"));
+        assert!(s.allows(1, "DET-002"));
+    }
+}

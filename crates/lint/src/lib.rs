@@ -1,0 +1,301 @@
+//! `ss-lint` — a hand-rolled workspace static analyzer.
+//!
+//! The simulator's headline guarantees are *invariants*, not just test
+//! outcomes: byte-identical faultsweep reports across runs, and no path
+//! that surfaces pre-shred plaintext. This crate checks the source for
+//! the coding rules those invariants rest on, at CI time, on every
+//! diff:
+//!
+//! | rule      | what it rejects |
+//! |-----------|-----------------|
+//! | DET-001   | `HashMap`/`HashSet` (randomized iteration order) |
+//! | DET-002   | wall-clock / OS-environment inputs (`Instant::now`, `SystemTime`, `std::env`) |
+//! | DET-003   | RNGs other than `ss_common::rng::DetRng` |
+//! | SEC-001   | `unwrap()`/`expect()`/`panic!` in `ss-core` non-test code |
+//! | SEC-002   | raw `ss-nvm` device write APIs referenced outside `ss-core` |
+//! | LAYER-001 | crate dependencies outside the declared layering DAG |
+//! | META-001  | crate roots missing `#![forbid(unsafe_code)]` |
+//!
+//! Escape hatches: a `// lint:allow(RULE-ID)` comment on (or directly
+//! above) the offending line, a `// lint:allow-file(RULE-ID)` comment
+//! anywhere in the file, or a `[[allow]]` entry in the workspace
+//! `lint.toml` (which also declares the LAYER-001 DAG). See `LINTS.md`
+//! for the full catalog with rationale.
+//!
+//! Zero dependencies by design: the lexer strips comments and string
+//! literals by hand (no `syn`), so the workspace stays fully offline.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+pub mod config;
+pub mod layering;
+pub mod lexer;
+pub mod rules;
+
+pub use config::LintConfig;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule ID (`DET-001`, …).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(
+        path: impl Into<String>,
+        line: usize,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            path: path.into(),
+            line,
+            rule: rule.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Checks the whole workspace rooted at `root` (the directory holding
+/// `lint.toml`). Findings come back sorted by `(path, line, rule)`.
+///
+/// # Errors
+///
+/// Returns a message when `lint.toml` is missing/invalid or the source
+/// tree cannot be read.
+pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let config = load_config(root)?;
+    let files = collect_sources(root)?;
+    check_files(root, &config, &files)
+}
+
+/// Loads and parses `<root>/lint.toml`.
+///
+/// # Errors
+///
+/// Returns a message when the file is missing or malformed.
+pub fn load_config(root: &Path) -> Result<LintConfig, String> {
+    let path = root.join("lint.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    LintConfig::parse(&text)
+}
+
+/// Checks an explicit set of files (paths relative to `root`, or
+/// absolute under it). `Cargo.toml`s get the manifest rules; `.rs`
+/// files get the source rules; crate roots additionally get META-001.
+///
+/// # Errors
+///
+/// Returns a message when a file cannot be read.
+pub fn check_files(
+    root: &Path,
+    config: &LintConfig,
+    files: &[PathBuf],
+) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for file in files {
+        let abs = if file.is_absolute() {
+            file.clone()
+        } else {
+            root.join(file)
+        };
+        let rel = rel_path(root, &abs);
+        if rel.ends_with("Cargo.toml") {
+            let text = std::fs::read_to_string(&abs)
+                .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+            let manifest = normalise_manifest(layering::parse_manifest(&rel, &text));
+            findings.extend(layering::check_layering(&manifest, config));
+            // META-001 runs per crate root, keyed off its manifest.
+            if manifest.name.is_some() {
+                if let Some((root_rel, root_abs)) = crate_root_file(&abs, &rel) {
+                    findings.extend(layering::check_crate_root(&root_rel, &root_abs, config));
+                }
+            }
+            continue;
+        }
+        if !rel.ends_with(".rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let scrubbed = lexer::scrub(&text);
+        let ctx = rules::FileContext {
+            path: &rel,
+            scrubbed: &scrubbed,
+            first_test_line: rules::first_test_line(&scrubbed),
+        };
+        findings.extend(
+            rules::check_file(&ctx)
+                .into_iter()
+                .filter(|f| !config.allows(&f.rule, &f.path)),
+        );
+    }
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Strips the `.workspace` suffix of dotted dependency keys
+/// (`ss-common.workspace = true` declares a dep on `ss-common`).
+pub fn normalise_manifest(mut m: layering::Manifest) -> layering::Manifest {
+    for (_, dep) in &mut m.deps {
+        if let Some(base) = dep.strip_suffix(".workspace") {
+            *dep = base.to_string();
+        }
+    }
+    m
+}
+
+/// The crate-root source file for a manifest: `src/lib.rs`, else
+/// `src/main.rs`.
+fn crate_root_file(manifest_abs: &Path, manifest_rel: &str) -> Option<(String, PathBuf)> {
+    let dir = manifest_abs.parent()?;
+    let rel_dir = manifest_rel.strip_suffix("Cargo.toml")?;
+    for candidate in ["src/lib.rs", "src/main.rs"] {
+        let abs = dir.join(candidate);
+        if abs.is_file() {
+            return Some((format!("{rel_dir}{candidate}"), abs));
+        }
+    }
+    None
+}
+
+/// Collects every lintable file under `root`: all `.rs` sources plus
+/// all `Cargo.toml`s, skipping build output, VCS metadata, and the lint
+/// fixtures (which violate rules on purpose). Sorted for deterministic
+/// reports.
+pub fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Repo-relative path with `/` separators.
+fn rel_path(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Renders findings as the canonical `file:line RULE-ID message` lines.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders findings as a JSON array with a fixed key order (the same
+/// hand-rolled, byte-stable style as `faultsweep --json`).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}{comma}\n",
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.rule),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes `s` for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_sort_by_path_line_rule() {
+        let mut v = vec![
+            Finding::new("b.rs", 1, "DET-001", "x"),
+            Finding::new("a.rs", 9, "SEC-001", "x"),
+            Finding::new("a.rs", 9, "DET-001", "x"),
+        ];
+        v.sort();
+        assert_eq!(v[0].path, "a.rs");
+        assert_eq!(v[0].rule, "DET-001");
+        assert_eq!(v[2].path, "b.rs");
+    }
+
+    #[test]
+    fn text_rendering_is_canonical() {
+        let f = Finding::new("crates/os/src/kernel.rs", 12, "DET-001", "HashMap bad");
+        assert_eq!(
+            f.to_string(),
+            "crates/os/src/kernel.rs:12 DET-001 HashMap bad"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let findings = vec![Finding::new("a.rs", 1, "DET-001", "say \"hi\"")];
+        let json = render_json(&findings);
+        assert!(json.contains("\\\"hi\\\""));
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+    }
+}

@@ -1,0 +1,91 @@
+//! `ss-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ss-lint -- [--json] [--root DIR] [paths…]
+//! ```
+//!
+//! With no paths, lints every `.rs` file and `Cargo.toml` in the
+//! workspace. Prints `file:line RULE-ID message` per finding (or a JSON
+//! array with `--json`) and exits nonzero when anything fires.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+// lint:allow-file(DET-002): a CLI must read its argv and cwd; nothing
+// here feeds simulation state.
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: ss-lint [--json] [--root DIR] [paths...]");
+                return ExitCode::FAILURE;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let root = match root.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ss-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = if paths.is_empty() {
+        ss_lint::check_workspace(&root)
+    } else {
+        ss_lint::load_config(&root).and_then(|config| ss_lint::check_files(&root, &config, &paths))
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ss-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        print!("{}", ss_lint::render_json(&findings));
+    } else {
+        print!("{}", ss_lint::render_text(&findings));
+        if findings.is_empty() {
+            eprintln!("ss-lint: clean");
+        } else {
+            eprintln!("ss-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Ascends from the current directory to the nearest `lint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no lint.toml found between cwd and filesystem root".to_string());
+        }
+    }
+}

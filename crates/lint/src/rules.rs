@@ -1,0 +1,301 @@
+//! The rule catalog.
+//!
+//! Each rule scans the scrubbed token stream of one source line (see
+//! [`crate::lexer`]) and yields findings. Scoping (which files a rule
+//! applies to) lives here too, driven by repo-relative paths; the
+//! manifest-level rules (LAYER-001, META-001) live in
+//! [`crate::layering`]. Rationale and escape hatches for every rule are
+//! documented in `LINTS.md`.
+
+use crate::lexer::{Scrubbed, Token};
+use crate::Finding;
+
+/// Everything a source-level rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Repo-relative path with `/` separators.
+    pub path: &'a str,
+    /// Scrubbed source.
+    pub scrubbed: &'a Scrubbed,
+    /// 1-indexed line of the first `#[cfg(test)]` in the file, if any.
+    /// By workspace convention unit-test modules sit at the end of the
+    /// file, so rules that exempt test code skip everything from here.
+    pub first_test_line: Option<usize>,
+}
+
+impl FileContext<'_> {
+    /// Whether 1-indexed `line` is inside the trailing test module.
+    fn in_test_code(&self, line: usize) -> bool {
+        self.first_test_line.is_some_and(|t| line >= t)
+    }
+
+    /// Whether this file is itself a test/bench target (integration
+    /// tests, benches, fixtures): determinism rules still apply there,
+    /// but panic-freedom rules do not.
+    fn is_test_target(&self) -> bool {
+        self.path.contains("/tests/") || self.path.starts_with("tests/")
+    }
+}
+
+/// Finds the first `#[cfg(test)]` attribute line in a scrubbed file.
+pub fn first_test_line(scrubbed: &Scrubbed) -> Option<usize> {
+    (1..=scrubbed.lines.len()).find(|&ln| {
+        let toks = scrubbed.tokens(ln);
+        find_seq(&toks, &["#", "[", "cfg", "(", "test", ")", "]"]).is_some()
+    })
+}
+
+/// Runs every source-level rule over `ctx`, honouring `// lint:allow`
+/// escapes. Config-level allowlisting is applied by the caller.
+pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for ln in 1..=ctx.scrubbed.lines.len() {
+        let toks = ctx.scrubbed.tokens(ln);
+        if toks.is_empty() {
+            continue;
+        }
+        det_001(ctx, ln, &toks, &mut findings);
+        det_002(ctx, ln, &toks, &mut findings);
+        det_003(ctx, ln, &toks, &mut findings);
+        sec_001(ctx, ln, &toks, &mut findings);
+        sec_002(ctx, ln, &toks, &mut findings);
+    }
+    findings.retain(|f| !ctx.scrubbed.allows(f.line, &f.rule));
+    findings
+}
+
+/// DET-001: no `HashMap`/`HashSet` anywhere in the workspace. Their
+/// iteration order is randomized per process (`RandomState`), which
+/// breaks byte-identical reports and makes tie-breaks (e.g. max-wear
+/// scans) nondeterministic across runs.
+fn det_001(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
+    for name in ["HashMap", "HashSet"] {
+        if toks.iter().any(|t| t.is_ident(name)) {
+            out.push(Finding::new(
+                ctx.path,
+                ln,
+                "DET-001",
+                format!("{name} iterates in random order; use BTreeMap/BTreeSet"),
+            ));
+        }
+    }
+}
+
+/// DET-002: no wall-clock or OS-environment inputs. Simulated time is
+/// `ss_common::time::Cycles`; anything observable must be a pure
+/// function of the configuration and seed.
+fn det_002(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
+    let mut hit = |what: &str| {
+        out.push(Finding::new(
+            ctx.path,
+            ln,
+            "DET-002",
+            format!("{what} injects wall-clock/OS state into a deterministic path"),
+        ));
+    };
+    if find_seq(toks, &["Instant", "::", "now"]).is_some() {
+        hit("Instant::now");
+    }
+    if toks.iter().any(|t| t.is_ident("SystemTime")) {
+        hit("SystemTime");
+    }
+    if find_seq(toks, &["std", "::", "env"]).is_some() || find_seq(toks, &["env", "::"]).is_some() {
+        hit("std::env");
+    }
+}
+
+/// DET-003: all randomness flows through `ss_common::rng::DetRng`.
+/// External RNGs (the `rand` crate family, hasher entropy) either pull
+/// OS entropy or change streams across versions.
+fn det_003(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "StdRng",
+        "SmallRng",
+        "ThreadRng",
+        "OsRng",
+        "getrandom",
+        "from_entropy",
+        "RandomState",
+        "DefaultHasher",
+    ];
+    for name in BANNED {
+        if toks.iter().any(|t| t.is_ident(name)) {
+            out.push(Finding::new(
+                ctx.path,
+                ln,
+                "DET-003",
+                format!("{name}: construct RNGs via ss_common::rng::DetRng only"),
+            ));
+        }
+    }
+    if find_seq(toks, &["rand", "::"]).is_some() {
+        out.push(Finding::new(
+            ctx.path,
+            ln,
+            "DET-003",
+            "the rand crate is banned: construct RNGs via ss_common::rng::DetRng".to_string(),
+        ));
+    }
+}
+
+/// SEC-001: no `unwrap()`/`expect()`/`panic!` in `ss-core` non-test
+/// code. The controller and heal paths sit between every workload and
+/// the device; a panic there aborts the simulated machine instead of
+/// surfacing a typed `ss_common::error::Error` the harness can classify
+/// (detected vs corrupted). Test modules are exempt.
+fn sec_001(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
+    if !ctx.path.starts_with("crates/core/src/") || ctx.in_test_code(ln) || ctx.is_test_target() {
+        return;
+    }
+    for (name, suffix) in [("unwrap", '('), ("expect", '('), ("panic", '!')] {
+        let mut i = 0;
+        while let Some(pos) = toks[i..].iter().position(|t| t.is_ident(name)) {
+            let at = i + pos;
+            if toks.get(at + 1).is_some_and(|t| t.is_punct(suffix)) {
+                out.push(Finding::new(
+                    ctx.path,
+                    ln,
+                    "SEC-001",
+                    format!("{name} on a controller/heal path; propagate ss_common::error instead"),
+                ));
+            }
+            i = at + 1;
+        }
+    }
+}
+
+/// SEC-002: the raw `ss-nvm` device write surface (`NvmDevice`,
+/// `write_line`, `tamper`, `flip_bit`, `fail_line`,
+/// `inject_read_error`) may only be referenced from `ss-core` (and
+/// `ss-nvm` itself). Everything else must go through the controller so
+/// no plaintext can bypass the encrypt path, and — load-bearing for the
+/// paper's shredding — so no write can land without its minor-counter
+/// bump (see DESIGN.md: a stale minor of zero turns zero-fill reads
+/// into array reads of stale ciphertext).
+fn sec_002(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
+    if ctx.path.starts_with("crates/core/src/") || ctx.path.starts_with("crates/nvm/src/") {
+        return;
+    }
+    if toks.iter().any(|t| t.is_ident("NvmDevice")) {
+        out.push(Finding::new(
+            ctx.path,
+            ln,
+            "SEC-002",
+            "NvmDevice referenced outside ss-core: raw device access bypasses the encrypt/shred path",
+        ));
+    }
+    const WRITE_APIS: &[&str] = &[
+        "write_line",
+        "tamper",
+        "flip_bit",
+        "fail_line",
+        "inject_read_error",
+    ];
+    for name in WRITE_APIS {
+        let mut i = 0;
+        while let Some(pos) = toks[i..].iter().position(|t| t.is_ident(name)) {
+            let at = i + pos;
+            if toks.get(at + 1).is_some_and(|t| t.is_punct('(')) {
+                out.push(Finding::new(
+                    ctx.path,
+                    ln,
+                    "SEC-002",
+                    format!("raw device API {name}() referenced outside ss-core"),
+                ));
+            }
+            i = at + 1;
+        }
+    }
+}
+
+/// Finds `pattern` (idents and one-char puncts; `"::"` spelled as two
+/// `":"` entries is also accepted) as a contiguous token sequence.
+/// Multi-char pattern entries that are not identifiers are expanded to
+/// their characters.
+pub fn find_seq(toks: &[Token], pattern: &[&str]) -> Option<usize> {
+    let want: Vec<Token> = pattern
+        .iter()
+        .flat_map(|p| {
+            if p.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                vec![Token::Ident((*p).to_string())]
+            } else {
+                p.chars().map(Token::Punct).collect()
+            }
+        })
+        .collect();
+    if want.is_empty() || toks.len() < want.len() {
+        return None;
+    }
+    (0..=toks.len() - want.len()).find(|&i| toks[i..i + want.len()] == want[..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn ctx<'a>(path: &'a str, scrubbed: &'a Scrubbed) -> FileContext<'a> {
+        FileContext {
+            path,
+            scrubbed,
+            first_test_line: first_test_line(scrubbed),
+        }
+    }
+
+    fn rules_on(path: &str, src: &str) -> Vec<Finding> {
+        let s = scrub(src);
+        check_file(&ctx(path, &s))
+    }
+
+    #[test]
+    fn det001_fires_on_hashmap_code_not_comments() {
+        let f = rules_on("crates/os/src/kernel.rs", "use std::collections::HashMap;");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "DET-001");
+        assert!(rules_on("crates/os/src/kernel.rs", "// a HashMap note").is_empty());
+    }
+
+    #[test]
+    fn det002_catches_instant_and_env() {
+        let f = rules_on("crates/sim/src/system.rs", "let t = Instant::now();");
+        assert_eq!(f[0].rule, "DET-002");
+        let f = rules_on("crates/sim/src/system.rs", "let v = std::env::var(\"X\");");
+        assert!(f.iter().any(|f| f.rule == "DET-002"));
+    }
+
+    #[test]
+    fn sec001_scoped_to_core_nontest() {
+        assert_eq!(
+            rules_on("crates/core/src/controller.rs", "let x = y.unwrap();").len(),
+            1
+        );
+        // Same code outside ss-core: no finding.
+        assert!(rules_on("crates/sim/src/system.rs", "let x = y.unwrap();").is_empty());
+        // Inside the trailing test module: no finding.
+        let src = "#[cfg(test)]\nmod tests {\n let x = y.unwrap();\n}";
+        assert!(rules_on("crates/core/src/controller.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sec001_does_not_match_prefixed_idents() {
+        assert!(rules_on("crates/core/src/heal.rs", "fn unwrap_or_zero() {}").is_empty());
+    }
+
+    #[test]
+    fn sec002_allows_core_forbids_rest() {
+        assert!(rules_on("crates/core/src/controller.rs", "nvm.write_line(a, &d)?;").is_empty());
+        let f = rules_on("crates/sim/src/system.rs", "nvm.write_line(a, &d)?;");
+        assert_eq!(f[0].rule, "SEC-002");
+        // Longer identifiers do not match.
+        assert!(rules_on("crates/sim/src/system.rs", "m.write_line_nt(c, a);").is_empty());
+    }
+
+    #[test]
+    fn line_allow_escape_suppresses() {
+        let f = rules_on(
+            "crates/os/src/kernel.rs",
+            "use std::collections::HashMap; // lint:allow(DET-001)",
+        );
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Golden tests: exact expected findings for every fixture under
+//! `crates/lint/fixtures/`, plus CLI exit-code and JSON-shape checks.
+//!
+//! The fixtures form a mini-workspace (own `lint.toml`, own `crates/`
+//! tree) whose paths mirror the real repo so path-scoped rules (SEC-001
+//! on `crates/core/src/`, …) behave exactly as they do in production.
+//! The workspace walker skips `fixtures` directories, so these
+//! deliberately violating files never pollute a real `ss-lint` run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use ss_lint::{check_files, load_config, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Lints `paths` (fixture-relative) against the fixture `lint.toml`.
+fn lint(paths: &[&str]) -> Vec<Finding> {
+    let root = fixture_root();
+    let config = load_config(&root).expect("fixture lint.toml parses");
+    let files: Vec<PathBuf> = paths.iter().map(PathBuf::from).collect();
+    check_files(&root, &config, &files).expect("fixtures readable")
+}
+
+/// Collapses findings to `(line, rule)` pairs for compact golden
+/// expectations; messages are asserted separately where they matter.
+fn lines_and_rules(findings: &[Finding]) -> Vec<(usize, &str)> {
+    findings.iter().map(|f| (f.line, f.rule.as_str())).collect()
+}
+
+#[test]
+fn det001_violations_exact() {
+    let f = lint(&["crates/sim/src/det001_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![
+            (3, "DET-001"),
+            (4, "DET-001"),
+            (6, "DET-001"),
+            (7, "DET-001")
+        ],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("BTreeMap"), "{}", f[0].message);
+}
+
+#[test]
+fn det001_clean_fixture_is_clean() {
+    assert!(lint(&["crates/sim/src/det001_clean.rs"]).is_empty());
+}
+
+#[test]
+fn det002_violations_exact() {
+    let f = lint(&["crates/sim/src/det002_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(4, "DET-002"), (5, "DET-002"), (6, "DET-002")],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("Instant::now"));
+    assert!(f[1].message.contains("SystemTime"));
+    assert!(f[2].message.contains("std::env"));
+}
+
+#[test]
+fn det003_violations_exact() {
+    let f = lint(&["crates/sim/src/det003_bad.rs"]);
+    // Line 4 fires twice: `thread_rng` and the `rand::` crate path are
+    // separate findings.
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(4, "DET-003"), (4, "DET-003"), (5, "DET-003")],
+        "{f:#?}"
+    );
+    assert!(f.iter().all(|f| f.message.contains("DetRng")));
+}
+
+#[test]
+fn sec001_violations_exact() {
+    let f = lint(&["crates/core/src/sec001_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(4, "SEC-001"), (8, "SEC-001"), (12, "SEC-001")],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn sec001_clean_fixture_is_clean() {
+    // Result propagation plus an unwrap inside the trailing test module.
+    assert!(lint(&["crates/core/src/sec001_clean.rs"]).is_empty());
+}
+
+#[test]
+fn sec002_violations_exact() {
+    let f = lint(&["crates/sim/src/sec002_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![
+            (3, "SEC-002"),
+            (5, "SEC-002"),
+            (6, "SEC-002"),
+            (7, "SEC-002")
+        ],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn line_allow_escapes_suppress_exactly_their_line() {
+    // Two escaped HashMap uses (same-line and comment-line-above); only
+    // the unescaped HashSet on line 9 may fire.
+    let f = lint(&["crates/sim/src/allow_line.rs"]);
+    assert_eq!(lines_and_rules(&f), vec![(9, "DET-001")], "{f:#?}");
+}
+
+#[test]
+fn file_allow_waives_one_rule_only() {
+    // DET-001 is waived file-wide; the DET-002 violation still fires.
+    let f = lint(&["crates/sim/src/allow_file.rs"]);
+    assert_eq!(lines_and_rules(&f), vec![(10, "DET-002")], "{f:#?}");
+}
+
+#[test]
+fn config_allowlist_waives_whole_file() {
+    assert!(lint(&["crates/sim/src/allowed_by_config.rs"]).is_empty());
+}
+
+#[test]
+fn layering_good_crate_is_clean() {
+    assert!(lint(&["crates/layers/good/Cargo.toml"]).is_empty());
+}
+
+#[test]
+fn layering_flags_undeclared_and_external_deps() {
+    let f = lint(&["crates/layers/bad-dep/Cargo.toml"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(7, "LAYER-001"), (8, "LAYER-001")],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("may not depend on ss-nvm"));
+    assert!(f[1].message.contains("zero-dependency"));
+}
+
+#[test]
+fn layering_flags_unlisted_crate() {
+    let f = lint(&["crates/layers/unlisted/Cargo.toml"]);
+    assert_eq!(lines_and_rules(&f), vec![(1, "LAYER-001")], "{f:#?}");
+    assert!(f[0].message.contains("no [layers.fx-unlisted] entry"));
+}
+
+#[test]
+fn meta001_flags_missing_forbid() {
+    let f = lint(&["crates/layers/no-forbid/Cargo.toml"]);
+    assert_eq!(lines_and_rules(&f), vec![(1, "META-001")], "{f:#?}");
+    assert_eq!(f[0].path, "crates/layers/no-forbid/src/lib.rs");
+}
+
+#[test]
+fn meta001_tolerates_deny_with_config_exception() {
+    assert!(lint(&["crates/layers/deny-ok/Cargo.toml"]).is_empty());
+}
+
+/// Every violating fixture must drive the CLI to a nonzero exit, and
+/// every clean fixture to zero — the contract CI relies on.
+#[test]
+fn cli_exit_codes_match_fixture_intent() {
+    let violating = [
+        "crates/sim/src/det001_bad.rs",
+        "crates/sim/src/det002_bad.rs",
+        "crates/sim/src/det003_bad.rs",
+        "crates/core/src/sec001_bad.rs",
+        "crates/sim/src/sec002_bad.rs",
+        "crates/sim/src/allow_line.rs",
+        "crates/sim/src/allow_file.rs",
+        "crates/layers/bad-dep/Cargo.toml",
+        "crates/layers/unlisted/Cargo.toml",
+        "crates/layers/no-forbid/Cargo.toml",
+    ];
+    let clean = [
+        "crates/sim/src/det001_clean.rs",
+        "crates/core/src/sec001_clean.rs",
+        "crates/sim/src/allowed_by_config.rs",
+        "crates/layers/good/Cargo.toml",
+        "crates/layers/deny-ok/Cargo.toml",
+    ];
+    for path in violating {
+        let status = run_cli(&[path]);
+        assert!(!status.success(), "{path} should fail the CLI");
+    }
+    for path in clean {
+        let status = run_cli(&[path]);
+        assert!(status.success(), "{path} should pass the CLI");
+    }
+}
+
+/// `--json` output is byte-stable with a fixed key order, so diffing
+/// two CI runs never shows formatting churn.
+#[test]
+fn cli_json_output_is_byte_exact() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ss-lint"))
+        .arg("--json")
+        .arg("--root")
+        .arg(fixture_root())
+        .arg("crates/sim/src/allow_file.rs")
+        .output()
+        .expect("ss-lint binary runs");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_eq!(
+        stdout,
+        "[\n  {\"path\":\"crates/sim/src/allow_file.rs\",\"line\":10,\
+         \"rule\":\"DET-002\",\"message\":\"Instant::now injects \
+         wall-clock/OS state into a deterministic path\"}\n]\n"
+    );
+}
+
+fn run_cli(paths: &[&str]) -> std::process::ExitStatus {
+    Command::new(env!("CARGO_BIN_EXE_ss-lint"))
+        .arg("--root")
+        .arg(fixture_root())
+        .args(paths)
+        .status()
+        .expect("ss-lint binary runs")
+}

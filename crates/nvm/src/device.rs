@@ -1,7 +1,7 @@
 //! The NVM device: a byte-addressable, persistent line store with timing,
 //! energy, endurance and remanence modelling.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use ss_common::{BlockAddr, Counter, DetRng, Error, Result, LINE_SIZE};
 
@@ -118,15 +118,15 @@ pub struct NvmStats {
 #[derive(Debug, Clone)]
 pub struct NvmDevice {
     config: NvmConfig,
-    lines: HashMap<u64, [u8; LINE_SIZE]>,
-    flip_bits: HashMap<u64, [bool; LINE_SIZE / 4]>,
+    lines: BTreeMap<u64, [u8; LINE_SIZE]>,
+    flip_bits: BTreeMap<u64, [bool; LINE_SIZE / 4]>,
     wear: WearTracker,
     stats: NvmStats,
     /// Worn-out lines → number of weak cells (bits that read inverted).
-    failed: HashMap<u64, u32>,
+    failed: BTreeMap<u64, u32>,
     /// One-shot injected transient read errors: addr → flip count,
     /// consumed by the next read of that line.
-    injected: HashMap<u64, u32>,
+    injected: BTreeMap<u64, u32>,
     /// Deterministic stream for background transient draws.
     fault_rng: DetRng,
 }
@@ -137,12 +137,12 @@ impl NvmDevice {
         let fault_rng = DetRng::new(config.fault_seed ^ 0x7A17_FAD5_EED0_0BE5);
         NvmDevice {
             config,
-            lines: HashMap::new(),
-            flip_bits: HashMap::new(),
+            lines: BTreeMap::new(),
+            flip_bits: BTreeMap::new(),
             wear: WearTracker::new(),
             stats: NvmStats::default(),
-            failed: HashMap::new(),
-            injected: HashMap::new(),
+            failed: BTreeMap::new(),
+            injected: BTreeMap::new(),
             fault_rng,
         }
     }

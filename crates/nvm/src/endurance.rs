@@ -5,7 +5,7 @@
 //! the metric the endurance ablation bench uses to quantify how much
 //! Silent Shredder's eliminated writes extend device life.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ss_common::BlockAddr;
 
@@ -16,7 +16,7 @@ pub const DEFAULT_ENDURANCE_LIMIT: u64 = 10_000_000;
 /// Tracks per-line write counts.
 #[derive(Debug, Clone, Default)]
 pub struct WearTracker {
-    writes: HashMap<BlockAddr, u64>,
+    writes: BTreeMap<BlockAddr, u64>,
     total_writes: u64,
 }
 

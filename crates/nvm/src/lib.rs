@@ -36,6 +36,8 @@
 //! # Ok::<(), ss_common::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod ecc;
 pub mod endurance;

@@ -118,13 +118,13 @@ impl StartGap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn remap_is_a_permutation_at_all_times() {
         let mut sg = StartGap::new(16, 1);
         for step in 0..200 {
-            let mapped: HashSet<u64> = (0..16).map(|l| sg.remap(l)).collect();
+            let mapped: BTreeSet<u64> = (0..16).map(|l| sg.remap(l)).collect();
             assert_eq!(mapped.len(), 16, "collision at step {step}");
             assert!(mapped.iter().all(|&d| d <= 16));
             sg.on_write();
@@ -148,7 +148,7 @@ mod tests {
     fn rotation_spreads_hot_line() {
         // Hammering one logical line should see it visit many device slots.
         let mut sg = StartGap::new(8, 1);
-        let mut slots = HashSet::new();
+        let mut slots = BTreeSet::new();
         for _ in 0..100 {
             slots.insert(sg.remap(0));
             sg.on_write();

@@ -164,7 +164,7 @@ impl FrameAllocator {
     /// regions after a reboot, or contiguous allocation). Frames not in
     /// the free list are ignored.
     pub fn remove_specific(&mut self, frames: impl IntoIterator<Item = PageId>) {
-        let wanted: std::collections::HashSet<u64> = frames.into_iter().map(|p| p.raw()).collect();
+        let wanted: std::collections::BTreeSet<u64> = frames.into_iter().map(|p| p.raw()).collect();
         self.free.retain(|f| !wanted.contains(&f.page.raw()));
     }
 

@@ -7,7 +7,7 @@
 //! guest processes (steps 3–4). With Silent Shredder both layers issue
 //! the same free shred command.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ss_common::{Counter, Cycles, Error, PageId, Result};
 
@@ -45,7 +45,7 @@ pub struct Hypervisor {
     host: FrameAllocator,
     strategy: ZeroStrategy,
     guest_template: KernelConfig,
-    vms: HashMap<u64, Kernel>,
+    vms: BTreeMap<u64, Kernel>,
     next_vm: u64,
     stats: HypervisorStats,
 }
@@ -58,7 +58,7 @@ impl Hypervisor {
             host: FrameAllocator::new(AllocPolicy::ZeroOnAlloc, frames),
             strategy,
             guest_template,
-            vms: HashMap::new(),
+            vms: BTreeMap::new(),
             next_vm: 1,
             stats: HypervisorStats::default(),
         }

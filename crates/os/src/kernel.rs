@@ -6,7 +6,7 @@
 //! the kernel allocates a physical frame, *shreds it* with the configured
 //! [`ZeroStrategy`] (the modified `clear_page` of §5), and maps it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ss_common::{Counter, Cycles, Error, PageId, PhysAddr, Result, VirtAddr, PAGE_SIZE};
 
@@ -87,7 +87,7 @@ pub struct Kernel {
     config: KernelConfig,
     allocator: FrameAllocator,
     zero_page: Option<PageId>,
-    procs: HashMap<u64, Process>,
+    procs: BTreeMap<u64, Process>,
     next_proc: u64,
     stats: KernelStats,
     pmem: Option<PmemDirectory>,
@@ -112,7 +112,7 @@ impl Kernel {
             config,
             allocator,
             zero_page,
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             next_proc: 1,
             stats: KernelStats::default(),
             pmem: None,

@@ -46,6 +46,8 @@
 //! # Ok::<(), ss_common::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod frame_alloc;
 pub mod hypervisor;
 pub mod kernel;

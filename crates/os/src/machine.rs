@@ -68,7 +68,7 @@ pub trait MachineOps {
 #[derive(Debug, Clone)]
 pub struct MockMachine {
     /// Functional memory contents, line-granular.
-    pub mem: std::collections::HashMap<u64, Line>,
+    pub mem: std::collections::BTreeMap<u64, Line>,
     /// Pages shredded via the MMIO register.
     pub shredded: Vec<PageId>,
     /// Count of zeroing-tagged line writes.
@@ -82,7 +82,7 @@ impl MockMachine {
     /// Creates a mock machine with `frames` physical pages.
     pub fn new(frames: u64) -> Self {
         MockMachine {
-            mem: std::collections::HashMap::new(),
+            mem: std::collections::BTreeMap::new(),
             shredded: Vec::new(),
             zeroing_writes: 0,
             shredder_available: true,

@@ -5,7 +5,7 @@
 //! on the first write, via copy-on-write (§2.3). [`PageTable`] implements
 //! that discipline.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ss_common::{PageId, PhysAddr, VirtAddr, PAGE_SIZE};
 
@@ -40,9 +40,9 @@ pub enum Translation {
 /// A process's address-space state.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    mappings: HashMap<u64, Mapping>,
+    mappings: BTreeMap<u64, Mapping>,
     /// Reserved (malloc'ed but possibly untouched) virtual page numbers.
-    reserved: HashMap<u64, ()>,
+    reserved: BTreeMap<u64, ()>,
     zero_page: Option<PageId>,
 }
 
@@ -51,8 +51,8 @@ impl PageTable {
     /// zero frame.
     pub fn new(zero_page: Option<PageId>) -> Self {
         PageTable {
-            mappings: HashMap::new(),
-            reserved: HashMap::new(),
+            mappings: BTreeMap::new(),
+            reserved: BTreeMap::new(),
             zero_page,
         }
     }

@@ -30,6 +30,8 @@
 //! # Ok::<(), ss_common::Error>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod hardware;
 pub mod report;

@@ -105,6 +105,43 @@ impl RunReport {
             self.mem.zero_fill_reads.get() as f64 / demand as f64
         }
     }
+
+    /// The headline metrics as ordered `(name, rendered value)` rows.
+    ///
+    /// The order is fixed by this function, never by a map, so any
+    /// renderer iterating this surface emits byte-identical output for
+    /// identical runs — the same stability contract as
+    /// `faultsweep --json`.
+    pub fn metric_rows(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("ipc", format!("{:.6}", self.ipc())),
+            (
+                "read_latency_cycles",
+                format!("{:.3}", self.mean_read_latency()),
+            ),
+            ("data_writes", self.data_writes().to_string()),
+            ("read_demand", self.read_demand().to_string()),
+            (
+                "zero_fill_reads",
+                self.mem.zero_fill_reads.get().to_string(),
+            ),
+            (
+                "read_traffic_savings",
+                format!("{:.6}", self.read_traffic_savings()),
+            ),
+            ("shreds", self.shreds.to_string()),
+            ("reencryptions", self.reencryptions.to_string()),
+            (
+                "counter_cache_miss_rate",
+                format!("{:.6}", self.counter_cache_miss_rate),
+            ),
+            ("nvm_energy_pj", format!("{:.3}", self.nvm_energy_pj)),
+            ("max_line_wear", self.max_line_wear.to_string()),
+            ("nvm_writes", self.nvm_writes.to_string()),
+            ("tlb_miss_rate", format!("{:.6}", self.tlb_miss_rate)),
+            ("healing_events", self.healing_events().to_string()),
+        ]
+    }
 }
 
 /// One row of the Table 1 configuration listing.
@@ -212,7 +249,45 @@ pub fn table1(config: &crate::SystemConfig) -> Vec<Table1Row> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SystemConfig;
+    use crate::{System, SystemConfig};
+
+    #[test]
+    fn metric_rows_are_ordered_and_byte_stable() {
+        let run = || {
+            let mut sys = System::new(SystemConfig::small_test(true)).unwrap();
+            let pid = sys.spawn_process(0).unwrap();
+            let buf = sys.sys_alloc(pid, 4 * 4096).unwrap();
+            let ops: Vec<ss_cpu::Op> = (0..4u64)
+                .map(|i| ss_cpu::Op::StoreLine(buf.add(i * 4096)))
+                .collect();
+            sys.run_report(vec![ops.into_iter()], None)
+        };
+        let a = run().metric_rows();
+        let b = run().metric_rows();
+        // Identical runs render identically, byte for byte.
+        assert_eq!(a, b);
+        // The row order is part of the report's contract.
+        let names: Vec<&str> = a.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ipc",
+                "read_latency_cycles",
+                "data_writes",
+                "read_demand",
+                "zero_fill_reads",
+                "read_traffic_savings",
+                "shreds",
+                "reencryptions",
+                "counter_cache_miss_rate",
+                "nvm_energy_pj",
+                "max_line_wear",
+                "nvm_writes",
+                "tlb_miss_rate",
+                "healing_events",
+            ]
+        );
+    }
 
     #[test]
     fn table1_has_all_rows() {

@@ -405,7 +405,7 @@ mod tests {
         w.nodes = 256;
         w.iterations = 0;
         let trace = w.trace(VirtAddr::new(0));
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for op in trace {
             if let Op::StoreLine(va) = op {
                 *counts.entry(va.raw()).or_insert(0u32) += 1;

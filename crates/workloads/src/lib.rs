@@ -22,6 +22,8 @@
 //!
 //! Every generator is seeded and deterministic.
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod micro;
 pub mod spec;

@@ -183,7 +183,7 @@ mod tests {
     fn hot_line_touches_few_lines() {
         let w = MicroWorkload::new(MicroPattern::HotLine);
         let trace = w.trace(VirtAddr::new(0));
-        let distinct: std::collections::HashSet<u64> = trace
+        let distinct: std::collections::BTreeSet<u64> = trace
             .iter()
             .filter_map(|op| match op {
                 Op::StoreLine(va) => Some(va.raw()),
@@ -200,7 +200,7 @@ mod tests {
             ops: 4 * 64,
             ..MicroWorkload::new(MicroPattern::StreamWrite)
         };
-        let distinct: std::collections::HashSet<u64> = w
+        let distinct: std::collections::BTreeSet<u64> = w
             .trace(VirtAddr::new(0))
             .iter()
             .filter_map(|op| match op {
@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<&str> =
+        let labels: std::collections::BTreeSet<&str> =
             MicroPattern::all().iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 6);
     }

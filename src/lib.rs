@@ -42,6 +42,8 @@
 //! for the figure/table reproduction harness, and DESIGN.md /
 //! EXPERIMENTS.md for methodology.
 
+#![forbid(unsafe_code)]
+
 pub use ss_cache as cache;
 pub use ss_common as common;
 pub use ss_core as core;

@@ -3,7 +3,7 @@
 //! suite (`tests/regression.rs`, which replays the shrunk proptest
 //! counterexamples the old suite had pinned).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use silent_shredder::common::{BlockAddr, Cycles};
 use silent_shredder::prelude::*;
@@ -25,8 +25,8 @@ pub fn run_hierarchy_coherence(ops: &[(u8, usize, u64, u8)]) {
     })
     .unwrap();
     // A simple memory backing store.
-    let mut memory: HashMap<u64, [u8; 64]> = HashMap::new();
-    let mut shadow: HashMap<u64, u8> = HashMap::new();
+    let mut memory: BTreeMap<u64, [u8; 64]> = BTreeMap::new();
+    let mut shadow: BTreeMap<u64, u8> = BTreeMap::new();
     for &(op, core, lineno, value) in ops {
         let addr = BlockAddr::new(lineno * 64);
         if op == 0 {
@@ -133,7 +133,7 @@ pub fn run_kernel_frame_conservation(ops: &[(u8, usize, u64)]) {
         }
 
         // Invariants after every step.
-        let mut mapped = HashSet::new();
+        let mut mapped = BTreeSet::new();
         let mut mapped_count = 0u64;
         for (i, pid) in procs.iter().enumerate() {
             let Some(pid) = *pid else { continue };

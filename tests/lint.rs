@@ -1,0 +1,18 @@
+//! The workspace must lint clean: `cargo test` fails on any `ss-lint`
+//! finding, so a determinism/security/layering violation can never land
+//! silently even where CI is not running. See `LINTS.md` for the rule
+//! catalog and escape hatches.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = ss_lint::check_workspace(root).expect("workspace lints");
+    assert!(
+        findings.is_empty(),
+        "ss-lint found {} violation(s):\n{}",
+        findings.len(),
+        ss_lint::render_text(&findings)
+    );
+}

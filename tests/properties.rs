@@ -10,7 +10,7 @@
 
 mod common;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use common::{run_hierarchy_coherence, run_kernel_frame_conservation};
 use silent_shredder::common::{BlockAddr, Cycles, DetRng, PageId, LINE_SIZE};
@@ -218,7 +218,7 @@ fn start_gap_permutation() {
         for _ in 0..writes {
             sg.on_write();
         }
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for l in 0..lines {
             assert!(seen.insert(sg.remap(l)));
         }
@@ -251,7 +251,7 @@ fn write_schemes_bounds() {
 /// shred of the page, or zeros.
 fn drive_read_your_writes(mc: &mut MemoryController, seed: u64, ops: usize) {
     let mut rng = DetRng::new(seed);
-    let mut shadow: HashMap<u64, [u8; LINE_SIZE]> = HashMap::new();
+    let mut shadow: BTreeMap<u64, [u8; LINE_SIZE]> = BTreeMap::new();
     for _ in 0..ops {
         let page_id = PageId::new(1 + rng.below(4));
         let addr = page_id.block_addr(rng.below(4) as usize);
@@ -324,7 +324,7 @@ fn deuce_read_your_writes() {
         })
         .unwrap();
         let mut rng = DetRng::new(0xD330 + seed);
-        let mut shadow: HashMap<u64, [u8; LINE_SIZE]> = HashMap::new();
+        let mut shadow: BTreeMap<u64, [u8; LINE_SIZE]> = BTreeMap::new();
         for _ in 0..60 {
             let page_id = PageId::new(1 + rng.below(3));
             let addr = page_id.block_addr(rng.below(3) as usize);
