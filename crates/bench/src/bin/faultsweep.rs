@@ -1,7 +1,8 @@
 //! Deterministic fault-injection sweep over the harness config matrix.
 //!
 //! ```text
-//! faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] [--list]
+//! faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE]
+//!            [--metrics-json FILE] [--trace] [--list]
 //! ```
 //!
 //! The default campaign runs seeds `0..N` (N = 32) against every
@@ -19,18 +20,36 @@
 //! is hand-rolled with a fixed key order, so it is exactly as
 //! deterministic as the text report, which stays byte-identical whether
 //! or not `--json` is given.
+//!
+//! `--metrics-json FILE` writes the unified metrics registry (DESIGN.md
+//! §10) to `FILE`: per config, counters summed over every seed in the
+//! campaign (or the single replayed seed). Byte-identical across runs,
+//! and collecting it never changes the text or `--json` reports.
+//!
+//! `--trace` (replay mode only) enables the controller's event trace
+//! and prints the retained records after each per-fault report. Event
+//! timestamps are simulated cycles, so the stream is as deterministic
+//! as everything else.
 
 use std::env;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use ss_harness::{run_plan, HarnessConfig, PlanReport, Tally};
+use ss_harness::{run_plan_full, HarnessConfig, PlanReport, Tally};
+use ss_trace::MetricsRegistry;
+
+/// Events retained per run under `--trace`. Large enough to keep every
+/// event of a typical plan run; older events are dropped (and counted)
+/// past this depth.
+const TRACE_DEPTH: usize = 65536;
 
 struct Options {
     seeds: u64,
     replay: Option<u64>,
     config: Option<String>,
     json: Option<String>,
+    metrics_json: Option<String>,
+    trace: bool,
     list: bool,
 }
 
@@ -40,6 +59,8 @@ fn parse_args() -> Result<Options, String> {
         replay: None,
         config: None,
         json: None,
+        metrics_json: None,
+        trace: false,
         list: false,
     };
     let mut args = env::args().skip(1);
@@ -66,10 +87,15 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 opts.json = Some(args.next().ok_or("--json needs a file path")?);
             }
+            "--metrics-json" => {
+                opts.metrics_json = Some(args.next().ok_or("--metrics-json needs a file path")?);
+            }
+            "--trace" => opts.trace = true,
             "--list" => opts.list = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] [--list]"
+                    "usage: faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] \
+                     [--metrics-json FILE] [--trace] [--list]"
                         .to_string(),
                 );
             }
@@ -78,6 +104,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.seeds == 0 {
         return Err("--seeds must be at least 1".to_string());
+    }
+    if opts.trace && opts.replay.is_none() {
+        return Err("--trace needs --seed S (replay mode)".to_string());
     }
     Ok(opts)
 }
@@ -168,6 +197,26 @@ fn replay_json(seed: u64, reports: &[PlanReport]) -> String {
     out
 }
 
+/// Per-config metrics as a JSON document (`header` is the leading
+/// `"key": value` line — seed count or replayed seed).
+fn metrics_json(header: &str, per_config: &[(String, MetricsRegistry)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  {header},");
+    out.push_str("  \"configs\": [\n");
+    for (i, (label, reg)) in per_config.iter().enumerate() {
+        let comma = if i + 1 < per_config.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"label\":\"{}\",\"metrics\":{}}}{comma}",
+            json_escape(label),
+            reg.to_json()
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Writes `json` to `path`, mapping failure to a process exit.
 fn write_json(path: &str, json: &str) -> Result<(), String> {
     std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))
@@ -201,16 +250,33 @@ fn main() -> ExitCode {
 
     // Replay mode: one seed, full per-fault detail.
     if let Some(seed) = opts.replay {
+        let depth = opts.trace.then_some(TRACE_DEPTH);
         let mut clean = true;
         let mut reports = Vec::with_capacity(matrix.len());
+        let mut metrics: Vec<(String, MetricsRegistry)> = Vec::new();
         for cfg in &matrix {
-            let report = run_plan(cfg, seed);
-            clean &= report.clean();
-            print!("{report}");
-            reports.push(report);
+            let run = run_plan_full(cfg, seed, depth);
+            clean &= run.report.clean();
+            print!("{}", run.report);
+            if opts.trace {
+                let dropped = run.metrics.get("trace.dropped").unwrap_or(0);
+                println!("  trace: {} event(s), {dropped} dropped", run.trace.len());
+                for rec in &run.trace {
+                    println!("    {rec}");
+                }
+            }
+            metrics.push((cfg.label.clone(), run.metrics));
+            reports.push(run.report);
         }
         if let Some(path) = &opts.json {
             if let Err(e) = write_json(path, &replay_json(seed, &reports)) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Some(path) = &opts.metrics_json {
+            let doc = metrics_json(&format!("\"seed\": {seed}"), &metrics);
+            if let Err(e) = write_json(path, &doc) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
@@ -231,17 +297,23 @@ fn main() -> ExitCode {
     let mut grand = Tally::default();
     let mut failures: Vec<(String, u64)> = Vec::new();
     let mut per_config: Vec<(String, Tally)> = Vec::new();
+    let mut per_config_metrics: Vec<(String, MetricsRegistry)> = Vec::new();
     for cfg in &matrix {
         let mut tally = Tally::default();
+        let mut summed = MetricsRegistry::new();
         for seed in 0..opts.seeds {
-            let report = run_plan(cfg, seed);
-            tally.merge(report.tally());
-            if !report.clean() {
+            let run = run_plan_full(cfg, seed, None);
+            tally.merge(run.report.tally());
+            if !run.report.clean() {
                 failures.push((cfg.label.clone(), seed));
+            }
+            if opts.metrics_json.is_some() {
+                summed.merge(&run.metrics);
             }
         }
         println!("  {:<18} {}", cfg.label, tally);
         per_config.push((cfg.label.clone(), tally));
+        per_config_metrics.push((cfg.label.clone(), summed));
         grand.merge(tally);
     }
     println!("  {:<18} {}", "total", grand);
@@ -249,6 +321,13 @@ fn main() -> ExitCode {
     if let Some(path) = &opts.json {
         let json = campaign_json(opts.seeds, &per_config, &grand, &failures);
         if let Err(e) = write_json(path, &json) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.metrics_json {
+        let doc = metrics_json(&format!("\"seeds\": {}", opts.seeds), &per_config_metrics);
+        if let Err(e) = write_json(path, &doc) {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }

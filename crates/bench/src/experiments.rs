@@ -257,6 +257,7 @@ pub fn fig12(scale: ExperimentScale) -> Result<Vec<Fig12Row>> {
             miss_rate: system
                 .hardware()
                 .controller
+                .inspect()
                 .counter_cache_stats()
                 .miss_rate(),
         });
@@ -358,10 +359,36 @@ fn measure_mechanism(
         .cache
         .evictions
         .get();
-    let bus_before = system.hardware().controller.stats().bus_transfers.get();
-    let reads_before = system.hardware().controller.stats().mem.reads.get()
-        + system.hardware().controller.stats().mem.counter_reads.get();
-    let writes_before = system.hardware().controller.nvm().stats().writes.get();
+    let bus_before = system
+        .hardware()
+        .controller
+        .inspect()
+        .stats()
+        .bus_transfers
+        .get();
+    let reads_before = system
+        .hardware()
+        .controller
+        .inspect()
+        .stats()
+        .mem
+        .reads
+        .get()
+        + system
+            .hardware()
+            .controller
+            .inspect()
+            .stats()
+            .mem
+            .counter_reads
+            .get();
+    let writes_before = system
+        .hardware()
+        .controller
+        .inspect()
+        .nvm_stats()
+        .writes
+        .get();
     let pid = system.spawn_process(0)?;
     let heap = system.sys_alloc(pid, bytes)?;
     // Touch one line per page: the fault handler runs the mechanism.
@@ -401,18 +428,33 @@ fn measure_mechanism(
     let mem_writes = system
         .hardware()
         .controller
-        .nvm()
-        .stats()
+        .inspect()
+        .nvm_stats()
         .writes
         .get()
         .saturating_sub(writes_before);
     // Bus *writes*: scheduled transfers minus the read transfers (reads
     // are also bus traffic but belong to the fresh-read probe).
-    let reads_after = system.hardware().controller.stats().mem.reads.get()
-        + system.hardware().controller.stats().mem.counter_reads.get();
+    let reads_after = system
+        .hardware()
+        .controller
+        .inspect()
+        .stats()
+        .mem
+        .reads
+        .get()
+        + system
+            .hardware()
+            .controller
+            .inspect()
+            .stats()
+            .mem
+            .counter_reads
+            .get();
     let bus_writes = system
         .hardware()
         .controller
+        .inspect()
         .stats()
         .bus_transfers
         .get()
@@ -451,6 +493,7 @@ fn measure_persistence(strategy: ZeroStrategy, scale: ExperimentScale) -> Result
     let secret = system
         .hardware_mut()
         .controller
+        .faults()
         .peek_plaintext(pa.block())?;
     assert_ne!(secret, [0u8; 64], "secret never reached NVM");
     system.exit_process_on(0, Cycles::ZERO)?;
@@ -466,6 +509,7 @@ fn measure_persistence(strategy: ZeroStrategy, scale: ExperimentScale) -> Result
     let post = system
         .hardware_mut()
         .controller
+        .faults()
         .peek_plaintext(frame.block_addr(0))?;
     Ok(post != secret)
 }
@@ -520,8 +564,8 @@ pub fn ablation_counter_strategy() -> Result<Vec<StrategyRow>> {
         let read = mc.read_block(page.block_addr(0), Cycles::ZERO)?;
         rows.push(StrategyRow {
             strategy: name,
-            reencryptions: mc.stats().reencryptions.get(),
-            writes: mc.stats().mem.writes.get(),
+            reencryptions: mc.inspect().stats().reencryptions.get(),
+            writes: mc.inspect().stats().mem.writes.get(),
             reads_zero: read.data == [0u8; 64],
         });
     }
@@ -608,11 +652,11 @@ pub fn ablation_dcw_fnw() -> Result<Vec<DcwRow>> {
             let addr = page.block_addr((a % 64) as usize);
             let mut plain = [0u8; LINE_SIZE];
             mc.write_block(addr, &plain, false, Cycles::ZERO)?;
-            let mut prev = mc.nvm().peek(addr);
+            let mut prev = mc.faults().nvm_peek(addr);
             for _ in 0..writes_per_addr {
                 plain[(rng.below(16)) as usize] = rng.next_u64() as u8;
                 mc.write_block(addr, &plain, false, Cycles::ZERO)?;
-                let cur = mc.nvm().peek(addr);
+                let cur = mc.faults().nvm_peek(addr);
                 total_flips += u64::from(ss_nvm::device::line_diff_bits(&prev, &cur));
                 prev = cur;
                 writes += 1;
@@ -670,7 +714,7 @@ pub fn ablation_counter_persistence() -> Result<Vec<PersistenceRow>> {
         for p in 0..shreds {
             mc.shred_page(PageId::new(p % 200), true)?;
         }
-        let counter_writes = mc.stats().mem.counter_writes.get();
+        let counter_writes = mc.inspect().stats().mem.counter_writes.get();
         // Crash safety: after power loss, is the state recoverable?
         mc.power_loss()?;
         let crash_safe = mc.recover().is_ok();
@@ -721,8 +765,8 @@ pub fn ablation_wear_leveling() -> Result<Vec<WearLevelRow>> {
         }
         rows.push(WearLevelRow {
             config,
-            device_writes: mc.nvm().stats().writes.get(),
-            max_line_wear: mc.nvm().wear().max_wear().map(|(_, n)| n).unwrap_or(0),
+            device_writes: mc.inspect().nvm_stats().writes.get(),
+            max_line_wear: mc.inspect().nvm_max_wear().map(|(_, n)| n).unwrap_or(0),
         });
     }
     Ok(rows)
@@ -789,7 +833,7 @@ pub fn ablation_self_healing() -> Result<Vec<SelfHealRow>> {
                 let _ = mc.write_block(addr, &[i as u8; 64], false, Cycles::ZERO);
             }
         }
-        let h = &mc.stats().health;
+        let h = &mc.inspect().stats().health;
         rows.push(SelfHealRow {
             config,
             corrected: h.ecc_corrected.get(),

@@ -110,6 +110,18 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Exports every counter into `reg` under `<prefix>.<name>`.
+    pub fn export(&self, reg: &mut ss_trace::MetricsRegistry, prefix: &str) {
+        reg.set(&format!("{prefix}.hits"), self.hits.get());
+        reg.set(&format!("{prefix}.misses"), self.misses.get());
+        reg.set(&format!("{prefix}.evictions"), self.evictions.get());
+        reg.set(
+            &format!("{prefix}.dirty_evictions"),
+            self.dirty_evictions.get(),
+        );
+        reg.set(&format!("{prefix}.invalidations"), self.invalidations.get());
+    }
+
     /// Miss rate in `[0, 1]` (0 if no accesses).
     pub fn miss_rate(&self) -> f64 {
         let total = self.hits.get() + self.misses.get();

@@ -36,6 +36,17 @@ pub enum Error {
         /// The faulting address.
         addr: PhysAddr,
     },
+    /// A kernel-mode MMIO write targeted a known register with a value
+    /// the register cannot accept (e.g. an unaligned shred address).
+    /// Distinct from [`Error::PrivilegeViolation`] (who wrote) and from
+    /// silently ignoring unknown registers (where was written): this is
+    /// *what* was written being wrong.
+    MalformedMmio {
+        /// The register that rejected the write.
+        reg: PhysAddr,
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
     /// Counter-integrity verification failed (Merkle mismatch): either the
     /// counters or the tree were tampered with.
     IntegrityViolation {
@@ -87,6 +98,9 @@ impl fmt::Display for Error {
             Error::PrivilegeViolation { addr } => {
                 write!(f, "user-mode access to kernel-only register at {addr}")
             }
+            Error::MalformedMmio { reg, detail } => {
+                write!(f, "malformed MMIO write to {reg}: {detail}")
+            }
             Error::IntegrityViolation { detail } => {
                 write!(f, "counter integrity violation: {detail}")
             }
@@ -128,6 +142,10 @@ mod tests {
             Error::OutOfMemory,
             Error::PrivilegeViolation {
                 addr: PhysAddr::new(0),
+            },
+            Error::MalformedMmio {
+                reg: PhysAddr::new(0xFFFF),
+                detail: "unaligned".into(),
             },
             Error::IntegrityViolation {
                 detail: "root mismatch".into(),

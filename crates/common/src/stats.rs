@@ -41,13 +41,55 @@ impl fmt::Display for Counter {
     }
 }
 
-/// Aggregates a stream of latencies: count, sum, min, max.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Number of power-of-two latency buckets: bucket 0 holds the value 0,
+/// bucket `i` (1..=64) holds `[2^(i-1), 2^i)`.
+const LATENCY_BUCKETS: usize = 65;
+
+/// Aggregates a stream of latencies: count, sum, min, max, plus a fixed
+/// power-of-two histogram so percentiles can be estimated without
+/// storing samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyStat {
     count: u64,
     total: Cycles,
     min: Cycles,
     max: Cycles,
+    hist: [u64; LATENCY_BUCKETS],
+}
+
+// Hand-written to match the previously derived impl exactly: `min`
+// starts at 0 here (vs `u64::MAX` in `new()`), and downstream stats
+// containers are built via `Default`.
+impl Default for LatencyStat {
+    fn default() -> Self {
+        LatencyStat {
+            count: 0,
+            total: Cycles::ZERO,
+            min: Cycles::ZERO,
+            max: Cycles::ZERO,
+            hist: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+/// Index of the histogram bucket holding `v`.
+const fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value held by bucket `idx` (inclusive).
+const fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
 }
 
 impl LatencyStat {
@@ -58,6 +100,7 @@ impl LatencyStat {
             total: Cycles::ZERO,
             min: Cycles(u64::MAX),
             max: Cycles::ZERO,
+            hist: [0; LATENCY_BUCKETS],
         }
     }
 
@@ -71,6 +114,7 @@ impl LatencyStat {
         if lat > self.max {
             self.max = lat;
         }
+        self.hist[bucket_of(lat.raw())] += 1;
     }
 
     /// Number of observations.
@@ -102,6 +146,33 @@ impl LatencyStat {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Nearest-rank percentile estimate over the fixed histogram, or
+    /// `None` if empty. `p` is clamped to `0..=100`; `percentile(50)`
+    /// is the median, `percentile(100)` the maximum.
+    ///
+    /// Deterministic by construction: the histogram holds only integer
+    /// counts in power-of-two buckets, and the estimate returned for a
+    /// rank is the bucket's upper bound clamped to the observed
+    /// maximum. The estimate therefore never exceeds a real
+    /// observation and is exact whenever the bucket is degenerate
+    /// (e.g. all-equal latencies).
+    pub fn percentile(&self, p: u8) -> Option<Cycles> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = u64::from(p.min(100));
+        // Nearest rank: ceil(p/100 * count), clamped to at least 1.
+        let rank = ((p * self.count).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.hist.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Cycles::new(bucket_upper(idx).min(self.max.raw())));
+            }
+        }
+        self.max()
+    }
+
     /// Merges another aggregate into this one.
     pub fn merge(&mut self, other: &LatencyStat) {
         self.count += other.count;
@@ -113,6 +184,9 @@ impl LatencyStat {
             if other.max > self.max {
                 self.max = other.max;
             }
+        }
+        for (b, o) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *b += o;
         }
     }
 }
@@ -247,6 +321,63 @@ mod tests {
         let before = a;
         a.merge(&LatencyStat::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_over_buckets() {
+        let mut s = LatencyStat::new();
+        assert_eq!(s.percentile(50), None);
+        // 100 observations of 100 cycles: every percentile is exact.
+        for _ in 0..100 {
+            s.record(Cycles::new(100));
+        }
+        assert_eq!(s.percentile(0), Some(Cycles::new(100)));
+        assert_eq!(s.percentile(50), Some(Cycles::new(100)));
+        assert_eq!(s.percentile(99), Some(Cycles::new(100)));
+        assert_eq!(s.percentile(100), Some(Cycles::new(100)));
+    }
+
+    #[test]
+    fn percentile_separates_fast_and_slow_tails() {
+        let mut s = LatencyStat::new();
+        // 99 fast reads at 10 cycles, 1 slow read at 5000 cycles.
+        for _ in 0..99 {
+            s.record(Cycles::new(10));
+        }
+        s.record(Cycles::new(5000));
+        let p50 = s.percentile(50).unwrap();
+        let p99 = s.percentile(99).unwrap();
+        let p100 = s.percentile(100).unwrap();
+        // p50/p99 land in the bucket holding 10 ([8, 15]); p100 is the
+        // observed maximum.
+        assert!(p50.raw() >= 10 && p50.raw() <= 15, "p50={p50:?}");
+        assert_eq!(p50, p99);
+        assert_eq!(p100, Cycles::new(5000));
+        // The estimate never exceeds the observed max.
+        assert!(p99 <= p100);
+    }
+
+    #[test]
+    fn percentile_survives_merge_and_over_100_clamp() {
+        let mut a = LatencyStat::new();
+        a.record(Cycles::new(1));
+        let mut b = LatencyStat::new();
+        b.record(Cycles::new(1 << 20));
+        a.merge(&b);
+        assert_eq!(a.percentile(50), Some(Cycles::new(1)));
+        assert_eq!(a.percentile(200), a.max());
+    }
+
+    #[test]
+    fn default_latency_stat_matches_historical_derive() {
+        // `Default` keeps min at 0 (the old derived behaviour) while
+        // `new()` arms it at u64::MAX; reports built on Default must not
+        // shift bytes.
+        let d = LatencyStat::default();
+        assert_eq!(d.count(), 0);
+        let mut d2 = LatencyStat::default();
+        d2.record(Cycles::new(7));
+        assert_eq!(d2.min(), Some(Cycles::ZERO));
     }
 
     #[test]

@@ -113,6 +113,10 @@ pub struct ControllerConfig {
     pub scrub_interval: Option<u64>,
     /// AES-128 processor key.
     pub key: [u8; 16],
+    /// Event-trace ring depth. `None` (the default) disables tracing
+    /// entirely — the emit path reduces to one discriminant test and no
+    /// event is ever constructed. `Some(n)` retains the last `n` events.
+    pub trace_depth: Option<usize>,
 }
 
 impl Default for ControllerConfig {
@@ -146,6 +150,7 @@ impl Default for ControllerConfig {
             retry: RetryPolicy::default(),
             scrub_interval: None,
             key: *b"silent-shredder!",
+            trace_depth: None,
         }
     }
 }
@@ -249,6 +254,11 @@ impl ControllerConfig {
                 detail: "scrub interval must be positive when set".into(),
             });
         }
+        if self.trace_depth == Some(0) {
+            return Err(Error::InvalidConfig {
+                detail: "trace depth must be positive when set".into(),
+            });
+        }
         Ok(())
     }
 }
@@ -323,6 +333,11 @@ mod tests {
             ..ControllerConfig::small_test()
         };
         assert!(zero_scrub.validate().is_err());
+        let zero_trace = ControllerConfig {
+            trace_depth: Some(0),
+            ..ControllerConfig::small_test()
+        };
+        assert!(zero_trace.validate().is_err());
         let good = ControllerConfig {
             endurance_limit: Some(256),
             transient_read_ber: 1e-4,

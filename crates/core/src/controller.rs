@@ -9,13 +9,16 @@ use ss_common::{
 };
 use ss_crypto::{CtrEngine, EcbEngine, Line, MerkleTree};
 use ss_nvm::{LineRead, NvmConfig, NvmDevice};
+use ss_trace::{
+    export_latency, MetricsRegistry, Stage, StageProfile, TraceEvent, TraceRecord, Tracer,
+};
 
 use crate::channel::ChannelSched;
 use crate::config::{ControllerConfig, CounterPersistence, EncryptionMode};
 use crate::counters::{BumpOutcome, CounterBlock};
 use crate::deuce::{self, DeuceMeta, CHUNKS};
 use crate::heal::{HealthStats, SparePool};
-use crate::mmio::{self, MmioOp};
+use crate::mmio;
 use crate::wqueue::WriteQueue;
 use ss_nvm::StartGap;
 
@@ -87,6 +90,17 @@ pub struct MemoryController {
     scrub_cursor: u64,
     /// Demand writes since the scrubber last ran.
     writes_since_scrub: u64,
+    /// Event tracer ([`Tracer::Null`] unless `config.trace_depth` is
+    /// set — the null arm never constructs events).
+    tracer: Tracer,
+    /// Per-stage cycle attribution. Always on: a charge is two integer
+    /// additions, and every future hot-path optimisation needs this
+    /// baseline to measure against.
+    profile: StageProfile,
+    /// Simulated time of the public operation currently executing, so
+    /// deep helpers (retry loops, deferred heals) can stamp trace
+    /// events without threading `now` through every private signature.
+    op_now: Cycles,
 }
 
 impl MemoryController {
@@ -133,6 +147,7 @@ impl MemoryController {
         let start_gap = config_start_gap(&config);
         let wqueue = config_wqueue(&config);
         let config_spare_lines = config.spare_lines;
+        let tracer = Tracer::from_depth(config.trace_depth);
         Ok(MemoryController {
             config,
             nvm,
@@ -153,6 +168,9 @@ impl MemoryController {
             pending_heal: Vec::new(),
             scrub_cursor: 0,
             writes_since_scrub: 0,
+            tracer,
+            profile: StageProfile::new(),
+            op_now: Cycles::ZERO,
         })
     }
 
@@ -209,6 +227,9 @@ impl MemoryController {
                     }
                     if read.was_corrected() {
                         self.stats.health.ecc_corrected.inc();
+                        let at = self.op_now;
+                        self.tracer
+                            .emit(at, || TraceEvent::EccCorrection { addr: slot });
                     }
                     return Ok(read);
                 }
@@ -219,7 +240,9 @@ impl MemoryController {
                     }
                     attempt += 1;
                     self.stats.health.retries.inc();
-                    self.stats.health.backoff_cycles += self.config.retry.backoff(attempt).raw();
+                    let backoff = self.config.retry.backoff(attempt);
+                    self.stats.health.backoff_cycles += backoff.raw();
+                    self.profile.charge(Stage::RetryBackoff, backoff);
                 }
                 Err(e) => return Err(e),
             }
@@ -236,6 +259,11 @@ impl MemoryController {
                 Some(slot) => {
                     self.heal.unquarantine(dev);
                     self.stats.health.remaps.inc();
+                    let at = self.op_now;
+                    self.tracer.emit(at, || TraceEvent::LineRemap {
+                        addr: dev,
+                        ok: true,
+                    });
                     return self.nvm.write_line(slot, data);
                 }
                 None => return Err(Error::Quarantined { addr: dev.addr() }),
@@ -265,14 +293,22 @@ impl MemoryController {
     /// Drains up to `n` queued writes to the device, scheduling their
     /// bus transfers at `now`.
     fn drain_queue(&mut self, n: usize, now: Cycles) -> Result<()> {
+        let mut drained = 0u32;
         for _ in 0..n {
             let Some(wq) = &mut self.wqueue else { break };
             let Some((dev, data, _zeroing)) = wq.pop_for_drain() else {
                 break;
             };
-            self.sched(now, self.config.nvm_timing.write_cycles());
+            let write_lat = self.config.nvm_timing.write_cycles();
+            self.sched(now, write_lat);
+            self.profile.charge(Stage::WqueueDrain, write_lat);
             self.data_write_slot(dev, &data)?;
             self.wear_level_on_write()?;
+            drained += 1;
+        }
+        if drained > 0 {
+            self.tracer
+                .emit(now, || TraceEvent::WriteQueueDrain { drained });
         }
         Ok(())
     }
@@ -327,31 +363,105 @@ impl MemoryController {
     }
 
     /// Controller statistics.
-    pub fn stats(&self) -> &ControllerStats {
+    pub(crate) fn stats(&self) -> &ControllerStats {
         &self.stats
     }
 
     /// The backing NVM device (energy, wear, remanence surface).
-    pub fn nvm(&self) -> &NvmDevice {
+    pub(crate) fn nvm(&self) -> &NvmDevice {
         &self.nvm
     }
 
     /// Counter-cache statistics (hit/miss — drives Fig. 12).
-    pub fn counter_cache_stats(&self) -> &ss_cache::CacheStats {
+    pub(crate) fn counter_cache_stats(&self) -> &ss_cache::CacheStats {
         self.counter_cache.stats()
     }
 
     /// Write-queue statistics, when a queue is configured.
-    pub fn write_queue_stats(&self) -> Option<&crate::wqueue::WriteQueueStats> {
+    pub(crate) fn write_queue_stats(&self) -> Option<&crate::wqueue::WriteQueueStats> {
         self.wqueue.as_ref().map(|q| q.stats())
     }
 
-    /// Resets statistics between experiment phases (state is kept).
+    /// Resets statistics between experiment phases (state is kept; the
+    /// event trace, being a log rather than a counter, is kept too).
     pub fn reset_stats(&mut self) {
         self.stats = ControllerStats::default();
         self.counter_cache.reset_stats();
         self.nvm.reset_stats();
         self.channels.reset();
+        self.profile = StageProfile::new();
+    }
+
+    /// Per-stage cycle attribution accumulated so far.
+    pub(crate) fn profile(&self) -> &StageProfile {
+        &self.profile
+    }
+
+    /// The retained trace records, oldest first (empty when tracing is
+    /// disabled).
+    pub(crate) fn trace_records(&self) -> Vec<TraceRecord> {
+        self.tracer.records()
+    }
+
+    /// Lifetime `(emitted, dropped)` event totals.
+    pub(crate) fn trace_totals(&self) -> (u64, u64) {
+        self.tracer.totals()
+    }
+
+    /// Whether event tracing is recording.
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Snapshot of every statistic the controller owns or aggregates,
+    /// under the workspace's stable dotted names (DESIGN.md §10). The
+    /// key set is workload-independent: absent subsystems (e.g. no
+    /// write queue) export zeros, so epoch deltas and cross-run diffs
+    /// always see the same schema.
+    pub(crate) fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let s = &self.stats;
+        reg.set("ctrl.reads", s.mem.reads.get());
+        reg.set("ctrl.writes", s.mem.writes.get());
+        reg.set("ctrl.zeroing_writes", s.mem.zeroing_writes.get());
+        reg.set("ctrl.zero_fill_reads", s.mem.zero_fill_reads.get());
+        reg.set("ctrl.counter_reads", s.mem.counter_reads.get());
+        reg.set("ctrl.counter_writes", s.mem.counter_writes.get());
+        reg.set("ctrl.shreds", s.shreds.get());
+        reg.set("ctrl.reencryptions", s.reencryptions.get());
+        reg.set("ctrl.shred_denied", s.shred_denied.get());
+        reg.set("ctrl.bus_transfers", s.bus_transfers.get());
+        export_latency(&mut reg, "ctrl.read_latency", &s.mem.read_latency);
+        reg.set("heal.ecc_corrected", s.health.ecc_corrected.get());
+        reg.set("heal.retries", s.health.retries.get());
+        reg.set("heal.retried_ok", s.health.retried_ok.get());
+        reg.set("heal.backoff_cycles", s.health.backoff_cycles);
+        reg.set("heal.remaps", s.health.remaps.get());
+        reg.set("heal.remap_failures", s.health.remap_failures.get());
+        reg.set("heal.quarantined", s.health.quarantined.get());
+        reg.set("heal.scrub_reads", s.health.scrub_reads.get());
+        reg.set("heal.scrub_heals", s.health.scrub_heals.get());
+        reg.set("heal.remapped_lines", self.heal.remapped_count());
+        reg.set("heal.quarantined_lines", self.heal.quarantined_count());
+        reg.set("heal.spare_lines_free", self.heal.free());
+        self.counter_cache.stats().export(&mut reg, "ccache");
+        let wq_zero = crate::wqueue::WriteQueueStats::default();
+        let wq = self.wqueue.as_ref().map_or(&wq_zero, |q| q.stats());
+        reg.set("wq.enqueued", wq.enqueued.get());
+        reg.set("wq.drained", wq.drained.get());
+        reg.set("wq.forwards", wq.forwards.get());
+        reg.set("wq.coalesced", wq.coalesced.get());
+        reg.set("wq.high_water_drains", wq.high_water_drains.get());
+        reg.set(
+            "wq.depth",
+            self.wqueue.as_ref().map_or(0, |q| q.len()) as u64,
+        );
+        self.nvm.stats().export(&mut reg, "nvm");
+        self.profile.export(&mut reg);
+        let (emitted, dropped) = self.tracer.totals();
+        reg.set("trace.events", emitted);
+        reg.set("trace.dropped", dropped);
+        reg
     }
 
     fn counter_addr(&self, page: PageId) -> BlockAddr {
@@ -388,13 +498,18 @@ impl MemoryController {
         }
         let read_lat = self.sched(now + latency, self.config.nvm_timing.read_cycles());
         latency += read_lat;
+        self.profile.charge(Stage::CounterFetch, read_lat);
         // The counter region has a fixed layout (page → line), so worn
         // counter lines cannot be remapped — but transient read errors
         // still go through the retry policy.
         let line = self.read_line_healing(caddr)?.into_data();
         self.stats.mem.counter_reads.inc();
         if let Some(merkle) = &self.merkle {
-            if !merkle.verify_leaf(page.raw() as usize, &line) {
+            let ok = merkle.verify_leaf(page.raw() as usize, &line);
+            self.profile.charge(Stage::MerkleVerify, Cycles::ZERO);
+            self.tracer
+                .emit(now, || TraceEvent::MerkleVerify { page, ok });
+            if !ok {
                 return Err(Error::IntegrityViolation {
                     detail: format!("counter block of {page} failed verification"),
                 });
@@ -440,7 +555,9 @@ impl MemoryController {
     ) -> Result<()> {
         let caddr = self.counter_addr(page);
         let line = ctrs.to_line();
-        self.sched(now, self.config.nvm_timing.write_cycles());
+        let write_lat = self.config.nvm_timing.write_cycles();
+        self.sched(now, write_lat);
+        self.profile.charge(Stage::CounterWrite, write_lat);
         self.nvm.write_line(caddr, &line)?;
         self.stats.mem.counter_writes.inc();
         if let Some(merkle) = &mut self.merkle {
@@ -496,6 +613,11 @@ impl MemoryController {
         self.stats.health.remap_failures.inc();
         self.heal.quarantine(dev);
         self.stats.health.quarantined.inc();
+        let at = self.op_now;
+        self.tracer.emit(at, || TraceEvent::LineRemap {
+            addr: dev,
+            ok: false,
+        });
         Ok(())
     }
 
@@ -531,6 +653,10 @@ impl MemoryController {
                 self.sched(now, self.config.nvm_timing.write_cycles());
                 self.nvm.write_line(new_slot, &rescued)?;
                 self.stats.health.remaps.inc();
+                self.tracer.emit(now, || TraceEvent::LineRemap {
+                    addr: dev,
+                    ok: true,
+                });
             }
             EncryptionMode::Ctr => {
                 let page = addr.page();
@@ -546,6 +672,10 @@ impl MemoryController {
                         return self.fail_remap(dev);
                     }
                     self.stats.health.remaps.inc();
+                    self.tracer.emit(now, || TraceEvent::LineRemap {
+                        addr: dev,
+                        ok: true,
+                    });
                     return Ok(());
                 }
                 let cipher = match self.read_line_healing(slot) {
@@ -560,6 +690,10 @@ impl MemoryController {
                 let old_ctrs = ctrs;
                 let mut new_ctrs = ctrs;
                 if new_ctrs.bump_for_write(block) == BumpOutcome::Overflowed {
+                    self.tracer.emit(now, || TraceEvent::CounterOverflow {
+                        page,
+                        block: block as u8,
+                    });
                     self.reencrypt_page(page, &old_ctrs, &new_ctrs, block, now)?;
                 }
                 let minor = new_ctrs.minors[block];
@@ -588,6 +722,10 @@ impl MemoryController {
                 self.nvm.write_line(new_slot, &new_cipher)?;
                 self.install_counters(page, new_ctrs, true, now)?;
                 self.stats.health.remaps.inc();
+                self.tracer.emit(now, || TraceEvent::LineRemap {
+                    addr: dev,
+                    ok: true,
+                });
             }
         }
         Ok(())
@@ -623,6 +761,7 @@ impl MemoryController {
     /// Propagates remap-path errors; an already-quarantined line is
     /// skipped silently.
     pub fn scrub_step(&mut self, now: Cycles) -> Result<bool> {
+        self.op_now = now;
         let lines = self.config.data_capacity / LINE_SIZE as u64;
         let addr = BlockAddr::new(self.scrub_cursor * LINE_SIZE as u64);
         self.scrub_cursor = (self.scrub_cursor + 1) % lines;
@@ -642,6 +781,8 @@ impl MemoryController {
         if healed {
             self.stats.health.scrub_heals.inc();
         }
+        self.tracer
+            .emit(now, || TraceEvent::ScrubStep { addr, healed });
         Ok(healed)
     }
 
@@ -653,23 +794,27 @@ impl MemoryController {
     /// [`Error::IntegrityViolation`] on counter tampering,
     /// [`Error::CounterLoss`] after an unprotected crash.
     pub fn read_block(&mut self, addr: BlockAddr, now: Cycles) -> Result<ReadResult> {
+        self.op_now = now;
         self.check_data_addr(addr)?;
         let result = match self.config.encryption {
             EncryptionMode::None => {
-                let latency = self.sched(now, self.config.nvm_timing.read_cycles());
+                let read_lat = self.sched(now, self.config.nvm_timing.read_cycles());
+                self.profile.charge(Stage::NvmRead, read_lat);
                 let data = self.nvm_read_data(addr)?;
                 self.stats.mem.reads.inc();
                 ReadResult {
                     data,
-                    latency,
+                    latency: read_lat,
                     zero_filled: false,
                 }
             }
             EncryptionMode::Ecb => {
                 // Direct encryption: AES latency is serialised after the
                 // array access (§2.2's performance argument against ECB).
-                let latency =
-                    self.sched(now, self.config.nvm_timing.read_cycles()) + self.config.aes_latency;
+                let read_lat = self.sched(now, self.config.nvm_timing.read_cycles());
+                self.profile.charge(Stage::NvmRead, read_lat);
+                self.profile.charge(Stage::AesEcb, self.config.aes_latency);
+                let latency = read_lat + self.config.aes_latency;
                 let cipher = self.nvm_read_data(addr)?;
                 self.stats.mem.reads.inc();
                 let data = engine_of(&self.ecb, "ecb")?.decrypt_line(&cipher);
@@ -687,6 +832,8 @@ impl MemoryController {
                     // Fig. 7 step 3b: minor counter is zero — return a
                     // zero-filled block, never touching the array.
                     self.stats.mem.zero_fill_reads.inc();
+                    self.profile.charge(Stage::ZeroFill, ctr_lat);
+                    self.tracer.emit(now, || TraceEvent::ZeroFillRead { addr });
                     ReadResult {
                         data: [0u8; LINE_SIZE],
                         latency: ctr_lat,
@@ -695,9 +842,10 @@ impl MemoryController {
                 } else {
                     // Pad generation overlaps the array read; only the
                     // XOR is serialised (§2.2).
-                    let latency = ctr_lat
-                        + self.sched(now + ctr_lat, self.config.nvm_timing.read_cycles())
-                        + self.config.xor_latency;
+                    let read_lat = self.sched(now + ctr_lat, self.config.nvm_timing.read_cycles());
+                    self.profile.charge(Stage::NvmRead, read_lat);
+                    self.profile.charge(Stage::AesCtr, self.config.xor_latency);
+                    let latency = ctr_lat + read_lat + self.config.xor_latency;
                     let cipher = self.nvm_read_data(addr)?;
                     self.stats.mem.reads.inc();
                     let data = self.decrypt_ctr(addr, &ctrs, &cipher)?;
@@ -729,18 +877,24 @@ impl MemoryController {
         zeroing: bool,
         now: Cycles,
     ) -> Result<Cycles> {
+        self.op_now = now;
         self.check_data_addr(addr)?;
         match self.config.encryption {
             EncryptionMode::None => {
                 if self.wqueue.is_none() {
-                    self.sched(now, self.config.nvm_timing.write_cycles());
+                    let write_lat = self.config.nvm_timing.write_cycles();
+                    self.sched(now, write_lat);
+                    self.profile.charge(Stage::NvmWrite, write_lat);
                 }
                 self.nvm_write_data(addr, data)?;
             }
             EncryptionMode::Ecb => {
+                self.profile.charge(Stage::AesEcb, self.config.aes_latency);
                 let cipher = engine_of(&self.ecb, "ecb")?.encrypt_line(data);
                 if self.wqueue.is_none() {
-                    self.sched(now, self.config.nvm_timing.write_cycles());
+                    let write_lat = self.config.nvm_timing.write_cycles();
+                    self.sched(now, write_lat);
+                    self.profile.charge(Stage::NvmWrite, write_lat);
                 }
                 self.nvm_write_data(addr, &cipher)?;
             }
@@ -750,15 +904,22 @@ impl MemoryController {
                 let (mut ctrs, _lat) = self.fetch_counters(page, now)?;
                 let old_ctrs = ctrs;
                 if ctrs.bump_for_write(block) == BumpOutcome::Overflowed {
+                    self.tracer.emit(now, || TraceEvent::CounterOverflow {
+                        page,
+                        block: block as u8,
+                    });
                     self.reencrypt_page(page, &old_ctrs, &ctrs, block, now)?;
                 }
+                self.profile.charge(Stage::AesCtr, self.config.xor_latency);
                 let cipher = if self.config.deuce {
                     self.deuce_write_cipher(addr, &old_ctrs, &ctrs, data)?
                 } else {
                     engine_of(&self.ctr, "ctr")?.encrypt_line(&ctrs.iv(page.raw(), block), data)
                 };
                 if self.wqueue.is_none() {
-                    self.sched(now, self.config.nvm_timing.write_cycles());
+                    let write_lat = self.config.nvm_timing.write_cycles();
+                    self.sched(now, write_lat);
+                    self.profile.charge(Stage::NvmWrite, write_lat);
                 }
                 self.nvm_write_data(addr, &cipher)?;
                 self.install_counters(page, ctrs, true, now)?;
@@ -907,6 +1068,7 @@ impl MemoryController {
         kernel_mode: bool,
         now: Cycles,
     ) -> Result<Cycles> {
+        self.op_now = now;
         if !kernel_mode {
             self.stats.shred_denied.inc();
             return Err(Error::PrivilegeViolation {
@@ -955,6 +1117,7 @@ impl MemoryController {
         }
         self.install_counters(page, ctrs, true, now)?;
         self.stats.shreds.inc();
+        self.tracer.emit(now, || TraceEvent::Shred { page });
         self.process_pending_heal(now)?;
         // Counter update + ack (Fig. 6 steps 3–5).
         latency += Cycles::new(4);
@@ -1021,16 +1184,23 @@ impl MemoryController {
     }
 
     /// Whether `page` is currently enclave-owned.
-    pub fn is_enclave_page(&self, page: PageId) -> bool {
+    pub(crate) fn is_enclave_page(&self, page: PageId) -> bool {
         self.enclave_pages.contains(&page.raw())
     }
 
     /// Architectural MMIO write (the kernel's `shred` hint, §4.3 step 1).
     ///
+    /// Decoding ([`mmio::decode`]) and execution ([`MmioOp::apply`]) are
+    /// separate: privilege is enforced once, on the executor path, for
+    /// every decoded register.
+    ///
     /// # Errors
     ///
-    /// [`Error::PrivilegeViolation`] for user-mode writers; unknown
-    /// registers are ignored (returning a bus-write latency of 1 cycle).
+    /// [`Error::PrivilegeViolation`] for user-mode writers (to any MMIO
+    /// address — probing the window is itself privileged);
+    /// [`Error::MalformedMmio`] for a kernel write of an invalid value
+    /// to a known register. Kernel writes to unknown registers are
+    /// ignored (returning a bus-write latency of 1 cycle).
     pub fn mmio_write(
         &mut self,
         reg: PhysAddr,
@@ -1038,13 +1208,14 @@ impl MemoryController {
         kernel_mode: bool,
         now: Cycles,
     ) -> Result<Cycles> {
-        if !kernel_mode {
-            self.stats.shred_denied.inc();
-            return Err(Error::PrivilegeViolation { addr: reg });
-        }
         match mmio::decode(reg, value) {
-            Some(MmioOp::Shred(pa)) => self.shred_page_at(pa.page(), kernel_mode, now),
-            None => Ok(Cycles::new(1)),
+            Ok(op) => op.apply(self, kernel_mode, now),
+            Err(_) if !kernel_mode => {
+                self.stats.shred_denied.inc();
+                Err(Error::PrivilegeViolation { addr: reg })
+            }
+            Err(mmio::MmioError::UnknownRegister { .. }) => Ok(Cycles::new(1)),
+            Err(e @ mmio::MmioError::MalformedValue { .. }) => Err(e.into_error()),
         }
     }
 
@@ -1074,6 +1245,7 @@ impl MemoryController {
     ///
     /// As for [`MemoryController::write_block`].
     pub fn zero_page_in_place(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
+        self.op_now = now;
         let zero = [0u8; LINE_SIZE];
         for b in 0..BLOCKS_PER_PAGE {
             let addr = page.block_addr(b);
@@ -1090,6 +1262,10 @@ impl MemoryController {
                     let (mut ctrs, _) = self.fetch_counters(page, now)?;
                     let old_ctrs = ctrs;
                     if ctrs.bump_for_write(b) == BumpOutcome::Overflowed {
+                        self.tracer.emit(now, || TraceEvent::CounterOverflow {
+                            page,
+                            block: b as u8,
+                        });
                         self.reencrypt_page(page, &old_ctrs, &ctrs, b, now)?;
                     }
                     let engine = engine_of(&self.ctr, "ctr")?;
@@ -1180,7 +1356,7 @@ impl MemoryController {
     /// The spare pool is part of the scan: remapped lines physically
     /// live there, and retired originals still hold their last
     /// ciphertext — both are visible to a chip-level attacker.
-    pub fn cold_scan_data(&self) -> Vec<(BlockAddr, Line)> {
+    pub(crate) fn cold_scan_data(&self) -> Vec<(BlockAddr, Line)> {
         self.nvm
             .cold_scan()
             .filter(|(a, _)| a.raw() < self.counter_base || a.raw() >= self.spare_base)
@@ -1190,14 +1366,14 @@ impl MemoryController {
 
     /// An attacker overwriting a *data* line in NVM (man-in-the-middle /
     /// overwrite attacks).
-    pub fn nvm_tamper(&mut self, addr: BlockAddr, line: Line) {
+    pub(crate) fn nvm_tamper(&mut self, addr: BlockAddr, line: Line) {
         let dev = self.heal.redirect(self.device_addr(addr));
         self.nvm.tamper(dev, line);
     }
 
     /// Reads the raw counter line of `page` from NVM (attacker capture
     /// for replay experiments).
-    pub fn nvm_peek_counter(&self, page: PageId) -> Line {
+    pub(crate) fn nvm_peek_counter(&self, page: PageId) -> Line {
         self.nvm.peek(self.counter_addr(page))
     }
 
@@ -1205,14 +1381,14 @@ impl MemoryController {
     /// The next counter-cache miss for this page must fail verification
     /// when integrity is enabled. Only effective once the cached copy is
     /// evicted or dropped; tests combine this with [`Self::drop_counter_cache`].
-    pub fn tamper_counter_line(&mut self, page: PageId, line: Line) {
+    pub(crate) fn tamper_counter_line(&mut self, page: PageId, line: Line) {
         let caddr = self.counter_addr(page);
         self.nvm.tamper(caddr, line);
     }
 
     /// Drops the counter-cache contents *without* flushing (test helper
     /// forcing subsequent NVM counter reads).
-    pub fn drop_counter_cache(&mut self) {
+    pub(crate) fn drop_counter_cache(&mut self) {
         self.counter_cache = SetAssocCache::new(self.counter_cache.config().clone());
     }
 
@@ -1222,7 +1398,7 @@ impl MemoryController {
     /// # Errors
     ///
     /// As for [`MemoryController::read_block`].
-    pub fn peek_plaintext(&mut self, addr: BlockAddr) -> Result<Line> {
+    pub(crate) fn peek_plaintext(&mut self, addr: BlockAddr) -> Result<Line> {
         self.check_data_addr(addr)?;
         match self.config.encryption {
             EncryptionMode::None => Ok(self.nvm_peek_data(addr)),
@@ -1251,18 +1427,18 @@ impl MemoryController {
 
     /// Cumulative NVM write count — the event index that fault plans
     /// schedule against ("power loss after the Nth NVM write").
-    pub fn nvm_writes(&self) -> u64 {
+    pub(crate) fn nvm_writes(&self) -> u64 {
         self.nvm.stats().writes.get()
     }
 
     /// Current write-queue occupancy (0 when no queue is configured).
-    pub fn write_queue_len(&self) -> usize {
+    pub(crate) fn write_queue_len(&self) -> usize {
         self.wqueue.as_ref().map_or(0, |q| q.len())
     }
 
     /// Whether `page`'s counter line is cached and dirty (modified since
     /// it last reached NVM). Checked without disturbing LRU state.
-    pub fn counter_line_dirty(&self, page: PageId) -> bool {
+    pub(crate) fn counter_line_dirty(&self, page: PageId) -> bool {
         let caddr = self.counter_addr(page);
         self.counter_cache
             .iter()
@@ -1276,7 +1452,7 @@ impl MemoryController {
     /// # Errors
     ///
     /// Propagates NVM write errors.
-    pub fn flush_counter_line(&mut self, page: PageId) -> Result<bool> {
+    pub(crate) fn flush_counter_line(&mut self, page: PageId) -> Result<bool> {
         let caddr = self.counter_addr(page);
         let dirty = self
             .counter_cache
@@ -1297,7 +1473,7 @@ impl MemoryController {
     /// a transient counter-cache cell fault. Returns whether the line was
     /// present. The next access re-fetches (and Merkle-verifies) the
     /// NVM copy.
-    pub fn drop_counter_cache_line(&mut self, page: PageId) -> bool {
+    pub(crate) fn drop_counter_cache_line(&mut self, page: PageId) -> bool {
         let caddr = self.counter_addr(page);
         self.counter_cache.invalidate(caddr).is_some()
     }
@@ -1308,7 +1484,7 @@ impl MemoryController {
     /// # Panics
     ///
     /// Panics if `bit >= LINE_SIZE * 8`.
-    pub fn flip_data_bit(&mut self, addr: BlockAddr, bit: usize) {
+    pub(crate) fn flip_data_bit(&mut self, addr: BlockAddr, bit: usize) {
         let dev = self.heal.redirect(self.device_addr(addr));
         self.nvm.flip_bit(dev, bit);
     }
@@ -1320,7 +1496,7 @@ impl MemoryController {
     /// # Panics
     ///
     /// Panics if `bit >= LINE_SIZE * 8`.
-    pub fn flip_counter_bit(&mut self, page: PageId, bit: usize) {
+    pub(crate) fn flip_counter_bit(&mut self, page: PageId, bit: usize) {
         let caddr = self.counter_addr(page);
         self.nvm.flip_bit(caddr, bit);
     }
@@ -1332,42 +1508,42 @@ impl MemoryController {
     /// Injects a one-shot transient read error of `flips` raw bit flips
     /// into the device slot currently backing logical line `addr`
     /// (consumed by the next read attempt of that slot).
-    pub fn inject_data_read_error(&mut self, addr: BlockAddr, flips: u32) {
+    pub(crate) fn inject_data_read_error(&mut self, addr: BlockAddr, flips: u32) {
         let slot = self.heal.redirect(self.device_addr(addr));
         self.nvm.inject_read_error(slot, flips);
     }
 
     /// Clears a pending injected read error on the slot backing `addr`;
     /// returns whether one was armed (i.e. no read consumed it).
-    pub fn clear_injected_read_error(&mut self, addr: BlockAddr) -> bool {
+    pub(crate) fn clear_injected_read_error(&mut self, addr: BlockAddr) -> bool {
         let slot = self.heal.redirect(self.device_addr(addr));
         self.nvm.clear_injected_error(slot)
     }
 
     /// Marks the slot backing `addr` permanently failed with
     /// `weak_bits` stuck weak cells (wear-out / stuck-at fault model).
-    pub fn force_line_failure(&mut self, addr: BlockAddr, weak_bits: u32) {
+    pub(crate) fn force_line_failure(&mut self, addr: BlockAddr, weak_bits: u32) {
         let slot = self.heal.redirect(self.device_addr(addr));
         self.nvm.fail_line(slot, weak_bits);
     }
 
     /// Number of data lines currently remapped into the spare pool.
-    pub fn remapped_lines(&self) -> u64 {
+    pub(crate) fn remapped_lines(&self) -> u64 {
         self.heal.remapped_count()
     }
 
     /// Number of data lines currently quarantined.
-    pub fn quarantined_lines(&self) -> u64 {
+    pub(crate) fn quarantined_lines(&self) -> u64 {
         self.heal.quarantined_count()
     }
 
     /// Spare lines still available for remapping.
-    pub fn spare_lines_free(&self) -> u64 {
+    pub(crate) fn spare_lines_free(&self) -> u64 {
         self.heal.free()
     }
 
     /// Whether the logical line at `addr` is quarantined.
-    pub fn is_line_quarantined(&self, addr: BlockAddr) -> bool {
+    pub(crate) fn is_line_quarantined(&self, addr: BlockAddr) -> bool {
         self.heal.is_quarantined(self.device_addr(addr))
     }
 }

@@ -50,6 +50,7 @@ pub mod config;
 pub mod controller;
 pub mod counters;
 pub mod deuce;
+pub mod facade;
 pub mod heal;
 pub mod mmio;
 pub mod wqueue;
@@ -58,8 +59,9 @@ pub use channel::ChannelSched;
 pub use config::{ControllerConfig, CounterPersistence, EncryptionMode, ShredStrategy};
 pub use controller::{ControllerStats, MemoryController, ReadResult};
 pub use counters::CounterBlock;
+pub use facade::{FaultPort, Inspect};
 pub use heal::{HealthStats, RetryPolicy, SparePool};
-pub use mmio::SHRED_REG;
+pub use mmio::{MmioError, MmioOp, SHRED_REG};
 pub use wqueue::{WriteQueue, WriteQueueConfig, WriteQueueStats};
 // Re-exported because `ControllerConfig::nvm_ecc` is part of this
 // crate's public configuration surface.

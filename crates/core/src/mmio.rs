@@ -4,8 +4,16 @@
 //! physical address to a memory-mapped register (§4.3 step 1, §5). §7.1
 //! requires the register to be kernel-only: a user-mode write raises an
 //! exception.
+//!
+//! Decoding and execution are split: [`decode`] classifies a raw write
+//! into a typed [`MmioOp`] or a typed [`MmioError`] (unknown register vs
+//! malformed value), and [`MmioOp::apply`] is the single execution path
+//! through which privilege checking flows — callers hand it the writer's
+//! mode instead of re-implementing per-register checks.
 
-use ss_common::PhysAddr;
+use ss_common::{Cycles, Error, PhysAddr, Result, PAGE_SIZE};
+
+use crate::controller::MemoryController;
 
 /// Physical address of the shred command register. Placed in a high MMIO
 /// window that never overlaps data memory.
@@ -18,13 +26,85 @@ pub enum MmioOp {
     Shred(PhysAddr),
 }
 
-/// Decodes a write of `value` to MMIO address `reg`, if it targets a
-/// known register.
-pub fn decode(reg: PhysAddr, value: u64) -> Option<MmioOp> {
+impl MmioOp {
+    /// Executes the operation on `mc`. This is the single path through
+    /// which the kernel-mode requirement is enforced for every decoded
+    /// register: a user-mode writer is denied (and counted) by the
+    /// operation's executor, never by ad-hoc caller-side checks.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::PrivilegeViolation`] for user-mode writers, plus the
+    /// executed operation's own errors.
+    pub fn apply(
+        self,
+        mc: &mut MemoryController,
+        kernel_mode: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
+        match self {
+            MmioOp::Shred(pa) => mc.shred_page_at(pa.page(), kernel_mode, now),
+        }
+    }
+}
+
+/// Why a raw MMIO write failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioError {
+    /// The address does not name any controller register. Hardware
+    /// ignores such writes (they complete as a plain bus write).
+    UnknownRegister {
+        /// The unrecognised address.
+        reg: PhysAddr,
+    },
+    /// The address names a register, but the written value is one the
+    /// register cannot accept — a software bug worth surfacing loudly
+    /// rather than silently mis-shredding.
+    MalformedValue {
+        /// The register that rejected the value.
+        reg: PhysAddr,
+        /// The rejected value.
+        value: u64,
+        /// What was wrong with it.
+        detail: &'static str,
+    },
+}
+
+impl MmioError {
+    /// Converts the malformed-value case into the workspace error type.
+    pub fn into_error(self) -> Error {
+        match self {
+            MmioError::UnknownRegister { reg } => Error::MalformedMmio {
+                reg,
+                detail: "write to unknown MMIO register".to_string(),
+            },
+            MmioError::MalformedValue { reg, detail, .. } => Error::MalformedMmio {
+                reg,
+                detail: detail.to_string(),
+            },
+        }
+    }
+}
+
+/// Decodes a write of `value` to MMIO address `reg`.
+///
+/// # Errors
+///
+/// [`MmioError::UnknownRegister`] when `reg` names no register;
+/// [`MmioError::MalformedValue`] when it does but `value` is invalid
+/// (the shred register requires a page-aligned physical address).
+pub fn decode(reg: PhysAddr, value: u64) -> std::result::Result<MmioOp, MmioError> {
     if reg == SHRED_REG {
-        Some(MmioOp::Shred(PhysAddr::new(value)))
+        if !value.is_multiple_of(PAGE_SIZE as u64) {
+            return Err(MmioError::MalformedValue {
+                reg,
+                value,
+                detail: "shred address must be page aligned",
+            });
+        }
+        Ok(MmioOp::Shred(PhysAddr::new(value)))
     } else {
-        None
+        Err(MmioError::UnknownRegister { reg })
     }
 }
 
@@ -35,13 +115,24 @@ mod tests {
     #[test]
     fn decodes_shred_register() {
         match decode(SHRED_REG, 0x4000) {
-            Some(MmioOp::Shred(pa)) => assert_eq!(pa, PhysAddr::new(0x4000)),
+            Ok(MmioOp::Shred(pa)) => assert_eq!(pa, PhysAddr::new(0x4000)),
             other => panic!("unexpected decode: {other:?}"),
         }
     }
 
     #[test]
-    fn unknown_register_ignored() {
-        assert_eq!(decode(PhysAddr::new(0x1234), 7), None);
+    fn unknown_register_distinguished() {
+        let reg = PhysAddr::new(0x1234);
+        assert_eq!(decode(reg, 7), Err(MmioError::UnknownRegister { reg }));
+    }
+
+    #[test]
+    fn unaligned_shred_value_is_malformed() {
+        match decode(SHRED_REG, 0x4001) {
+            Err(e @ MmioError::MalformedValue { value: 0x4001, .. }) => {
+                assert!(matches!(e.into_error(), Error::MalformedMmio { .. }));
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 }

@@ -16,6 +16,8 @@ use ss_core::{
     WriteQueueConfig, SHRED_REG,
 };
 
+use ss_trace::{MetricsRegistry, TraceRecord};
+
 use crate::plan::{FaultKind, FaultPlan, ScheduledFault};
 use crate::shadow::{Line, ShadowModel};
 
@@ -417,6 +419,21 @@ impl fmt::Display for PlanReport {
     }
 }
 
+/// Everything one plan run produces beyond the verdict: the report, a
+/// unified metrics snapshot, and (when tracing was enabled) the
+/// retained event records.
+#[derive(Debug, Clone)]
+pub struct PlanArtifacts {
+    /// The fault-classification report — identical to what
+    /// [`run_plan`] returns for the same `(cfg, seed)`.
+    pub report: PlanReport,
+    /// Final metrics snapshot under the stable dotted names.
+    pub metrics: MetricsRegistry,
+    /// Retained trace records, oldest first; empty when tracing was
+    /// disabled.
+    pub trace: Vec<TraceRecord>,
+}
+
 /// Runs the seeded fault plan against `cfg` and classifies every fault.
 ///
 /// Deterministic: same `(cfg, seed)` ⇒ byte-identical report. The run
@@ -429,8 +446,24 @@ impl fmt::Display for PlanReport {
 /// failing for a matrix config). Controller misbehavior is reported as
 /// `Corrupted`, never panicked on.
 pub fn run_plan(cfg: &HarnessConfig, seed: u64) -> PlanReport {
-    let plan = FaultPlan::generate(seed, &cfg.controller, cfg.pages);
-    let mut mc = MemoryController::new(cfg.controller.clone()).expect("matrix config must build");
+    run_plan_full(cfg, seed, None).report
+}
+
+/// [`run_plan`] plus observability: when `trace_depth` is `Some(n)` the
+/// controller retains the last `n` trace events. Tracing never changes
+/// the report — `run_plan_full(cfg, seed, d).report` is byte-identical
+/// to `run_plan(cfg, seed)` for every `d`.
+///
+/// # Panics
+///
+/// As [`run_plan`].
+pub fn run_plan_full(cfg: &HarnessConfig, seed: u64, trace_depth: Option<usize>) -> PlanArtifacts {
+    let mut controller_cfg = cfg.controller.clone();
+    if trace_depth.is_some() {
+        controller_cfg.trace_depth = trace_depth;
+    }
+    let plan = FaultPlan::generate(seed, &controller_cfg, cfg.pages);
+    let mut mc = MemoryController::new(controller_cfg).expect("matrix config must build");
     let mut shadow = ShadowModel::new();
     let mut rng = DetRng::new(seed ^ WORKLOAD_DOMAIN);
     let mut records = Vec::with_capacity(plan.faults.len());
@@ -444,17 +477,17 @@ pub fn run_plan(cfg: &HarnessConfig, seed: u64) -> PlanReport {
             if aborted {
                 records.push(FaultRecord {
                     fault: f,
-                    fired_at: mc.nvm_writes(),
+                    fired_at: mc.inspect().nvm_writes(),
                     outcome: FaultOutcome::Skipped,
                     detail: "run degraded by an earlier detected fault".into(),
                 });
                 queue.next();
                 continue;
             }
-            if mc.nvm_writes() < f.after_writes {
+            if mc.inspect().nvm_writes() < f.after_writes {
                 break;
             }
-            let fired_at = mc.nvm_writes();
+            let fired_at = mc.inspect().nvm_writes();
             let (outcome, detail, stop) = inject(&mut mc, &mut shadow, cfg, &f);
             records.push(FaultRecord {
                 fault: f,
@@ -476,7 +509,7 @@ pub fn run_plan(cfg: &HarnessConfig, seed: u64) -> PlanReport {
             for f in queue.by_ref() {
                 records.push(FaultRecord {
                     fault: f,
-                    fired_at: mc.nvm_writes(),
+                    fired_at: mc.inspect().nvm_writes(),
                     outcome: FaultOutcome::Skipped,
                     detail: format!("fire point not reached within {} ops", cfg.max_ops),
                 });
@@ -489,17 +522,22 @@ pub fn run_plan(cfg: &HarnessConfig, seed: u64) -> PlanReport {
             for f in queue.by_ref() {
                 records.push(FaultRecord {
                     fault: f,
-                    fired_at: mc.nvm_writes(),
+                    fired_at: mc.inspect().nvm_writes(),
                     outcome: FaultOutcome::Corrupted,
                     detail: format!("workload op failed: {e}"),
                 });
             }
-            return PlanReport {
+            let report = PlanReport {
                 label: cfg.label.clone(),
                 seed,
                 ops,
                 records,
                 final_failure: Some(e),
+            };
+            return PlanArtifacts {
+                metrics: mc.inspect().metrics(),
+                trace: mc.inspect().trace_records(),
+                report,
             };
         }
     }
@@ -509,12 +547,17 @@ pub fn run_plan(cfg: &HarnessConfig, seed: u64) -> PlanReport {
     } else {
         verify_all(&mut mc, &shadow, cfg).err()
     };
-    PlanReport {
+    let report = PlanReport {
         label: cfg.label.clone(),
         seed,
         ops,
         records,
         final_failure,
+    };
+    PlanArtifacts {
+        metrics: mc.inspect().metrics(),
+        trace: mc.inspect().trace_records(),
+        report,
     }
 }
 
@@ -616,7 +659,7 @@ fn verify_all(
         }
     }
     if cfg.controller.encryption != EncryptionMode::None && shadow.secret_count() > 0 {
-        for (addr, raw) in mc.cold_scan_data() {
+        for (addr, raw) in mc.faults().cold_scan_data() {
             if shadow.is_secret(&raw) {
                 return Err(format!("pre-shred plaintext survives in NVM at {addr}"));
             }
@@ -687,13 +730,13 @@ fn inject(
         FaultKind::CounterCacheLineDrop => {
             // ECC-scrub model: persist first, then invalidate, so the
             // re-fetched NVM copy is current and must verify.
-            let dirty = match mc.flush_counter_line(page) {
+            let dirty = match mc.faults().flush_counter_line(page) {
                 Ok(d) => d,
                 Err(e) => {
                     return (FaultOutcome::Corrupted, format!("flush failed: {e}"), true);
                 }
             };
-            let cached = mc.drop_counter_cache_line(page);
+            let cached = mc.faults().drop_counter_cache_line(page);
             match verify_page(mc, shadow, page) {
                 Ok(()) => (
                     FaultOutcome::Benign,
@@ -705,15 +748,15 @@ fn inject(
         }
         FaultKind::DataBitFlip => data_bit_flip(mc, shadow, cfg, addr, f.bit),
         FaultKind::CounterBitFlip => {
-            if let Err(e) = mc.flush_counter_line(page) {
+            if let Err(e) = mc.faults().flush_counter_line(page) {
                 return (FaultOutcome::Corrupted, format!("flush failed: {e}"), true);
             }
-            let good = mc.nvm_peek_counter(page);
-            mc.flip_counter_bit(page, f.bit);
-            mc.drop_counter_cache_line(page);
+            let good = mc.faults().nvm_peek_counter(page);
+            mc.faults().flip_counter_bit(page, f.bit);
+            mc.faults().drop_counter_cache_line(page);
             match mc.read_block(addr, Cycles::ZERO) {
                 Err(Error::IntegrityViolation { .. }) => {
-                    mc.tamper_counter_line(page, good); // restore the array
+                    mc.faults().tamper_counter_line(page, good); // restore the array
                     (
                         FaultOutcome::Detected,
                         "Merkle rejected the flipped counter line; array restored".into(),
@@ -733,25 +776,25 @@ fn inject(
             }
         }
         FaultKind::CounterReplay => {
-            if let Err(e) = mc.flush_counter_line(page) {
+            if let Err(e) = mc.faults().flush_counter_line(page) {
                 return (FaultOutcome::Corrupted, format!("flush failed: {e}"), true);
             }
-            let stale = mc.nvm_peek_counter(page);
+            let stale = mc.faults().nvm_peek_counter(page);
             // Advance the page legitimately so `stale` becomes a replay.
             let fresh = [(f.bit as u8) ^ 0xC3; LINE_SIZE];
             if let Err(e) = mc.write_block(addr, &fresh, false, Cycles::ZERO) {
                 return (FaultOutcome::Corrupted, format!("write failed: {e}"), true);
             }
             shadow.note_write(addr, fresh);
-            if let Err(e) = mc.flush_counter_line(page) {
+            if let Err(e) = mc.faults().flush_counter_line(page) {
                 return (FaultOutcome::Corrupted, format!("flush failed: {e}"), true);
             }
-            let good = mc.nvm_peek_counter(page);
-            mc.tamper_counter_line(page, stale);
-            mc.drop_counter_cache_line(page);
+            let good = mc.faults().nvm_peek_counter(page);
+            mc.faults().tamper_counter_line(page, stale);
+            mc.faults().drop_counter_cache_line(page);
             match mc.read_block(addr, Cycles::ZERO) {
                 Err(Error::IntegrityViolation { .. }) => {
-                    mc.tamper_counter_line(page, good);
+                    mc.faults().tamper_counter_line(page, good);
                     (
                         FaultOutcome::Detected,
                         "Merkle rejected the replayed counter line; array restored".into(),
@@ -820,9 +863,9 @@ fn inject(
             }
             shadow.note_write(addr, prep);
             let flips = 1 + (f.bit as u32 & 1);
-            mc.inject_data_read_error(addr, flips);
-            let corrected = mc.stats().health.ecc_corrected.get();
-            let retried = mc.stats().health.retried_ok.get();
+            mc.faults().inject_data_read_error(addr, flips);
+            let corrected = mc.inspect().stats().health.ecc_corrected.get();
+            let retried = mc.inspect().stats().health.retried_ok.get();
             let read = match mc.read_block(addr, Cycles::ZERO) {
                 Ok(r) => r,
                 Err(e) => {
@@ -833,7 +876,7 @@ fn inject(
                     );
                 }
             };
-            if mc.clear_injected_read_error(addr) {
+            if mc.faults().clear_injected_read_error(addr) {
                 // Store-forwarding from the write queue satisfied the
                 // read without touching the array; the error is moot.
                 return (
@@ -851,9 +894,9 @@ fn inject(
                     );
                 }
             }
-            let via = if mc.stats().health.retried_ok.get() > retried {
+            let via = if mc.inspect().stats().health.retried_ok.get() > retried {
                 "retry with backoff"
-            } else if mc.stats().health.ecc_corrected.get() > corrected {
+            } else if mc.inspect().stats().health.ecc_corrected.get() > corrected {
                 "inline ECC correction"
             } else {
                 // The error fired but neither counter moved — it must
@@ -886,8 +929,8 @@ fn inject(
                 );
             }
             shadow.note_write(addr, prep);
-            let remaps = mc.remapped_lines();
-            mc.force_line_failure(addr, 1);
+            let remaps = mc.inspect().remapped_lines();
+            mc.faults().force_line_failure(addr, 1);
             let read = match mc.read_block(addr, Cycles::ZERO) {
                 Ok(r) => r,
                 Err(e) => {
@@ -907,7 +950,7 @@ fn inject(
                     );
                 }
             }
-            if mc.remapped_lines() > remaps {
+            if mc.inspect().remapped_lines() > remaps {
                 shadow.note_remap(addr);
                 (
                     FaultOutcome::Recovered,
@@ -936,7 +979,7 @@ fn data_bit_flip(
     addr: ss_common::BlockAddr,
     bit: usize,
 ) -> (FaultOutcome, String, bool) {
-    mc.flip_data_bit(addr, bit);
+    mc.faults().flip_data_bit(addr, bit);
     let expected = shadow.expected(addr, cfg.zero_fresh());
     let r = match mc.read_block(addr, Cycles::ZERO) {
         Ok(r) => r,
@@ -950,7 +993,7 @@ fn data_bit_flip(
     };
     let Some(expected) = expected else {
         // Untracked garbage line (no architectural content): revert.
-        mc.flip_data_bit(addr, bit);
+        mc.faults().flip_data_bit(addr, bit);
         return (
             FaultOutcome::Benign,
             "flip landed on an untracked line; reverted".into(),
@@ -961,7 +1004,7 @@ fn data_bit_flip(
         // Shielded: the block is served from the zero-fill path or the
         // write queue, not from the flipped cell. Revert the cell so a
         // later drain/fetch cannot resurrect the flip.
-        mc.flip_data_bit(addr, bit);
+        mc.faults().flip_data_bit(addr, bit);
         return (
             FaultOutcome::Benign,
             "flip shielded by zero-fill/store-forwarding; reverted".into(),

@@ -34,7 +34,10 @@ pub mod plan;
 pub mod scenario;
 pub mod shadow;
 
-pub use engine::{run_plan, FaultOutcome, FaultRecord, HarnessConfig, PlanReport, Tally};
+pub use engine::{
+    run_plan, run_plan_full, FaultOutcome, FaultRecord, HarnessConfig, PlanArtifacts, PlanReport,
+    Tally,
+};
 pub use plan::{FaultKind, FaultPlan, ScheduledFault};
 pub use scenario::{crash_at_depth, system_crash_roundtrip, system_volatile_crash, CrashVerdict};
 pub use shadow::ShadowModel;

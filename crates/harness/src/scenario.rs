@@ -121,15 +121,16 @@ fn system_crash(persistence: CounterPersistence) -> CrashVerdict {
     // Snapshot the architectural plaintext of every line the run left in
     // the NVM array, via the controller's debug decrypt path.
     let addrs: Vec<BlockAddr> = sys
-        .hardware()
+        .hardware_mut()
         .controller
+        .faults()
         .cold_scan_data()
         .into_iter()
         .map(|(a, _)| a)
         .collect();
     let mut before: Vec<(BlockAddr, Line)> = Vec::with_capacity(addrs.len());
     for a in addrs {
-        match sys.hardware_mut().controller.peek_plaintext(a) {
+        match sys.hardware_mut().controller.faults().peek_plaintext(a) {
             Ok(l) => before.push((a, l)),
             Err(_) => return CrashVerdict::Corrupted { addr: a.raw() },
         }
@@ -158,7 +159,7 @@ fn system_crash(persistence: CounterPersistence) -> CrashVerdict {
         Err(_) => return CrashVerdict::Corrupted { addr: 0 },
     }
     for (a, l) in &before {
-        match sys.hardware_mut().controller.peek_plaintext(*a) {
+        match sys.hardware_mut().controller.faults().peek_plaintext(*a) {
             Ok(now) if now == *l => {}
             _ => return CrashVerdict::Corrupted { addr: a.raw() },
         }

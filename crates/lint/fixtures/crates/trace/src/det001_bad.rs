@@ -1,0 +1,8 @@
+//! Golden fixture: DET-001 must fire inside the trace crate too — a
+//! HashMap-backed metrics registry would export in random key order.
+
+use std::collections::HashMap;
+
+pub fn registry() -> HashMap<String, u64> {
+    HashMap::new()
+}

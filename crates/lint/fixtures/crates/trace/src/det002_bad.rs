@@ -1,0 +1,9 @@
+//! Golden fixture: DET-002 must fire inside the trace crate too — a
+//! wall-clock timestamp on an event would break byte-identical streams.
+
+pub fn stamp_event() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0)
+}

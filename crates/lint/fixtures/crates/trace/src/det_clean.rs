@@ -1,0 +1,17 @@
+//! Golden fixture: the deterministic shape of the real trace crate —
+//! cycle-stamped records in BTreeMap order — is lint-clean.
+
+use std::collections::BTreeMap;
+
+pub struct Record {
+    pub seq: u64,
+    pub cycle: u64,
+}
+
+pub fn export(values: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in values {
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out
+}

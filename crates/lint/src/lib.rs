@@ -187,12 +187,12 @@ fn crate_root_file(manifest_abs: &Path, manifest_rel: &str) -> Option<(String, P
 /// reports.
 pub fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
-    walk(root, root, &mut files)?;
+    walk(root, &mut files)?;
     files.sort();
     Ok(files)
 }
 
-fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     let entries =
         std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
     for entry in entries {
@@ -204,7 +204,7 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
             if name == "target" || name == ".git" || name == "fixtures" {
                 continue;
             }
-            walk(root, &path, out)?;
+            walk(&path, out)?;
         } else if name.ends_with(".rs") || name == "Cargo.toml" {
             out.push(path);
         }
@@ -270,7 +270,7 @@ mod tests {
 
     #[test]
     fn findings_sort_by_path_line_rule() {
-        let mut v = vec![
+        let mut v = [
             Finding::new("b.rs", 1, "DET-001", "x"),
             Finding::new("a.rs", 9, "SEC-001", "x"),
             Finding::new("a.rs", 9, "DET-001", "x"),

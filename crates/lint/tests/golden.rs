@@ -65,6 +65,37 @@ fn det002_violations_exact() {
 }
 
 #[test]
+fn det001_covers_trace_crate() {
+    // A HashMap-backed registry would export in random key order — the
+    // trace crate is subject to the same determinism sweep as the rest.
+    let f = lint(&["crates/trace/src/det001_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(4, "DET-001"), (6, "DET-001"), (7, "DET-001")],
+        "{f:#?}"
+    );
+}
+
+#[test]
+fn det002_covers_trace_crate() {
+    // Wall-clock event timestamps would break byte-identical streams.
+    let f = lint(&["crates/trace/src/det002_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(5, "DET-002"), (6, "DET-002")],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("SystemTime"));
+}
+
+#[test]
+fn trace_shaped_code_is_clean() {
+    // Cycle-stamped records exported in BTreeMap order — the real
+    // crate's shape — raise nothing.
+    assert!(lint(&["crates/trace/src/det_clean.rs"]).is_empty());
+}
+
+#[test]
 fn det003_violations_exact() {
     let f = lint(&["crates/sim/src/det003_bad.rs"]);
     // Line 4 fires twice: `thread_rng` and the `rand::` crate path are
@@ -171,6 +202,8 @@ fn cli_exit_codes_match_fixture_intent() {
     let violating = [
         "crates/sim/src/det001_bad.rs",
         "crates/sim/src/det002_bad.rs",
+        "crates/trace/src/det001_bad.rs",
+        "crates/trace/src/det002_bad.rs",
         "crates/sim/src/det003_bad.rs",
         "crates/core/src/sec001_bad.rs",
         "crates/sim/src/sec002_bad.rs",
@@ -182,6 +215,7 @@ fn cli_exit_codes_match_fixture_intent() {
     ];
     let clean = [
         "crates/sim/src/det001_clean.rs",
+        "crates/trace/src/det_clean.rs",
         "crates/core/src/sec001_clean.rs",
         "crates/sim/src/allowed_by_config.rs",
         "crates/layers/good/Cargo.toml",

@@ -109,6 +109,43 @@ pub struct NvmStats {
     pub ecc_silent_escapes: Counter,
 }
 
+impl NvmStats {
+    /// Exports every statistic into `reg` under `<prefix>.<name>`.
+    /// Energy is reported as whole picojoules (rounded) so the registry
+    /// stays integer-valued and byte-stable.
+    pub fn export(&self, reg: &mut ss_trace::MetricsRegistry, prefix: &str) {
+        reg.set(&format!("{prefix}.reads"), self.reads.get());
+        reg.set(&format!("{prefix}.writes"), self.writes.get());
+        reg.set(
+            &format!("{prefix}.skipped_writes"),
+            self.skipped_writes.get(),
+        );
+        reg.set(&format!("{prefix}.bits_written"), self.bits_written);
+        reg.set(
+            &format!("{prefix}.energy_pj"),
+            self.energy_pj.round() as u64,
+        );
+        reg.set(&format!("{prefix}.power_cycles"), self.power_cycles);
+        reg.set(&format!("{prefix}.failed_lines"), self.failed_lines);
+        reg.set(
+            &format!("{prefix}.ecc_corrected_reads"),
+            self.ecc_corrected_reads.get(),
+        );
+        reg.set(
+            &format!("{prefix}.ecc_corrected_bits"),
+            self.ecc_corrected_bits,
+        );
+        reg.set(
+            &format!("{prefix}.ecc_uncorrectable_reads"),
+            self.ecc_uncorrectable_reads.get(),
+        );
+        reg.set(
+            &format!("{prefix}.ecc_silent_escapes"),
+            self.ecc_silent_escapes.get(),
+        );
+    }
+}
+
 /// A persistent, line-granularity NVM array.
 ///
 /// Contents are stored sparsely; unwritten lines read as zero (a fresh

@@ -269,11 +269,11 @@ mod tests {
             }
         }
         assert!(
-            h.controller.stats().mem.writes.get() > 0,
+            h.controller.inspect().stats().mem.writes.get() > 0,
             "nothing reached NVM"
         );
         // And whatever reached NVM is ciphertext, not the plaintext.
-        let written = h.controller.cold_scan_data();
+        let written = h.controller.faults().cold_scan_data();
         assert!(!written.is_empty());
         for (addr, raw) in written {
             let page = addr.page().raw() as u8 | 1;
@@ -305,8 +305,8 @@ mod tests {
             .unwrap();
         let (data, _) = h.read_access(0, page.block_addr(0), Cycles::ZERO).unwrap();
         assert_eq!(data, [0u8; 64]);
-        assert_eq!(h.controller.stats().mem.zeroing_writes.get(), 0);
-        assert_eq!(h.controller.stats().shreds.get(), 1);
+        assert_eq!(h.controller.inspect().stats().mem.zeroing_writes.get(), 0);
+        assert_eq!(h.controller.inspect().stats().shreds.get(), 1);
     }
 
     #[test]
@@ -315,7 +315,7 @@ mod tests {
         let page = PageId::new(4);
         ss_os::zeroing::shred_page(&mut h, ZeroStrategy::NonTemporal, 0, page, Cycles::ZERO)
             .unwrap();
-        assert_eq!(h.controller.stats().mem.zeroing_writes.get(), 64);
+        assert_eq!(h.controller.inspect().stats().mem.zeroing_writes.get(), 64);
     }
 
     #[test]
@@ -323,7 +323,7 @@ mod tests {
         let mut h = hw();
         let page = PageId::new(5);
         ss_os::zeroing::shred_page(&mut h, ZeroStrategy::RowClone, 0, page, Cycles::ZERO).unwrap();
-        assert_eq!(h.controller.stats().mem.zeroing_writes.get(), 64);
+        assert_eq!(h.controller.inspect().stats().mem.zeroing_writes.get(), 64);
         // Functional: page reads zero afterwards.
         let (data, _) = h.read_access(0, page.block_addr(9), Cycles::ZERO).unwrap();
         assert_eq!(data, [0u8; 64]);

@@ -39,9 +39,10 @@ impl RunReport {
     /// Collects a report after a run.
     pub fn collect(system: &System, summary: RunSummary) -> Self {
         let hw = system.hardware();
-        let cstats = hw.controller.stats();
-        let ccache = hw.controller.counter_cache_stats();
-        let nvm = hw.controller.nvm();
+        let insp = hw.controller.inspect();
+        let cstats = insp.stats();
+        let ccache = insp.counter_cache_stats();
+        let nvm = insp.nvm_stats();
         let mut tlb_hits = 0u64;
         let mut tlb_misses = 0u64;
         for core in 0..system.config().cores() {
@@ -57,9 +58,9 @@ impl RunReport {
             shreds: cstats.shreds.get(),
             reencryptions: cstats.reencryptions.get(),
             counter_cache_miss_rate: ccache.miss_rate(),
-            nvm_energy_pj: nvm.stats().energy_pj,
-            max_line_wear: nvm.wear().max_wear().map(|(_, n)| n).unwrap_or(0),
-            nvm_writes: nvm.stats().writes.get(),
+            nvm_energy_pj: nvm.energy_pj,
+            max_line_wear: insp.nvm_max_wear().map(|(_, n)| n).unwrap_or(0),
+            nvm_writes: nvm.writes.get(),
             tlb_miss_rate: if tlb_total == 0 {
                 0.0
             } else {

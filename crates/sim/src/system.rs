@@ -433,7 +433,7 @@ mod tests {
             let pid = sys.spawn_process(0).unwrap();
             let buf = sys.sys_alloc(pid, 32 * 4096).unwrap();
             sys.run(vec![ops_touch_pages(buf, 32).into_iter()], None);
-            let stats = &sys.hardware().controller.stats().mem;
+            let stats = &sys.hardware().controller.inspect().stats().mem;
             (
                 stats.zeroing_writes.get(),
                 sys.kernel().stats().pages_shredded.get(),
@@ -461,7 +461,7 @@ mod tests {
             ops.push(Op::Load(buf.add(p * 4096 + 512)));
         }
         sys.run(vec![ops.into_iter()], None);
-        let mem = &sys.hardware().controller.stats().mem;
+        let mem = &sys.hardware().controller.inspect().stats().mem;
         assert!(
             mem.zero_fill_reads.get() >= 8,
             "expected zero-filled reads, got {}",

@@ -1,0 +1,211 @@
+//! The unified metrics registry.
+//!
+//! Every stats struct in the workspace (`MemStats`, `CacheStats`,
+//! `NvmStats`, heal/write-queue counters, stage profiles) exports into
+//! one flat namespace of dotted names. The registry is deliberately
+//! dumb — `BTreeMap<String, u64>` — because the value is in the
+//! *contract*: stable names, integer values, byte-stable export order.
+//!
+//! Naming scheme: `<component>.<counter>`, components `ctrl`, `ccache`,
+//! `wq`, `heal`, `nvm`, `profile`, `trace`. See DESIGN.md §10 for the
+//! full catalogue.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ss_common::LatencyStat;
+
+/// Flat, deterministically ordered map of metric name → integer value.
+///
+/// Epoch workflows use [`MetricsRegistry::delta`]: snapshot the registry
+/// at an epoch boundary, collect again later, and diff to get
+/// per-epoch counters out of cumulative ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    values: BTreeMap<String, u64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `name` to `value`, replacing any previous value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.values.insert(name.to_string(), value);
+    }
+
+    /// Adds `value` to `name` (creating it at 0 first).
+    pub fn add(&mut self, name: &str, value: u64) {
+        *self.values.entry(name.to_string()).or_insert(0) += value;
+    }
+
+    /// Reads one metric; absent names read as `None`.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.values.get(name).copied()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(name, value)` in lexicographic (export) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sums another registry into this one (union of names).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in &other.values {
+            *self.values.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+
+    /// Per-epoch delta: `self - earlier`, saturating at 0, over the
+    /// union of names. Names only present in `earlier` come out as 0 so
+    /// the delta's key set is reproducible.
+    pub fn delta(&self, earlier: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new();
+        for (name, &value) in &self.values {
+            let before = earlier.get(name).unwrap_or(0);
+            out.set(name, value.saturating_sub(before));
+        }
+        for name in earlier.values.keys() {
+            if !self.values.contains_key(name) {
+                out.set(name, 0);
+            }
+        }
+        out
+    }
+
+    /// One JSON object, keys in BTreeMap order — byte-identical for
+    /// identical runs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// CSV with a `metric,value` header, rows in BTreeMap order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, value) in &self.values {
+            let _ = writeln!(out, "{name},{value}");
+        }
+        out
+    }
+}
+
+/// Exports a [`LatencyStat`] under `prefix` as `.count`, `.total`,
+/// `.min`, `.max`, `.p50`, `.p99` (all integers; empty stats export
+/// zeros so the key set never varies with workload).
+pub fn export_latency(reg: &mut MetricsRegistry, prefix: &str, stat: &LatencyStat) {
+    reg.set(&format!("{prefix}.count"), stat.count());
+    reg.set(&format!("{prefix}.total"), stat.total().raw());
+    reg.set(&format!("{prefix}.min"), stat.min().map_or(0, |c| c.raw()));
+    reg.set(&format!("{prefix}.max"), stat.max().map_or(0, |c| c.raw()));
+    reg.set(
+        &format!("{prefix}.p50"),
+        stat.percentile(50).map_or(0, |c| c.raw()),
+    );
+    reg.set(
+        &format!("{prefix}.p99"),
+        stat.percentile(99).map_or(0, |c| c.raw()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::Cycles;
+
+    #[test]
+    fn export_is_sorted_and_byte_stable() {
+        let mut r = MetricsRegistry::new();
+        r.set("wq.drains", 2);
+        r.set("ctrl.reads", 10);
+        r.add("ctrl.reads", 5);
+        r.set("ccache.hits", 7);
+        assert_eq!(
+            r.to_json(),
+            "{\"ccache.hits\":7,\"ctrl.reads\":15,\"wq.drains\":2}"
+        );
+        assert_eq!(
+            r.to_csv(),
+            "metric,value\nccache.hits,7\nctrl.reads,15\nwq.drains,2\n"
+        );
+        // Two independently built registries with the same content
+        // export the same bytes.
+        let mut r2 = MetricsRegistry::new();
+        r2.set("ccache.hits", 7);
+        r2.set("ctrl.reads", 15);
+        r2.set("wq.drains", 2);
+        assert_eq!(r.to_json(), r2.to_json());
+    }
+
+    #[test]
+    fn delta_covers_union_of_names() {
+        let mut epoch0 = MetricsRegistry::new();
+        epoch0.set("ctrl.reads", 10);
+        epoch0.set("old.metric", 1);
+        let mut epoch1 = MetricsRegistry::new();
+        epoch1.set("ctrl.reads", 25);
+        epoch1.set("new.metric", 3);
+        let d = epoch1.delta(&epoch0);
+        assert_eq!(d.get("ctrl.reads"), Some(15));
+        assert_eq!(d.get("new.metric"), Some(3));
+        assert_eq!(d.get("old.metric"), Some(0));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn merge_sums_values() {
+        let mut a = MetricsRegistry::new();
+        a.set("ctrl.reads", 1);
+        let mut b = MetricsRegistry::new();
+        b.set("ctrl.reads", 2);
+        b.set("ctrl.writes", 4);
+        a.merge(&b);
+        assert_eq!(a.get("ctrl.reads"), Some(3));
+        assert_eq!(a.get("ctrl.writes"), Some(4));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn latency_export_has_fixed_key_set() {
+        let mut r = MetricsRegistry::new();
+        export_latency(&mut r, "ctrl.read_latency", &LatencyStat::new());
+        let empty_keys: Vec<&str> = r.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            empty_keys,
+            vec![
+                "ctrl.read_latency.count",
+                "ctrl.read_latency.max",
+                "ctrl.read_latency.min",
+                "ctrl.read_latency.p50",
+                "ctrl.read_latency.p99",
+                "ctrl.read_latency.total",
+            ]
+        );
+        let mut s = LatencyStat::new();
+        s.record(Cycles::new(100));
+        let mut r2 = MetricsRegistry::new();
+        export_latency(&mut r2, "ctrl.read_latency", &s);
+        assert_eq!(r2.get("ctrl.read_latency.count"), Some(1));
+        assert_eq!(r2.get("ctrl.read_latency.p50"), Some(100));
+        assert_eq!(r2.len(), r.len());
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-stage cycle attribution for the controller pipelines.
+//!
+//! Freij et al. and the eADR work both make the same point: secure-NVM
+//! latency is a *sum of stages* (counter fetch, AES, integrity verify,
+//! array access), and optimisation is impossible without knowing which
+//! stage dominates. [`StageProfile`] is a fixed-size accumulator the
+//! controller charges as it walks each pipeline; it costs two `u64`
+//! additions per charge and is therefore left always-on.
+
+use std::fmt::Write as _;
+
+use ss_common::Cycles;
+
+use crate::metrics::MetricsRegistry;
+
+/// A pipeline stage the controller can attribute cycles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Fetching a counter line from NVM on a counter-cache miss.
+    CounterFetch,
+    /// Writing a counter line back to NVM.
+    CounterWrite,
+    /// AES counter-mode pad generation + XOR for data blocks.
+    AesCtr,
+    /// AES ECB work (DEUCE-style re-encryption, counter realignment).
+    AesEcb,
+    /// Merkle-tree verification of fetched counter lines.
+    MerkleVerify,
+    /// Data-array reads that reached the NVM device.
+    NvmRead,
+    /// Data-array writes that reached the NVM device.
+    NvmWrite,
+    /// Reads served by the zero-fill fast path (no array access).
+    ZeroFill,
+    /// Cycles spent in retry backoff on faulty lines.
+    RetryBackoff,
+    /// Write-queue drain bursts.
+    WqueueDrain,
+}
+
+impl Stage {
+    /// Every stage, in declaration (= export) order.
+    pub const ALL: [Stage; 10] = [
+        Stage::CounterFetch,
+        Stage::CounterWrite,
+        Stage::AesCtr,
+        Stage::AesEcb,
+        Stage::MerkleVerify,
+        Stage::NvmRead,
+        Stage::NvmWrite,
+        Stage::ZeroFill,
+        Stage::RetryBackoff,
+        Stage::WqueueDrain,
+    ];
+
+    /// Stable snake_case label used in metric names and reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Stage::CounterFetch => "counter_fetch",
+            Stage::CounterWrite => "counter_write",
+            Stage::AesCtr => "aes_ctr",
+            Stage::AesEcb => "aes_ecb",
+            Stage::MerkleVerify => "merkle_verify",
+            Stage::NvmRead => "nvm_read",
+            Stage::NvmWrite => "nvm_write",
+            Stage::ZeroFill => "zero_fill",
+            Stage::RetryBackoff => "retry_backoff",
+            Stage::WqueueDrain => "wqueue_drain",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Cycle/operation accumulators, one slot per [`Stage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageProfile {
+    cycles: [u64; Stage::ALL.len()],
+    ops: [u64; Stage::ALL.len()],
+}
+
+impl StageProfile {
+    /// Creates a zeroed profile.
+    pub const fn new() -> Self {
+        StageProfile {
+            cycles: [0; Stage::ALL.len()],
+            ops: [0; Stage::ALL.len()],
+        }
+    }
+
+    /// Charges `cost` cycles (and one operation) to `stage`.
+    #[inline]
+    pub fn charge(&mut self, stage: Stage, cost: Cycles) {
+        self.cycles[stage.index()] += cost.raw();
+        self.ops[stage.index()] += 1;
+    }
+
+    /// Total cycles charged to `stage`.
+    pub fn cycles(&self, stage: Stage) -> Cycles {
+        Cycles::new(self.cycles[stage.index()])
+    }
+
+    /// Number of operations charged to `stage`.
+    pub fn ops(&self, stage: Stage) -> u64 {
+        self.ops[stage.index()]
+    }
+
+    /// Sum of cycles over all stages.
+    pub fn total_cycles(&self) -> Cycles {
+        Cycles::new(self.cycles.iter().sum())
+    }
+
+    /// Adds another profile into this one.
+    pub fn merge(&mut self, other: &StageProfile) {
+        for (a, b) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.ops.iter_mut().zip(other.ops.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Exports as `profile.<stage>.cycles` / `profile.<stage>.ops` —
+    /// all stages, every time, so the key set is workload-independent.
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        for stage in Stage::ALL {
+            reg.set(
+                &format!("profile.{}.cycles", stage.label()),
+                self.cycles[stage.index()],
+            );
+            reg.set(
+                &format!("profile.{}.ops", stage.label()),
+                self.ops[stage.index()],
+            );
+        }
+    }
+
+    /// Human-readable attribution table, stages in declaration order,
+    /// with per-mille share of total cycles (integer arithmetic only).
+    pub fn report(&self) -> String {
+        let total = self.total_cycles().raw();
+        let mut out = String::from("stage            cycles       ops  share\n");
+        for stage in Stage::ALL {
+            let cyc = self.cycles[stage.index()];
+            let share = (cyc * 1000).checked_div(total).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>9}  {:>3}.{}%",
+                stage.label(),
+                cyc,
+                self.ops[stage.index()],
+                share / 10,
+                share % 10
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_read_back() {
+        let mut p = StageProfile::new();
+        p.charge(Stage::AesCtr, Cycles::new(40));
+        p.charge(Stage::AesCtr, Cycles::new(40));
+        p.charge(Stage::NvmRead, Cycles::new(120));
+        assert_eq!(p.cycles(Stage::AesCtr), Cycles::new(80));
+        assert_eq!(p.ops(Stage::AesCtr), 2);
+        assert_eq!(p.cycles(Stage::MerkleVerify), Cycles::ZERO);
+        assert_eq!(p.total_cycles(), Cycles::new(200));
+    }
+
+    #[test]
+    fn merge_adds_slots() {
+        let mut a = StageProfile::new();
+        a.charge(Stage::ZeroFill, Cycles::new(5));
+        let mut b = StageProfile::new();
+        b.charge(Stage::ZeroFill, Cycles::new(7));
+        b.charge(Stage::WqueueDrain, Cycles::new(3));
+        a.merge(&b);
+        assert_eq!(a.cycles(Stage::ZeroFill), Cycles::new(12));
+        assert_eq!(a.ops(Stage::ZeroFill), 2);
+        assert_eq!(a.ops(Stage::WqueueDrain), 1);
+    }
+
+    #[test]
+    fn export_emits_every_stage() {
+        let mut p = StageProfile::new();
+        p.charge(Stage::CounterFetch, Cycles::new(30));
+        let mut reg = MetricsRegistry::new();
+        p.export(&mut reg);
+        assert_eq!(reg.len(), 2 * Stage::ALL.len());
+        assert_eq!(reg.get("profile.counter_fetch.cycles"), Some(30));
+        assert_eq!(reg.get("profile.counter_fetch.ops"), Some(1));
+        assert_eq!(reg.get("profile.zero_fill.cycles"), Some(0));
+    }
+
+    #[test]
+    fn report_shares_sum_sensibly() {
+        let mut p = StageProfile::new();
+        p.charge(Stage::NvmRead, Cycles::new(750));
+        p.charge(Stage::AesCtr, Cycles::new(250));
+        let rep = p.report();
+        assert!(rep.contains("nvm_read"), "{rep}");
+        assert!(rep.contains("75.0%"), "{rep}");
+        assert!(rep.contains("25.0%"), "{rep}");
+        // Empty profile renders all-zero shares without dividing by zero.
+        assert!(StageProfile::new().report().contains("  0.0%"));
+    }
+
+    #[test]
+    fn labels_are_unique_and_ordered() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        let dedup: std::collections::BTreeSet<&str> = labels.iter().copied().collect();
+        assert_eq!(labels.len(), dedup.len());
+        assert_eq!(labels[0], "counter_fetch");
+    }
+}

@@ -31,7 +31,7 @@ fn main() -> Result<()> {
     let page = PageId::new(3);
     plain.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
     plain.power_loss()?;
-    let stolen: Vec<_> = plain.cold_scan_data();
+    let stolen: Vec<_> = plain.faults().cold_scan_data();
     let leaked = stolen.iter().any(|(_, l)| *l == SECRET);
     println!(
         "1. unencrypted NVM, cold scan after power-off: secret {}",
@@ -53,8 +53,8 @@ fn main() -> Result<()> {
     })?;
     ecb.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
     ecb.write_block(page.block_addr(1), &SECRET, false, Cycles::ZERO)?;
-    let c0 = ecb.nvm().peek(page.block_addr(0));
-    let c1 = ecb.nvm().peek(page.block_addr(1));
+    let c0 = ecb.faults().nvm_peek(page.block_addr(0));
+    let c1 = ecb.faults().nvm_peek(page.block_addr(1));
     println!(
         "2. ECB: ciphertext != plaintext ({}), but equal plaintexts give equal\n   ciphertexts ({}) — dictionary attacks apply",
         c0 != SECRET,
@@ -65,8 +65,8 @@ fn main() -> Result<()> {
     let mut ctr = MemoryController::new(ControllerConfig::small_test())?;
     ctr.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
     ctr.write_block(page.block_addr(1), &SECRET, false, Cycles::ZERO)?;
-    let c0 = ctr.nvm().peek(page.block_addr(0));
-    let c1 = ctr.nvm().peek(page.block_addr(1));
+    let c0 = ctr.faults().nvm_peek(page.block_addr(0));
+    let c1 = ctr.faults().nvm_peek(page.block_addr(1));
     println!(
         "3. CTR: equal plaintexts encrypt differently ({}), ciphertext entropy ~{} distinct bytes",
         c0 != c1,
@@ -86,8 +86,8 @@ fn main() -> Result<()> {
     // 5. Counter tampering is detected by the Merkle tree.
     ctr.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
     ctr.flush_counters()?;
-    ctr.tamper_counter_line(page, [0xFF; 64]);
-    ctr.drop_counter_cache();
+    ctr.faults().tamper_counter_line(page, [0xFF; 64]);
+    ctr.faults().drop_counter_cache();
     match ctr.read_block(page.block_addr(0), Cycles::ZERO) {
         Err(Error::IntegrityViolation { detail }) => {
             println!("5. counter replay/tamper: DETECTED ({detail})");

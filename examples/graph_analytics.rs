@@ -33,7 +33,7 @@ fn run_app(app: GraphApp, shredder: bool) -> Result<(u64, u64, f64)> {
     }
     let summary = system.run(streams, None);
     system.drain_caches();
-    let mem = &system.hardware().controller.stats().mem;
+    let mem = &system.hardware().controller.inspect().stats().mem;
     Ok((
         mem.writes.get(),
         mem.zero_fill_reads.get(),

@@ -40,7 +40,7 @@ fn main() -> Result<()> {
     println!(
         "memset loop (baseline):       {:>9} cycles, {:>6} NVM writes",
         summary.makespan().raw(),
-        sys.hardware().controller.stats().mem.writes
+        sys.hardware().controller.inspect().stats().mem.writes
     );
 
     // --- The shred-range syscall on Silent Shredder. ---
@@ -57,7 +57,7 @@ fn main() -> Result<()> {
     println!(
         "sys_shred_range (shredder):   {:>9} cycles, {:>6} NVM writes",
         syscall_cycles.raw(),
-        sys.hardware().controller.stats().mem.writes
+        sys.hardware().controller.inspect().stats().mem.writes
     );
 
     // Verify the semantics: the buffer now reads as zeros.
@@ -65,7 +65,14 @@ fn main() -> Result<()> {
         .map(|p| Op::Load(heap.add(p * 4096 + 1024)))
         .collect();
     sys.run(vec![verify.into_iter()], None);
-    let zf = sys.hardware().controller.stats().mem.zero_fill_reads.get();
+    let zf = sys
+        .hardware()
+        .controller
+        .inspect()
+        .stats()
+        .mem
+        .zero_fill_reads
+        .get();
     println!("\nverification reads served by zero-fill: {zf}/{PAGES}");
     println!("Same architectural result, no zero writes — §7.2's large-init use case.");
     Ok(())

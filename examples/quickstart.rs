@@ -34,7 +34,7 @@ fn run_config(shredder: bool) -> Result<()> {
     let summary = system.run(vec![ops.into_iter()], None);
     system.drain_caches();
 
-    let mem = &system.hardware().controller.stats().mem;
+    let mem = &system.hardware().controller.inspect().stats().mem;
     let kernel = system.kernel().stats();
     println!("--- {label} ---");
     println!("  pages shredded:        {}", kernel.pages_shredded);

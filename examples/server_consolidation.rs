@@ -74,7 +74,7 @@ fn churn(strategy: ZeroStrategy) -> Result<(u64, u64, u64)> {
         hyp.destroy_vm(vm)?;
     }
 
-    let mem = &hw.controller.stats().mem;
+    let mem = &hw.controller.inspect().stats().mem;
     Ok((
         mem.zeroing_writes.get(),
         hyp.stats().pages_shredded.get(),

@@ -64,9 +64,9 @@ fn demo(strategy: ZeroStrategy) -> Result<()> {
     );
 
     // VM 2 gets the recycled frames. The hypervisor shreds on grant.
-    let before = hw.controller.stats().mem.zeroing_writes.get();
+    let before = hw.controller.inspect().stats().mem.zeroing_writes.get();
     let (vm2, grant_lat) = hyp.create_vm(&mut hw, 0, 128, Cycles::ZERO)?;
-    let zeroing_writes = hw.controller.stats().mem.zeroing_writes.get() - before;
+    let zeroing_writes = hw.controller.inspect().stats().mem.zeroing_writes.get() - before;
     println!(
         "  vm2 granted 128 recycled frames: {} zeroing writes, {} cycles, {} host shreds",
         zeroing_writes,

@@ -33,7 +33,7 @@
 //!     vec![vec![Op::StoreLine(heap), Op::Load(heap.add(512))].into_iter()],
 //!     None,
 //! );
-//! let stats = &system.hardware().controller.stats().mem;
+//! let stats = &system.hardware().controller.inspect().stats().mem;
 //! assert_eq!(stats.zeroing_writes.get(), 0);
 //! # Ok::<(), silent_shredder::common::Error>(())
 //! ```

@@ -39,6 +39,7 @@ fn shredder_and_baseline_agree_architecturally() {
             let line = sys
                 .hardware_mut()
                 .controller
+                .faults()
                 .peek_plaintext(pa.block())
                 .unwrap();
             assert_eq!(line, [0u8; 64], "page {p} shredder={shredder}");
@@ -80,6 +81,7 @@ fn full_inter_process_isolation_through_real_hardware() {
     let line = sys
         .hardware_mut()
         .controller
+        .faults()
         .peek_plaintext(spy_target.block_addr(1))
         .unwrap();
     assert_eq!(line, [0u8; 64]);
@@ -94,7 +96,7 @@ fn shredder_beats_baseline_on_every_headline_metric() {
         let heap = sys.sys_alloc(pid, 64 * PAGE_SIZE as u64).unwrap();
         let summary = sys.run(vec![touch_pages(heap, 64).into_iter()], None);
         sys.drain_caches();
-        let mem = sys.hardware().controller.stats().mem;
+        let mem = sys.hardware().controller.inspect().stats().mem;
         (
             mem.writes.get(),
             mem.read_latency.mean(),
@@ -122,6 +124,7 @@ fn crash_recovery_preserves_data_with_battery_backed_counters() {
     let before = sys
         .hardware_mut()
         .controller
+        .faults()
         .peek_plaintext(pa.block())
         .unwrap();
     assert_ne!(before, [0u8; 64]);
@@ -130,6 +133,7 @@ fn crash_recovery_preserves_data_with_battery_backed_counters() {
     let after = sys
         .hardware_mut()
         .controller
+        .faults()
         .peek_plaintext(pa.block())
         .unwrap();
     assert_eq!(before, after, "data lost across power cycle");
@@ -147,8 +151,14 @@ fn workload_runs_are_deterministic_end_to_end() {
         (
             summary.total_instructions(),
             summary.makespan(),
-            sys.hardware().controller.stats().mem.writes.get(),
-            sys.hardware().controller.stats().mem.zero_fill_reads.get(),
+            sys.hardware().controller.inspect().stats().mem.writes.get(),
+            sys.hardware()
+                .controller
+                .inspect()
+                .stats()
+                .mem
+                .zero_fill_reads
+                .get(),
         )
     };
     assert_eq!(run(), run());
@@ -220,7 +230,7 @@ fn hypervisor_runs_on_real_hardware_stack() {
     let (line, _) = hw.read_line(0, pa.block(), Cycles::ZERO);
     assert_eq!(line, [0u8; 64], "inter-VM leak");
     assert_eq!(
-        hw.controller.stats().mem.zeroing_writes.get(),
+        hw.controller.inspect().stats().mem.zeroing_writes.get(),
         0,
         "shred command wrote zeros"
     );

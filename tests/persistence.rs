@@ -134,6 +134,7 @@ fn pfree_prevents_data_resurrection() {
     // And a cold scan of the NVM never shows the plaintext.
     assert!(hw
         .controller
+        .faults()
         .cold_scan_data()
         .iter()
         .all(|(_, line)| *line != RECORD));

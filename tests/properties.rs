@@ -195,7 +195,7 @@ fn minor_overflow_reencrypts_through_controller() {
             .unwrap();
     }
     assert!(
-        mc.stats().reencryptions.get() > 0,
+        mc.inspect().stats().reencryptions.get() > 0,
         "127 writes to one block must trip a major-epoch re-encryption"
     );
     assert_eq!(mc.read_block(hot, Cycles::ZERO).unwrap().data, [129u8; 64]);
@@ -389,7 +389,7 @@ fn shreds_never_leak_preshred_plaintext() {
         // Remanence: the raw array holds only ciphertext; none of it may
         // equal a plaintext line that was live when its page was shredded.
         if shadow.secret_count() > 0 {
-            for (addr, raw) in mc.cold_scan_data() {
+            for (addr, raw) in mc.faults().cold_scan_data() {
                 assert!(
                     !shadow.is_secret(&raw),
                     "pre-shred plaintext survives in NVM at {addr}"
@@ -435,7 +435,7 @@ fn minor_zero_only_via_zero_fill_path() {
     assert_eq!(shredded.data, [0u8; LINE_SIZE]);
     // And zero-fill truly skipped the array: no NVM read was needed —
     // cross-check via the counter block itself.
-    let counters = CounterBlock::from_line(&mc.nvm_peek_counter(page));
+    let counters = CounterBlock::from_line(&mc.faults().nvm_peek_counter(page));
     assert!(counters.is_shredded(5));
 }
 

@@ -21,7 +21,10 @@ fn remanence_attack_succeeds_without_encryption() {
     mc.write_block(addr, &SECRET, false, Cycles::ZERO).unwrap();
     mc.power_loss().unwrap();
     assert!(
-        mc.cold_scan_data().iter().any(|(_, l)| *l == SECRET),
+        mc.faults()
+            .cold_scan_data()
+            .iter()
+            .any(|(_, l)| *l == SECRET),
         "plain NVM must leak (that is the vulnerability)"
     );
 }
@@ -32,7 +35,7 @@ fn remanence_attack_fails_with_ctr_encryption() {
     let addr = PageId::new(1).block_addr(0);
     mc.write_block(addr, &SECRET, false, Cycles::ZERO).unwrap();
     mc.power_loss().unwrap();
-    for (_, line) in mc.cold_scan_data() {
+    for (_, line) in mc.faults().cold_scan_data() {
         assert_ne!(line, SECRET, "ciphertext equals plaintext");
     }
 }
@@ -63,14 +66,14 @@ fn ciphertext_is_spatially_and_temporally_unique() {
         .unwrap();
     mc.write_block(page.block_addr(1), &SECRET, false, Cycles::ZERO)
         .unwrap();
-    let c0 = mc.nvm().peek(page.block_addr(0));
-    let c1 = mc.nvm().peek(page.block_addr(1));
+    let c0 = mc.faults().nvm_peek(page.block_addr(0));
+    let c1 = mc.faults().nvm_peek(page.block_addr(1));
     assert_ne!(c0, c1);
     // Rewriting the same plaintext: different ciphertext (temporal),
     // which defeats replay/dictionary profiling of write patterns.
     mc.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)
         .unwrap();
-    let c0b = mc.nvm().peek(page.block_addr(0));
+    let c0b = mc.faults().nvm_peek(page.block_addr(0));
     assert_ne!(c0, c0b);
 }
 
@@ -82,7 +85,7 @@ fn tampering_with_data_yields_garbage_not_chosen_plaintext() {
     let mut mc = controller(ControllerConfig::small_test());
     let addr = PageId::new(1).block_addr(0);
     mc.write_block(addr, &SECRET, false, Cycles::ZERO).unwrap();
-    mc.nvm_tamper(addr, [0u8; 64]);
+    mc.faults().nvm_tamper(addr, [0u8; 64]);
     let read = mc.read_block(addr, Cycles::ZERO).unwrap();
     assert_ne!(read.data, [0u8; 64], "attacker controlled the plaintext");
     assert_ne!(read.data, SECRET);
@@ -96,14 +99,14 @@ fn counter_replay_detected_by_merkle_tree() {
     mc.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)
         .unwrap();
     mc.flush_counters().unwrap();
-    let old_counter_line = mc.nvm_peek_counter(page);
+    let old_counter_line = mc.faults().nvm_peek_counter(page);
     // Advance to version 2 and persist.
     mc.write_block(page.block_addr(0), &[1; 64], false, Cycles::ZERO)
         .unwrap();
     mc.flush_counters().unwrap();
     // Replay the version-1 counter line.
-    mc.tamper_counter_line(page, old_counter_line);
-    mc.drop_counter_cache();
+    mc.faults().tamper_counter_line(page, old_counter_line);
+    mc.faults().drop_counter_cache();
     let err = mc.read_block(page.block_addr(0), Cycles::ZERO).unwrap_err();
     assert!(matches!(err, Error::IntegrityViolation { .. }));
 }
@@ -121,15 +124,15 @@ fn integrity_disabled_makes_replay_silent() {
     mc.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)
         .unwrap();
     mc.flush_counters().unwrap();
-    let old_counter_line = mc.nvm_peek_counter(page);
-    let old_cipher = mc.nvm().peek(page.block_addr(0));
+    let old_counter_line = mc.faults().nvm_peek_counter(page);
+    let old_cipher = mc.faults().nvm_peek(page.block_addr(0));
     mc.write_block(page.block_addr(0), &[1; 64], false, Cycles::ZERO)
         .unwrap();
     mc.flush_counters().unwrap();
     // Replay both the counter line and the old ciphertext.
-    mc.tamper_counter_line(page, old_counter_line);
-    mc.nvm_tamper(page.block_addr(0), old_cipher);
-    mc.drop_counter_cache();
+    mc.faults().tamper_counter_line(page, old_counter_line);
+    mc.faults().nvm_tamper(page.block_addr(0), old_cipher);
+    mc.faults().drop_counter_cache();
     let read = mc.read_block(page.block_addr(0), Cycles::ZERO).unwrap();
     assert_eq!(read.data, SECRET, "replay should succeed without integrity");
 }
@@ -146,7 +149,7 @@ fn user_space_cannot_shred() {
         )
         .unwrap_err();
     assert!(matches!(err, Error::PrivilegeViolation { .. }));
-    assert_eq!(mc.stats().shreds.get(), 0);
+    assert_eq!(mc.inspect().stats().shreds.get(), 0);
 }
 
 #[test]
@@ -180,7 +183,7 @@ fn shredding_survives_bad_line_remapping() {
     }
     mc.shred_page(page, true).unwrap();
     for b in 0..BLOCKS_PER_PAGE {
-        mc.force_line_failure(page.block_addr(b), 1);
+        mc.faults().force_line_failure(page.block_addr(b), 1);
     }
     // One full scrub pass over the data region heals every weak line.
     let data_lines = 1 << 14; // small_test: 1 MiB / 64 B
@@ -188,7 +191,7 @@ fn shredding_survives_bad_line_remapping() {
         mc.scrub_step(Cycles::ZERO).unwrap();
     }
     assert_eq!(
-        mc.remapped_lines(),
+        mc.inspect().remapped_lines(),
         BLOCKS_PER_PAGE as u64,
         "every worn line of the page must be rescued to a spare"
     );
@@ -197,7 +200,7 @@ fn shredding_survives_bad_line_remapping() {
         assert!(read.zero_filled, "remapped shredded line must zero-fill");
         assert_eq!(read.data, [0u8; 64]);
     }
-    for (addr, line) in mc.cold_scan_data() {
+    for (addr, line) in mc.faults().cold_scan_data() {
         assert_ne!(
             line, SECRET,
             "pre-shred plaintext resurfaced at {addr} after remapping"
@@ -216,7 +219,7 @@ fn quarantined_lines_fail_loudly_not_silently() {
     let addr = PageId::new(1).block_addr(0);
     mc.write_block(addr, &SECRET, false, Cycles::ZERO).unwrap();
     // Two weak cells exceed SECDED's single-bit correction.
-    mc.force_line_failure(addr, 2);
+    mc.faults().force_line_failure(addr, 2);
     let err = mc.read_block(addr, Cycles::ZERO).unwrap_err();
     assert!(matches!(err, Error::Quarantined { .. }));
     // With no spare to rescue to, writes degrade loudly too: the
@@ -241,5 +244,5 @@ fn ecb_mode_leaks_equality_ctr_does_not() {
     let b = PageId::new(0).block_addr(1);
     ecb.write_block(a, &SECRET, false, Cycles::ZERO).unwrap();
     ecb.write_block(b, &SECRET, false, Cycles::ZERO).unwrap();
-    assert_eq!(ecb.nvm().peek(a), ecb.nvm().peek(b));
+    assert_eq!(ecb.faults().nvm_peek(a), ecb.faults().nvm_peek(b));
 }
