@@ -305,7 +305,7 @@ fn main() -> ExitCode {
         );
         for r in &rows {
             println!(
-                "{:<18} {:>18} {:>14.0} {:>10}",
+                "{:<18} {:>18} {:>14} {:>10}",
                 r.media, r.zero_page_cycles, r.energy_pj, r.remanent
             );
         }

@@ -941,8 +941,8 @@ pub struct MediaRow {
     pub media: &'static str,
     /// Cycles to zero one 4 KiB page with non-temporal stores + fence.
     pub zero_page_cycles: u64,
-    /// Device energy for the zeroing, picojoules.
-    pub energy_pj: f64,
+    /// Device energy for the zeroing, exact whole picojoules.
+    pub energy_pj: u64,
     /// Whether the old data would survive a power-off (remanence).
     pub remanent: bool,
 }
@@ -1079,13 +1079,13 @@ pub fn ablation_endurance(scale: ExperimentScale) -> Result<Vec<EnduranceRow>> {
             config: "baseline (non-temporal zeroing)",
             nvm_writes: baseline.nvm_writes,
             max_line_wear: baseline.max_line_wear,
-            energy_uj: baseline.nvm_energy_pj / 1e6,
+            energy_uj: baseline.nvm_energy_pj as f64 / 1e6,
         },
         EnduranceRow {
             config: "silent shredder",
             nvm_writes: shredder.nvm_writes,
             max_line_wear: shredder.max_line_wear,
-            energy_uj: shredder.nvm_energy_pj / 1e6,
+            energy_uj: shredder.nvm_energy_pj as f64 / 1e6,
         },
     ])
 }
@@ -1147,7 +1147,7 @@ mod tests {
         let (dram, nvm) = (&rows[0], &rows[1]);
         assert!(nvm.zero_page_cycles > dram.zero_page_cycles);
         assert!(
-            nvm.energy_pj > 3.0 * dram.energy_pj,
+            nvm.energy_pj > 3 * dram.energy_pj,
             "NVM zeroing should cost much more energy"
         );
         assert!(!dram.remanent, "DRAM should forget");

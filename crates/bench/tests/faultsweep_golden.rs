@@ -1,0 +1,54 @@
+//! Byte-identity regression gate for the fault-sweep reports.
+//!
+//! The faultsweep campaign is a pure function of its seed set: no
+//! wall-clock, no environment, and — since the fixed-point timing /
+//! fault / energy refactor — no floating point anywhere in cycle or
+//! energy accounting. This test pins that property to bytes: the text
+//! and JSON reports of `faultsweep --seeds 8` must match the goldens
+//! captured in `ci/` exactly. Any intentional behaviour change must
+//! regenerate the goldens in the same commit:
+//!
+//! ```text
+//! cargo run --release -p ss-bench --bin faultsweep -- --seeds 8 \
+//!     --json ci/faultsweep-seeds8.golden.json > ci/faultsweep-seeds8.golden.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../ci")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn faultsweep_seeds8_is_byte_identical_to_golden() {
+    let tmp = std::env::temp_dir().join(format!("faultsweep-golden-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_faultsweep"))
+        .args(["--seeds", "8", "--json"])
+        .arg(&tmp)
+        .output()
+        .expect("running faultsweep");
+    assert!(
+        output.status.success(),
+        "faultsweep failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    assert_eq!(
+        text,
+        golden("faultsweep-seeds8.golden.txt"),
+        "text report drifted from ci/faultsweep-seeds8.golden.txt"
+    );
+
+    let json = std::fs::read_to_string(&tmp).expect("json report");
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(
+        json,
+        golden("faultsweep-seeds8.golden.json"),
+        "json report drifted from ci/faultsweep-seeds8.golden.json"
+    );
+}

@@ -30,4 +30,4 @@ pub use addr::{BlockAddr, PageId, PhysAddr, VirtAddr, BLOCKS_PER_PAGE, LINE_SIZE
 pub use error::{Error, Result};
 pub use rng::DetRng;
 pub use stats::{Counter, LatencyStat, MemAccessKind, MemStats};
-pub use time::{Cycles, Nanos, CLOCK_GHZ};
+pub use time::{Cycles, Nanos, Picos, CLOCK_GHZ};

@@ -63,9 +63,34 @@ impl DetRng {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// Converts a probability into the exact integer threshold for
+    /// [`DetRng::coin`], such that `coin(threshold(p))` decides
+    /// identically to the float comparison `unit() < p`.
+    ///
+    /// With `k = next_u64() >> 11` (a uniform 53-bit integer), `unit()`
+    /// is exactly `k / 2^53`, so `unit() < p  ⇔  k < p·2^53  ⇔
+    /// k < ceil(p·2^53)` (the last step holds for integer `k` whether or
+    /// not `p·2^53` is an integer). The product `p·2^53` is computed
+    /// without rounding — multiplying an `f64` by a power of two only
+    /// shifts its exponent — so the threshold is the exact image of `p`
+    /// and the conversion is bit-for-bit equivalence, not approximation.
+    pub fn threshold(p: f64) -> u64 {
+        (p.clamp(0.0, 1.0) * (1u64 << 53) as f64).ceil() as u64
+    }
+
+    /// Bernoulli trial against a precomputed [`DetRng::threshold`]:
+    /// a pure integer compare, usable in cycle/fault-accounting paths
+    /// where `f64` arithmetic is banned (DET-004).
+    pub fn coin(&mut self, threshold: u64) -> bool {
+        (self.next_u64() >> 11) < threshold
+    }
+
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    /// Decided via [`DetRng::coin`] so the draw consumes one `next_u64`
+    /// and matches the integer path exactly.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.unit() < p.clamp(0.0, 1.0)
+        let t = Self::threshold(p);
+        self.coin(t)
     }
 
     /// Fills `buf` with pseudo-random bytes.
@@ -155,6 +180,32 @@ mod tests {
         // Out-of-range probabilities are clamped rather than panicking.
         assert!(r.chance(2.0));
         assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn coin_matches_float_chance_exactly() {
+        // The integer threshold path must decide identically to the
+        // historical `unit() < p` comparison for every probability, so
+        // converting callers from chance() to coin() is stream-preserving.
+        for &p in &[0.0, 1e-12, 2e-5, 0.2, 0.25, 0.5, 0.75, 1.0 - 1e-12, 1.0] {
+            let t = DetRng::threshold(p);
+            let mut a = DetRng::new(11);
+            let mut b = DetRng::new(11);
+            for _ in 0..4096 {
+                let float_decision = a.unit() < p.clamp(0.0, 1.0);
+                assert_eq!(b.coin(t), float_decision, "diverged at p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_pins_known_values() {
+        // ceil(f64(0.2) * 2^53): f64(0.2) is slightly above 1/5, so the
+        // threshold is the exact integer image of that representation.
+        assert_eq!(DetRng::threshold(0.2), 1_801_439_850_948_199);
+        assert_eq!(DetRng::threshold(0.0), 0);
+        assert_eq!(DetRng::threshold(1.0), 1u64 << 53);
+        assert_eq!(DetRng::threshold(0.5), 1u64 << 52);
     }
 
     #[test]

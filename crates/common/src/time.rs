@@ -113,6 +113,46 @@ impl Add for Nanos {
     }
 }
 
+/// A duration measured in picoseconds — the fixed-point base unit for
+/// sub-nanosecond quantities (e.g. line transfer times at fractional
+/// GB/s channel rates), so cycle accounting never rounds through `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Picos(pub u64);
+
+impl Picos {
+    /// Picoseconds per nanosecond.
+    pub const PER_NANO: u64 = 1000;
+
+    /// Creates a picosecond count.
+    pub const fn new(ps: u64) -> Self {
+        Picos(ps)
+    }
+
+    /// Raw picosecond count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to core cycles, rounding up: an access occupying any
+    /// fraction of a cycle occupies the whole cycle.
+    pub const fn to_cycles_ceil(self) -> Cycles {
+        Cycles((self.0 * CLOCK_GHZ).div_ceil(Self::PER_NANO))
+    }
+}
+
+impl Add for Picos {
+    type Output = Picos;
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ps", self.0)
+    }
+}
+
 impl fmt::Display for Nanos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} ns", self.0)
@@ -128,6 +168,17 @@ mod tests {
         // 75 ns NVM read = 150 cycles at 2 GHz.
         assert_eq!(Nanos::new(75).to_cycles(), Cycles::new(150));
         assert_eq!(Cycles::new(150).to_nanos(), Nanos::new(75));
+    }
+
+    #[test]
+    fn picos_ceil_to_cycles() {
+        // 5000 ps (64 B over 12.8 GB/s) = exactly 10 cycles at 2 GHz.
+        assert_eq!(Picos::new(5000).to_cycles_ceil(), Cycles::new(10));
+        // Partial cycles round up: 5001 ps needs an 11th cycle.
+        assert_eq!(Picos::new(5001).to_cycles_ceil(), Cycles::new(11));
+        assert_eq!(Picos::new(0).to_cycles_ceil(), Cycles::ZERO);
+        assert_eq!(Picos::new(1).to_cycles_ceil(), Cycles::new(1));
+        assert_eq!(Picos::new(500) + Picos::new(4500), Picos::new(5000));
     }
 
     #[test]

@@ -25,10 +25,12 @@ impl ChannelSched {
     /// Panics if `timing.channels == 0`.
     pub fn new(timing: &NvmTiming) -> Self {
         assert!(timing.channels > 0, "need at least one channel");
-        let transfer_ns = timing.line_transfer_ns();
+        // Integer fixed-point all the way down: picosecond transfer
+        // time, ceil-converted to cycles (DET-004 — no f64 rounding in
+        // cycle accounting).
         ChannelSched {
             busy_until: vec![0; timing.channels as usize],
-            transfer_cycles: (transfer_ns * ss_common::CLOCK_GHZ as f64).ceil() as u64,
+            transfer_cycles: timing.line_transfer_ps().to_cycles_ceil().raw(),
         }
     }
 
@@ -92,6 +94,22 @@ mod tests {
         let lat = s.schedule(Cycles::new(1000), Cycles::new(150));
         // 150 service + 10 transfer cycles (64B / 12.8GBps = 5 ns = 10 cyc)
         assert_eq!(lat, Cycles::new(160));
+    }
+
+    /// Regression pin for the Table 1 configuration: the integer
+    /// picosecond path must produce exactly the 10 transfer cycles the
+    /// old `f64` `ceil()` produced (64 B / 12.8 GB/s = 5000 ps = 10 cyc
+    /// at 2 GHz), so scheduler-visible latencies are unchanged.
+    #[test]
+    fn table1_transfer_cycles_pinned() {
+        let s = ChannelSched::new(&NvmTiming::default());
+        assert_eq!(s.transfer_cycles, 10);
+        // A rate that does not divide evenly still rounds up, never down.
+        let odd = ChannelSched::new(&NvmTiming {
+            channel_mbps: 10_000, // 6400 ps → 12.8 cycles → 13
+            ..NvmTiming::default()
+        });
+        assert_eq!(odd.transfer_cycles, 13);
     }
 
     #[test]

@@ -263,6 +263,88 @@ impl ControllerConfig {
     }
 }
 
+/// Configuration of a sharded (multi-channel) controller: `shards`
+/// independent controller instances behind one facade, plus the batched
+/// shred command queue drained through [`crate::mmio::SHRED_DRAIN_REG`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedConfig {
+    /// Number of shards (independent channels). 1 reproduces the plain
+    /// controller exactly.
+    pub shards: u32,
+    /// Capacity of the MMIO shred command queue in pages. Enqueues past
+    /// this mark report back-pressure so the kernel drains early.
+    pub shred_queue_capacity: usize,
+    /// The controller configuration being sharded. `data_capacity` is
+    /// the *total* across shards; per-shard resources (counter cache,
+    /// spare pool, write queue) are per-channel silicon and are
+    /// replicated into every shard unchanged.
+    pub base: ControllerConfig,
+}
+
+/// Decorrelates per-shard fault streams: shard `i` seeds its NVM device
+/// with `base_seed ^ i * SHARD_SEED_STRIDE`. Shard 0 keeps the base seed
+/// untouched so a 1-shard controller is bit-identical to the unsharded
+/// one.
+const SHARD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl ShardedConfig {
+    /// Wraps `base` with `shards` channels and a default queue depth.
+    pub fn new(shards: u32, base: ControllerConfig) -> Self {
+        ShardedConfig {
+            shards,
+            shred_queue_capacity: 4096,
+            base,
+        }
+    }
+
+    /// Frames of data memory owned by each shard.
+    pub fn frames_per_shard(&self) -> u64 {
+        self.base.frames() / u64::from(self.shards.max(1))
+    }
+
+    /// The configuration of shard `shard`: the capacity slice plus a
+    /// decorrelated fault seed.
+    pub fn shard_config(&self, shard: u32) -> ControllerConfig {
+        ControllerConfig {
+            data_capacity: self.base.data_capacity / u64::from(self.shards.max(1)),
+            nvm_fault_seed: self.base.nvm_fault_seed
+                ^ u64::from(shard).wrapping_mul(SHARD_SEED_STRIDE),
+            ..self.base.clone()
+        }
+    }
+
+    /// Validates the sharding parameters and the base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when there are zero shards, the
+    /// queue has no capacity, the frame count does not divide evenly
+    /// across shards, or the base configuration is itself invalid.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::InvalidConfig {
+                detail: "sharded controller needs at least one shard".into(),
+            });
+        }
+        if self.shred_queue_capacity == 0 {
+            return Err(Error::InvalidConfig {
+                detail: "shred queue capacity must be positive".into(),
+            });
+        }
+        self.base.validate()?;
+        if !self.base.frames().is_multiple_of(u64::from(self.shards)) {
+            return Err(Error::InvalidConfig {
+                detail: format!(
+                    "{} frames do not divide evenly across {} shards",
+                    self.base.frames(),
+                    self.shards
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +391,29 @@ mod tests {
     #[test]
     fn frames_computed() {
         assert_eq!(ControllerConfig::small_test().frames(), 256);
+    }
+
+    #[test]
+    fn sharded_config_validates_and_slices() {
+        let sc = ShardedConfig::new(4, ControllerConfig::small_test());
+        assert!(sc.validate().is_ok());
+        assert_eq!(sc.frames_per_shard(), 64);
+        let s0 = sc.shard_config(0);
+        assert_eq!(s0.data_capacity, (1 << 20) / 4);
+        // Shard 0 keeps the base fault seed (1-shard equivalence).
+        assert_eq!(s0.nvm_fault_seed, sc.base.nvm_fault_seed);
+        assert_ne!(sc.shard_config(1).nvm_fault_seed, s0.nvm_fault_seed);
+
+        assert!(ShardedConfig::new(0, ControllerConfig::small_test())
+            .validate()
+            .is_err());
+        let mut zero_q = ShardedConfig::new(2, ControllerConfig::small_test());
+        zero_q.shred_queue_capacity = 0;
+        assert!(zero_q.validate().is_err());
+        // 256 frames do not split across 3 shards.
+        assert!(ShardedConfig::new(3, ControllerConfig::small_test())
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -145,7 +145,7 @@ impl MemoryController {
         let ecb = (config.encryption == EncryptionMode::Ecb).then(|| EcbEngine::new(config.key));
         let channels = ChannelSched::new(&config.nvm_timing);
         let start_gap = config_start_gap(&config);
-        let wqueue = config_wqueue(&config);
+        let wqueue = config_wqueue(&config)?;
         let config_spare_lines = config.spare_lines;
         let tracer = Tracer::from_depth(config.trace_depth);
         Ok(MemoryController {
@@ -365,6 +365,12 @@ impl MemoryController {
     /// Controller statistics.
     pub(crate) fn stats(&self) -> &ControllerStats {
         &self.stats
+    }
+
+    /// Counts a privilege-denied shred command (MMIO executors that
+    /// reject before reaching [`MemoryController::shred_page_at`]).
+    pub(crate) fn note_shred_denied(&mut self) {
+        self.stats.shred_denied.inc();
     }
 
     /// The backing NVM device (energy, wear, remanence surface).
@@ -1558,9 +1564,12 @@ fn engine_of<'a, T>(engine: &'a Option<T>, mode: &str) -> Result<&'a T> {
     })
 }
 
-/// Builds the write queue for a configuration, if enabled.
-fn config_wqueue(config: &ControllerConfig) -> Option<WriteQueue> {
-    config.write_queue.map(WriteQueue::new)
+/// Builds the write queue for a configuration, if enabled. Fallible
+/// because [`WriteQueue::new`] is: `ControllerConfig::validate` has
+/// already vetted the watermarks by the time this runs, so the error
+/// arm is unreachable in practice but typed rather than a panic.
+fn config_wqueue(config: &ControllerConfig) -> Result<Option<WriteQueue>> {
+    config.write_queue.map(WriteQueue::new).transpose()
 }
 
 /// Builds the Start-Gap remapper for a configuration, if enabled.

@@ -82,6 +82,19 @@ impl CounterBlock {
         }
     }
 
+    /// Whether back-to-back shreds of the same page may be coalesced
+    /// into one (the batched shred queue dedupes per drain window).
+    ///
+    /// For the major-bump strategies the observable state after N
+    /// consecutive shreds with no intervening writes equals the state
+    /// after one — any single major bump already invalidates every IV
+    /// and (for option 3) arms zero-fill — so dropping duplicates is
+    /// free. Option 1 spends a minor increment per shred, so coalescing
+    /// would change overflow/re-encryption timing and is not allowed.
+    pub fn shred_coalesces(strategy: ShredStrategy) -> bool {
+        !matches!(strategy, ShredStrategy::MinorIncrementAll)
+    }
+
     /// Applies a shred under the given strategy (§4.2's three options).
     /// Returns `true` when the strategy forces a page re-encryption
     /// (minor-increment overflow under option 1).
@@ -225,6 +238,17 @@ mod tests {
         assert!(!opt1.shred(ShredStrategy::MinorIncrementAll));
         assert_eq!(opt1.major, 10, "no major bump without overflow");
         assert_eq!(opt1.minors[0], 6);
+    }
+
+    #[test]
+    fn coalescing_matches_strategy_semantics() {
+        assert!(CounterBlock::shred_coalesces(
+            ShredStrategy::MajorBumpResetMinors
+        ));
+        assert!(CounterBlock::shred_coalesces(ShredStrategy::MajorBumpOnly));
+        assert!(!CounterBlock::shred_coalesces(
+            ShredStrategy::MinorIncrementAll
+        ));
     }
 
     #[test]

@@ -239,3 +239,12 @@ impl MemoryController {
         FaultPort::new(self)
     }
 }
+
+impl crate::shard::ShardedController {
+    /// Read-only observer port into shard `s` (`None` when out of
+    /// range). Shard-local views: addresses and capacities are in the
+    /// shard's own slice of the address space.
+    pub fn inspect_shard(&self, s: usize) -> Option<Inspect<'_>> {
+        self.shard(s).map(Inspect::new)
+    }
+}

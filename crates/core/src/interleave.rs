@@ -1,0 +1,125 @@
+//! Deterministic page→shard interleaving.
+//!
+//! A sharded controller splits its address space across `n` independent
+//! shards, each owning its own counter state, write queue, spare pool
+//! and Merkle subtree. The mapping is page-granular — counters, shreds
+//! and integrity all operate on whole pages — and round-robin:
+//!
+//! * global page `p` lives on shard `p mod n`,
+//! * as that shard's local page `p div n`.
+//!
+//! Round-robin (rather than contiguous range) interleaving means a
+//! contiguous run of pages — exactly what a VM teardown frees — spreads
+//! evenly across every shard, so a batched shred drain parallelises
+//! across all channels instead of hammering one.
+//!
+//! The map is a bijection between global pages and `(shard, local)`
+//! pairs (see `global/local` round-trip tests and the property test in
+//! `tests/sharding.rs`), so every block belongs to exactly one shard
+//! and no two shards ever alias the same storage.
+
+use ss_common::{BlockAddr, Error, PageId, Result};
+
+/// The page→shard map of a sharded controller. Pure arithmetic: the
+/// same inputs map identically on every platform and every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleave {
+    shards: u32,
+}
+
+impl Interleave {
+    /// Creates an interleaving over `shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `shards` is zero.
+    pub fn new(shards: u32) -> Result<Self> {
+        if shards == 0 {
+            return Err(Error::InvalidConfig {
+                detail: "sharded controller needs at least one shard".into(),
+            });
+        }
+        Ok(Interleave { shards })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard owning `page`.
+    pub fn shard_of_page(&self, page: PageId) -> u32 {
+        (page.raw() % u64::from(self.shards)) as u32
+    }
+
+    /// `page`'s frame number within its owning shard's local space.
+    pub fn local_page(&self, page: PageId) -> PageId {
+        PageId::new(page.raw() / u64::from(self.shards))
+    }
+
+    /// Inverse of ([`Interleave::shard_of_page`],
+    /// [`Interleave::local_page`]): the global page for a shard-local
+    /// frame.
+    pub fn global_page(&self, shard: u32, local: PageId) -> PageId {
+        PageId::new(local.raw() * u64::from(self.shards) + u64::from(shard))
+    }
+
+    /// The shard owning the page containing `addr`.
+    pub fn shard_of_block(&self, addr: BlockAddr) -> u32 {
+        self.shard_of_page(addr.page())
+    }
+
+    /// `addr` translated into its owning shard's local address space
+    /// (same block index, local frame number).
+    pub fn local_block(&self, addr: BlockAddr) -> BlockAddr {
+        self.local_page(addr.page())
+            .block_addr(addr.block_in_page())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_identity() {
+        let il = Interleave::new(1).unwrap();
+        for p in [0u64, 1, 7, 1000] {
+            let page = PageId::new(p);
+            assert_eq!(il.shard_of_page(page), 0);
+            assert_eq!(il.local_page(page), page);
+            assert_eq!(il.global_page(0, page), page);
+        }
+    }
+
+    #[test]
+    fn round_robin_and_roundtrip() {
+        let il = Interleave::new(4).unwrap();
+        assert_eq!(il.shard_of_page(PageId::new(0)), 0);
+        assert_eq!(il.shard_of_page(PageId::new(1)), 1);
+        assert_eq!(il.shard_of_page(PageId::new(5)), 1);
+        assert_eq!(il.local_page(PageId::new(5)), PageId::new(1));
+        for p in 0..256u64 {
+            let page = PageId::new(p);
+            let (s, l) = (il.shard_of_page(page), il.local_page(page));
+            assert_eq!(il.global_page(s, l), page, "not a bijection at {p}");
+        }
+    }
+
+    #[test]
+    fn blocks_follow_their_page() {
+        let il = Interleave::new(3).unwrap();
+        let page = PageId::new(7);
+        for addr in page.blocks() {
+            assert_eq!(il.shard_of_block(addr), il.shard_of_page(page));
+            let local = il.local_block(addr);
+            assert_eq!(local.page(), il.local_page(page));
+            assert_eq!(local.block_in_page(), addr.block_in_page());
+        }
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(Interleave::new(0).is_err());
+    }
+}

@@ -52,16 +52,22 @@ pub mod counters;
 pub mod deuce;
 pub mod facade;
 pub mod heal;
+pub mod interleave;
 pub mod mmio;
+pub mod shard;
 pub mod wqueue;
 
 pub use channel::ChannelSched;
-pub use config::{ControllerConfig, CounterPersistence, EncryptionMode, ShredStrategy};
+pub use config::{
+    ControllerConfig, CounterPersistence, EncryptionMode, ShardedConfig, ShredStrategy,
+};
 pub use controller::{ControllerStats, MemoryController, ReadResult};
 pub use counters::CounterBlock;
 pub use facade::{FaultPort, Inspect};
 pub use heal::{HealthStats, RetryPolicy, SparePool};
-pub use mmio::{MmioError, MmioOp, SHRED_REG};
+pub use interleave::Interleave;
+pub use mmio::{MmioError, MmioOp, SHRED_DRAIN_REG, SHRED_ENQ_REG, SHRED_REG};
+pub use shard::{DrainReport, ShardedController, ShredQueueStats};
 pub use wqueue::{WriteQueue, WriteQueueConfig, WriteQueueStats};
 // Re-exported because `ControllerConfig::nvm_ecc` is part of this
 // crate's public configuration surface.

@@ -19,11 +19,25 @@ use crate::controller::MemoryController;
 /// window that never overlaps data memory.
 pub const SHRED_REG: PhysAddr = PhysAddr::new(0xFFFF_FF00_0000_0000);
 
+/// Enqueue register of the batched shred pipeline: writing a page-aligned
+/// physical address appends it to the controller's shred command queue
+/// instead of shredding synchronously. The kernel can post thousands of
+/// pages (a whole VM teardown) back to back, then trigger one drain.
+pub const SHRED_ENQ_REG: PhysAddr = PhysAddr::new(0xFFFF_FF00_0000_0008);
+
+/// Doorbell register of the batched shred pipeline: any write drains the
+/// queued shreds in one batch with duplicates coalesced per page.
+pub const SHRED_DRAIN_REG: PhysAddr = PhysAddr::new(0xFFFF_FF00_0000_0010);
+
 /// Decoded MMIO operations the controller understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MmioOp {
     /// Shred the page containing the written physical address.
     Shred(PhysAddr),
+    /// Append the page containing the address to the shred queue.
+    ShredEnqueue(PhysAddr),
+    /// Drain the shred queue as one coalesced batch.
+    ShredDrain,
 }
 
 impl MmioOp {
@@ -44,6 +58,22 @@ impl MmioOp {
     ) -> Result<Cycles> {
         match self {
             MmioOp::Shred(pa) => mc.shred_page_at(pa.page(), kernel_mode, now),
+            // A plain (unsharded) controller has no command queue: it
+            // models the degenerate depth-0 pipeline where an enqueue
+            // completes the shred synchronously and the doorbell finds
+            // nothing left to drain. `ShardedController::mmio_write`
+            // intercepts both ops before they reach this fallback.
+            MmioOp::ShredEnqueue(pa) => mc.shred_page_at(pa.page(), kernel_mode, now),
+            MmioOp::ShredDrain => {
+                if kernel_mode {
+                    Ok(Cycles::new(1))
+                } else {
+                    mc.note_shred_denied();
+                    Err(Error::PrivilegeViolation {
+                        addr: SHRED_DRAIN_REG,
+                    })
+                }
+            }
         }
     }
 }
@@ -94,7 +124,7 @@ impl MmioError {
 /// [`MmioError::MalformedValue`] when it does but `value` is invalid
 /// (the shred register requires a page-aligned physical address).
 pub fn decode(reg: PhysAddr, value: u64) -> std::result::Result<MmioOp, MmioError> {
-    if reg == SHRED_REG {
+    if reg == SHRED_REG || reg == SHRED_ENQ_REG {
         if !value.is_multiple_of(PAGE_SIZE as u64) {
             return Err(MmioError::MalformedValue {
                 reg,
@@ -102,7 +132,16 @@ pub fn decode(reg: PhysAddr, value: u64) -> std::result::Result<MmioOp, MmioErro
                 detail: "shred address must be page aligned",
             });
         }
-        Ok(MmioOp::Shred(PhysAddr::new(value)))
+        let pa = PhysAddr::new(value);
+        if reg == SHRED_REG {
+            Ok(MmioOp::Shred(pa))
+        } else {
+            Ok(MmioOp::ShredEnqueue(pa))
+        }
+    } else if reg == SHRED_DRAIN_REG {
+        // The doorbell ignores the written value, as hardware doorbells
+        // do.
+        Ok(MmioOp::ShredDrain)
     } else {
         Err(MmioError::UnknownRegister { reg })
     }
@@ -124,6 +163,22 @@ mod tests {
     fn unknown_register_distinguished() {
         let reg = PhysAddr::new(0x1234);
         assert_eq!(decode(reg, 7), Err(MmioError::UnknownRegister { reg }));
+    }
+
+    #[test]
+    fn decodes_queue_registers() {
+        match decode(SHRED_ENQ_REG, 0x8000) {
+            Ok(MmioOp::ShredEnqueue(pa)) => assert_eq!(pa, PhysAddr::new(0x8000)),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // Enqueue demands alignment just like the synchronous register.
+        assert!(matches!(
+            decode(SHRED_ENQ_REG, 0x8001),
+            Err(MmioError::MalformedValue { .. })
+        ));
+        // The drain doorbell accepts any value.
+        assert_eq!(decode(SHRED_DRAIN_REG, 0), Ok(MmioOp::ShredDrain));
+        assert_eq!(decode(SHRED_DRAIN_REG, 0xdead_beef), Ok(MmioOp::ShredDrain));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 
-use ss_common::{BlockAddr, Counter, LINE_SIZE};
+use ss_common::{BlockAddr, Counter, Error, Result, LINE_SIZE};
 
 /// A 64-byte line.
 type Line = [u8; LINE_SIZE];
@@ -76,16 +76,27 @@ pub struct WriteQueue {
 impl WriteQueue {
     /// Creates an empty queue.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration watermarks are invalid.
-    pub fn new(config: WriteQueueConfig) -> Self {
-        assert!(config.is_valid(), "invalid write-queue watermarks");
-        WriteQueue {
+    /// Returns [`Error::InvalidConfig`] if the watermarks are invalid
+    /// (`ControllerConfig::validate` checks the same predicate, so a
+    /// controller-owned queue can never hit this; direct construction
+    /// surfaces a typed error instead of a panic, per SEC-001).
+    pub fn new(config: WriteQueueConfig) -> Result<Self> {
+        if !config.is_valid() {
+            return Err(Error::InvalidConfig {
+                detail: format!(
+                    "write-queue watermarks invalid: capacity={} drain_low={} drain_high={} \
+                     (need capacity > 0 and drain_low < drain_high <= capacity)",
+                    config.capacity, config.drain_low, config.drain_high
+                ),
+            });
+        }
+        Ok(WriteQueue {
             config,
             entries: VecDeque::new(),
             stats: WriteQueueStats::default(),
-        }
+        })
     }
 
     /// The configuration.
@@ -181,6 +192,7 @@ mod tests {
             drain_low: 2,
             drain_high: 6,
         })
+        .unwrap()
     }
 
     #[test]
@@ -223,12 +235,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid write-queue watermarks")]
-    fn invalid_watermarks_panic() {
-        WriteQueue::new(WriteQueueConfig {
+    fn invalid_watermarks_are_a_typed_error() {
+        let err = WriteQueue::new(WriteQueueConfig {
             capacity: 4,
             drain_low: 4,
             drain_high: 4,
-        });
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err:?}");
+        // Zero capacity is rejected too.
+        assert!(WriteQueue::new(WriteQueueConfig {
+            capacity: 0,
+            drain_low: 0,
+            drain_high: 0,
+        })
+        .is_err());
     }
 }

@@ -56,6 +56,7 @@ pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
         det_001(ctx, ln, &toks, &mut findings);
         det_002(ctx, ln, &toks, &mut findings);
         det_003(ctx, ln, &toks, &mut findings);
+        det_004(ctx, ln, &toks, &mut findings);
         sec_001(ctx, ln, &toks, &mut findings);
         sec_002(ctx, ln, &toks, &mut findings);
     }
@@ -135,6 +136,38 @@ fn det_003(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Findi
             "DET-003",
             "the rand crate is banned: construct RNGs via ss_common::rng::DetRng".to_string(),
         ));
+    }
+}
+
+/// DET-004: no floating point in cycle, fault, or energy accounting.
+/// `f64` rounding depends on evaluation order and (historically)
+/// platform FMA contraction; every quantity on these paths is exact in
+/// integers (picoseconds, picojoules, 2^53-scaled probability
+/// thresholds), so a float is either dead weight or a reintroduced
+/// nondeterminism hazard. Scoped to the accounting files; the one-time
+/// probability→threshold conversion at construction carries explicit
+/// `lint:allow(DET-004)` escapes. Trailing test modules are exempt
+/// (tests may compare against float reference implementations).
+fn det_004(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
+    const CYCLE_ACCOUNTING_FILES: &[&str] = &[
+        "crates/common/src/time.rs",
+        "crates/core/src/channel.rs",
+        "crates/core/src/shard.rs",
+        "crates/nvm/src/device.rs",
+        "crates/nvm/src/timing.rs",
+    ];
+    if !CYCLE_ACCOUNTING_FILES.contains(&ctx.path) || ctx.in_test_code(ln) {
+        return;
+    }
+    for name in ["f64", "f32"] {
+        if toks.iter().any(|t| t.is_ident(name)) {
+            out.push(Finding::new(
+                ctx.path,
+                ln,
+                "DET-004",
+                format!("{name} in cycle/fault/energy accounting; use integer fixed point (Picos, picojoules, DetRng thresholds)"),
+            ));
+        }
     }
 }
 
@@ -261,6 +294,27 @@ mod tests {
         assert_eq!(f[0].rule, "DET-002");
         let f = rules_on("crates/sim/src/system.rs", "let v = std::env::var(\"X\");");
         assert!(f.iter().any(|f| f.rule == "DET-002"));
+    }
+
+    #[test]
+    fn det004_scoped_to_cycle_accounting_files() {
+        let f = rules_on("crates/nvm/src/timing.rs", "pub latency: f64,");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "DET-004");
+        assert_eq!(
+            rules_on("crates/core/src/channel.rs", "let x = y as f32;")[0].rule,
+            "DET-004"
+        );
+        // Out of scope: floats are fine in report formatting.
+        assert!(rules_on("crates/sim/src/report.rs", "let mib = b as f64;").is_empty());
+        // Escape hatch and trailing test modules are honoured.
+        assert!(rules_on(
+            "crates/nvm/src/device.rs",
+            "pub transient_read_ber: f64, // lint:allow(DET-004)"
+        )
+        .is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n let p = 0.5_f64;\n}";
+        assert!(rules_on("crates/common/src/time.rs", src).is_empty());
     }
 
     #[test]

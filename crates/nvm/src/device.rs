@@ -56,7 +56,9 @@ pub struct NvmConfig {
     /// Transient (soft) read-error probability per bit per line read.
     /// `0.0` (the default) disables background transients; faults can
     /// still be injected one-shot via [`NvmDevice::inject_read_error`].
-    pub transient_read_ber: f64,
+    /// A configuration *input*, converted once to an exact integer
+    /// threshold at device construction — never compared per read.
+    pub transient_read_ber: f64, // lint:allow(DET-004)
     /// Seed for the device's deterministic fault stream (weak-cell
     /// positions, transient error draws). Same seed + same access
     /// sequence ⇒ identical faults.
@@ -91,8 +93,10 @@ pub struct NvmStats {
     pub skipped_writes: Counter,
     /// Total memory cells (bits) programmed.
     pub bits_written: u64,
-    /// Total energy consumed, picojoules.
-    pub energy_pj: f64,
+    /// Total energy consumed, in whole picojoules. Accumulated as an
+    /// integer so no sub-pJ residue is lost across lines (the energy
+    /// model itself is integer-valued; see [`EnergyModel`]).
+    pub energy_pj: u64,
     /// Number of power cycles survived.
     pub power_cycles: u64,
     /// Lines that exceeded the endurance limit (failure injection).
@@ -111,8 +115,8 @@ pub struct NvmStats {
 
 impl NvmStats {
     /// Exports every statistic into `reg` under `<prefix>.<name>`.
-    /// Energy is reported as whole picojoules (rounded) so the registry
-    /// stays integer-valued and byte-stable.
+    /// Energy is already integer picojoules, so the exported value is
+    /// the exact total, not a rounded one.
     pub fn export(&self, reg: &mut ss_trace::MetricsRegistry, prefix: &str) {
         reg.set(&format!("{prefix}.reads"), self.reads.get());
         reg.set(&format!("{prefix}.writes"), self.writes.get());
@@ -121,10 +125,7 @@ impl NvmStats {
             self.skipped_writes.get(),
         );
         reg.set(&format!("{prefix}.bits_written"), self.bits_written);
-        reg.set(
-            &format!("{prefix}.energy_pj"),
-            self.energy_pj.round() as u64,
-        );
+        reg.set(&format!("{prefix}.energy_pj"), self.energy_pj);
         reg.set(&format!("{prefix}.power_cycles"), self.power_cycles);
         reg.set(&format!("{prefix}.failed_lines"), self.failed_lines);
         reg.set(
@@ -166,12 +167,22 @@ pub struct NvmDevice {
     injected: BTreeMap<u64, u32>,
     /// Deterministic stream for background transient draws.
     fault_rng: DetRng,
+    /// Exact integer image of the per-line transient probability
+    /// (`ber · bits-per-line`, capped at 1), precomputed once so the
+    /// per-read fault decision is a pure integer compare.
+    p_line_threshold: u64,
+    /// Exact integer image of the 0.2 double-bit-burst probability.
+    burst_threshold: u64,
 }
 
 impl NvmDevice {
     /// Creates a zero-filled device.
     pub fn new(config: NvmConfig) -> Self {
         let fault_rng = DetRng::new(config.fault_seed ^ 0x7A17_FAD5_EED0_0BE5);
+        // The one place float probability enters: the configured BER is
+        // converted to integer DetRng thresholds at construction, and
+        // every subsequent draw is float-free. // lint:allow(DET-004)
+        let p_line = (config.transient_read_ber * (LINE_SIZE * 8) as f64).min(1.0); // lint:allow(DET-004)
         NvmDevice {
             config,
             lines: BTreeMap::new(),
@@ -181,6 +192,8 @@ impl NvmDevice {
             failed: BTreeMap::new(),
             injected: BTreeMap::new(),
             fault_rng,
+            p_line_threshold: DetRng::threshold(p_line),
+            burst_threshold: DetRng::threshold(0.2),
         }
     }
 
@@ -274,17 +287,20 @@ impl NvmDevice {
                 bits.insert(self.fault_rng.below((LINE_SIZE * 8) as u64) as usize);
             }
         }
-        // Background transients at the configured bit-error rate.
-        if self.config.transient_read_ber > 0.0 {
-            let p_line = (self.config.transient_read_ber * (LINE_SIZE * 8) as f64).min(1.0);
-            if self.fault_rng.chance(p_line) {
-                // Mostly single-bit events; occasionally a double-bit
-                // burst so the uncorrectable→retry path gets exercised.
-                let n = if self.fault_rng.chance(0.2) { 2 } else { 1 };
-                let want = (bits.len() + n).min(LINE_SIZE * 8);
-                while bits.len() < want {
-                    bits.insert(self.fault_rng.below((LINE_SIZE * 8) as u64) as usize);
-                }
+        // Background transients at the configured bit-error rate:
+        // decided by integer threshold compares against the DetRng
+        // stream, so the fault sequence is bit-reproducible everywhere.
+        if self.p_line_threshold > 0 && self.fault_rng.coin(self.p_line_threshold) {
+            // Mostly single-bit events; occasionally a double-bit
+            // burst so the uncorrectable→retry path gets exercised.
+            let n = if self.fault_rng.coin(self.burst_threshold) {
+                2
+            } else {
+                1
+            };
+            let want = (bits.len() + n).min(LINE_SIZE * 8);
+            while bits.len() < want {
+                bits.insert(self.fault_rng.below((LINE_SIZE * 8) as u64) as usize);
             }
         }
         bits.into_iter().collect()
@@ -389,9 +405,9 @@ impl NvmDevice {
                 ..crate::timing::NvmTiming::default()
             },
             energy: crate::timing::EnergyModel {
-                read_pj: 1.0 * 512.0,
-                write_base_pj: 512.0,
-                write_per_flipped_bit_pj: 1.0,
+                read_pj: 512,
+                write_base_pj: 512,
+                write_per_flipped_bit_pj: 1,
             },
             write_scheme: WriteScheme::Raw,
             kind: MemoryKind::Dram,

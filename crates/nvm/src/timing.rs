@@ -5,11 +5,16 @@
 //! cites \[30, 45\]: writes cost roughly an order of magnitude more energy
 //! than reads, and within a write, bit *changes* (SET/RESET pulses)
 //! dominate — which is why Data-Comparison Write and Flip-N-Write exist.
+//!
+//! Everything here is integer fixed-point: bandwidth in MB/s, transfer
+//! times in picoseconds, energy in whole picojoules. Cycle and energy
+//! accounting must be a pure integer function of the configuration
+//! (DET-004) — no `f64` rounding anywhere on the path.
 
-use ss_common::{Cycles, Nanos};
+use ss_common::{Cycles, Nanos, Picos};
 
 /// Latency and channel parameters of the NVM array.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvmTiming {
     /// Array read latency (Table 1: 75 ns).
     pub read: Nanos,
@@ -17,8 +22,10 @@ pub struct NvmTiming {
     pub write: Nanos,
     /// Number of independent channels (Table 1: 2).
     pub channels: u32,
-    /// Per-channel bandwidth in GB/s (Table 1: 12.8).
-    pub channel_gbps: f64,
+    /// Per-channel bandwidth in MB/s (Table 1: 12.8 GB/s = 12 800 MB/s).
+    /// Megabytes keep the field integer while still expressing every
+    /// realistic fractional-GB/s rate exactly.
+    pub channel_mbps: u64,
 }
 
 impl Default for NvmTiming {
@@ -27,7 +34,7 @@ impl Default for NvmTiming {
             read: Nanos::new(75),
             write: Nanos::new(150),
             channels: 2,
-            channel_gbps: 12.8,
+            channel_mbps: 12_800,
         }
     }
 }
@@ -43,39 +50,47 @@ impl NvmTiming {
         self.write.to_cycles()
     }
 
-    /// Time to move one 64 B line across one channel, in nanoseconds
-    /// (transfer time only, excluding array latency).
-    pub fn line_transfer_ns(&self) -> f64 {
-        64.0 / self.channel_gbps
+    /// Time to move one 64 B line across one channel (transfer time
+    /// only, excluding array latency), rounded up to whole picoseconds.
+    ///
+    /// 64 B at `channel_mbps` MB/s take `64 / (mbps · 10⁶)` seconds,
+    /// i.e. `64·10⁶ / mbps` picoseconds. Table 1's 12 800 MB/s divides
+    /// exactly: 5 000 ps (5 ns).
+    pub fn line_transfer_ps(&self) -> Picos {
+        Picos::new(64_000_000u64.div_ceil(self.channel_mbps.max(1)))
     }
 }
 
-/// Per-operation energy model, in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Per-operation energy model, in whole picojoules.
+///
+/// Integer pJ loses nothing against the PCM literature's ballpark
+/// constants and keeps energy totals exact: summing `f64` per-line
+/// costs and rounding once at export silently drops sub-pJ residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnergyModel {
     /// Energy of an array read of one 64 B line.
-    pub read_pj: f64,
+    pub read_pj: u64,
     /// Fixed overhead of an array write of one line (decode, drivers).
-    pub write_base_pj: f64,
+    pub write_base_pj: u64,
     /// Additional energy per *changed bit* in a write (SET/RESET pulse).
-    pub write_per_flipped_bit_pj: f64,
+    pub write_per_flipped_bit_pj: u64,
 }
 
 impl Default for EnergyModel {
     fn default() -> Self {
         // Ballpark PCM figures: ~2 pJ/bit read, ~25 pJ per written bit.
         EnergyModel {
-            read_pj: 2.0 * 512.0,
-            write_base_pj: 512.0,
-            write_per_flipped_bit_pj: 25.0,
+            read_pj: 2 * 512,
+            write_base_pj: 512,
+            write_per_flipped_bit_pj: 25,
         }
     }
 }
 
 impl EnergyModel {
     /// Energy of a line write that flips `flipped_bits` cells.
-    pub fn write_energy_pj(&self, flipped_bits: u32) -> f64 {
-        self.write_base_pj + self.write_per_flipped_bit_pj * f64::from(flipped_bits)
+    pub fn write_energy_pj(&self, flipped_bits: u32) -> u64 {
+        self.write_base_pj + self.write_per_flipped_bit_pj * u64::from(flipped_bits)
     }
 }
 
@@ -91,11 +106,31 @@ mod tests {
         assert_eq!(t.read_cycles(), Cycles::new(150));
         assert_eq!(t.write_cycles(), Cycles::new(300));
         assert_eq!(t.channels, 2);
+        assert_eq!(t.channel_mbps, 12_800);
     }
 
     #[test]
-    fn transfer_time_positive() {
-        assert!(NvmTiming::default().line_transfer_ns() > 0.0);
+    fn table1_transfer_time_is_exact() {
+        // 64 B / 12.8 GB/s = 5 ns, exactly 5000 ps — no float rounding.
+        let t = NvmTiming::default();
+        assert_eq!(t.line_transfer_ps(), Picos::new(5000));
+        assert_eq!(t.line_transfer_ps().to_cycles_ceil(), Cycles::new(10));
+    }
+
+    #[test]
+    fn transfer_time_rounds_up_for_awkward_rates() {
+        // 12 801 MB/s does not divide 64·10⁶: 4999.6... ps → 5000 ps.
+        let t = NvmTiming {
+            channel_mbps: 12_801,
+            ..NvmTiming::default()
+        };
+        assert_eq!(t.line_transfer_ps(), Picos::new(5000));
+        // A zero rate is clamped instead of dividing by zero.
+        let z = NvmTiming {
+            channel_mbps: 0,
+            ..NvmTiming::default()
+        };
+        assert_eq!(z.line_transfer_ps(), Picos::new(64_000_000));
     }
 
     #[test]
@@ -103,5 +138,6 @@ mod tests {
         let e = EnergyModel::default();
         assert!(e.write_energy_pj(512) > e.write_energy_pj(0));
         assert_eq!(e.write_energy_pj(0), e.write_base_pj);
+        assert_eq!(e.write_energy_pj(512), 512 + 25 * 512);
     }
 }

@@ -1,0 +1,182 @@
+//! Server-consolidation scenario: batched teardown shredding on the
+//! sharded controller.
+//!
+//! Replays a [`ConsolidationWorkload`] against a
+//! [`ShardedController`]: each tenant dirties its pages through the
+//! ordinary write path, then — on teardown — the hypervisor posts every
+//! page of the tenant's run to the MMIO shred queue and rings the drain
+//! doorbell once. The report splits the cost the way the scaling bench
+//! needs it: batch (parallel-channel) drain cycles versus the same work
+//! serialised on one channel.
+//!
+//! Fully deterministic: same workload seed and sharding configuration,
+//! same report, bit for bit.
+
+use ss_common::{Cycles, Error, PageId, Result};
+use ss_core::{mmio, ShardedConfig, ShardedController};
+use ss_workloads::ConsolidationWorkload;
+
+/// The scenario: a churn workload over a sharded controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsolidationScenario {
+    /// The tenant churn model.
+    pub workload: ConsolidationWorkload,
+    /// The controller under test.
+    pub sharding: ShardedConfig,
+}
+
+/// What one scenario run did and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsolidationReport {
+    /// Shard count of the controller under test.
+    pub shards: u32,
+    /// Tenants torn down.
+    pub tenants: u32,
+    /// Teardown shreds executed.
+    pub pages_shredded: u64,
+    /// Duplicate queue entries coalesced away.
+    pub shreds_coalesced: u64,
+    /// Accumulated dirtying-write latency (context; does not enter the
+    /// scaling ratio).
+    pub write_cycles: Cycles,
+    /// Teardown drain latency with shards running in parallel — the
+    /// scaling bench's numerator is pages over *this*.
+    pub drain_cycles: Cycles,
+    /// The same drains serialised on one channel (sum over shards).
+    pub serial_drain_cycles: Cycles,
+}
+
+impl ConsolidationReport {
+    /// Shred throughput in pages per million drain cycles.
+    pub fn pages_per_mcycle(&self) -> u64 {
+        self.pages_shredded * 1_000_000 / self.drain_cycles.raw().max(1)
+    }
+}
+
+impl ConsolidationScenario {
+    /// Builds the scenario, checking that the workload footprint fits
+    /// the controller's data memory.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] when the tenants' pages exceed the
+    /// configured frames (or the sharding config is itself invalid).
+    pub fn new(workload: ConsolidationWorkload, sharding: ShardedConfig) -> Result<Self> {
+        sharding.validate()?;
+        if workload.total_pages() > sharding.base.frames() {
+            return Err(Error::InvalidConfig {
+                detail: format!(
+                    "consolidation workload needs {} pages but the controller has {} frames",
+                    workload.total_pages(),
+                    sharding.base.frames()
+                ),
+            });
+        }
+        Ok(ConsolidationScenario { workload, sharding })
+    }
+
+    /// Runs the dirty/teardown churn once.
+    ///
+    /// # Errors
+    ///
+    /// Controller construction or datapath errors (none are expected for
+    /// a validated scenario).
+    pub fn run(&self) -> Result<ConsolidationReport> {
+        let mut mc = ShardedController::new(self.sharding.clone())?;
+        let mut now = Cycles::ZERO;
+        let mut write_cycles = Cycles::ZERO;
+        let mut drain_cycles = Cycles::ZERO;
+        let mut serial_drain_cycles = Cycles::ZERO;
+        let mut pages_shredded = 0u64;
+        let mut shreds_coalesced = 0u64;
+
+        for epoch in self.workload.epochs() {
+            // The tenant's lifetime: dirty its sampled lines.
+            for &(page, block) in &epoch.dirty {
+                let addr = PageId::new(epoch.first_page + page).block_addr(block);
+                let fill = [(epoch.tenant as u8).wrapping_add(page as u8); 64];
+                let lat = mc.write_block(addr, &fill, false, now)?;
+                write_cycles += lat;
+                now += lat;
+            }
+            // Teardown: post the whole run to the shred queue, ring the
+            // doorbell once — through the MMIO surface, like a kernel.
+            for p in 0..epoch.pages {
+                let page = PageId::new(epoch.first_page + p);
+                mc.mmio_write(mmio::SHRED_ENQ_REG, page.base_addr().raw(), true, now)?;
+            }
+            let drain = mc.drain_shreds(true, now)?;
+            pages_shredded += drain.executed;
+            shreds_coalesced += drain.coalesced;
+            drain_cycles += drain.elapsed;
+            serial_drain_cycles += drain.serial_cycles;
+            now += drain.elapsed;
+        }
+
+        Ok(ConsolidationReport {
+            shards: self.sharding.shards,
+            tenants: self.workload.tenants,
+            pages_shredded,
+            shreds_coalesced,
+            write_cycles,
+            drain_cycles,
+            serial_drain_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_core::ControllerConfig;
+
+    fn report(shards: u32) -> ConsolidationReport {
+        let scenario = ConsolidationScenario::new(
+            ConsolidationWorkload::small(),
+            ShardedConfig::new(shards, ControllerConfig::small_test()),
+        )
+        .unwrap();
+        scenario.run().unwrap()
+    }
+
+    #[test]
+    fn every_tenant_page_gets_shredded() {
+        let r = report(1);
+        assert_eq!(
+            r.pages_shredded,
+            ConsolidationWorkload::small().total_pages()
+        );
+        assert_eq!(
+            r.shreds_coalesced, 0,
+            "runs are disjoint, nothing to coalesce"
+        );
+        // One channel: parallel and serialised cost coincide.
+        assert_eq!(r.drain_cycles, r.serial_drain_cycles);
+    }
+
+    #[test]
+    fn drains_scale_with_shard_count() {
+        let r1 = report(1);
+        let r4 = report(4);
+        assert_eq!(r1.pages_shredded, r4.pages_shredded);
+        assert!(
+            r4.drain_cycles.raw() * 3 < r1.drain_cycles.raw(),
+            "4 shards should cut drain time at least 3x: {} vs {}",
+            r4.drain_cycles,
+            r1.drain_cycles
+        );
+    }
+
+    #[test]
+    fn oversized_workload_rejected() {
+        let big = ConsolidationWorkload {
+            tenants: 64,
+            pages_per_tenant: 64,
+            ..ConsolidationWorkload::small()
+        };
+        let err =
+            ConsolidationScenario::new(big, ShardedConfig::new(1, ControllerConfig::small_test()))
+                .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+}

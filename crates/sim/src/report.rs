@@ -22,8 +22,8 @@ pub struct RunReport {
     pub reencryptions: u64,
     /// Counter-cache miss rate (Fig. 12's metric).
     pub counter_cache_miss_rate: f64,
-    /// NVM energy consumed, picojoules.
-    pub nvm_energy_pj: f64,
+    /// NVM energy consumed, exact whole picojoules.
+    pub nvm_energy_pj: u64,
     /// Most-worn-line write count (endurance proxy).
     pub max_line_wear: u64,
     /// Total NVM line writes at the device.
@@ -136,7 +136,7 @@ impl RunReport {
                 "counter_cache_miss_rate",
                 format!("{:.6}", self.counter_cache_miss_rate),
             ),
-            ("nvm_energy_pj", format!("{:.3}", self.nvm_energy_pj)),
+            ("nvm_energy_pj", format!("{}", self.nvm_energy_pj)),
             ("max_line_wear", self.max_line_wear.to_string()),
             ("nvm_writes", self.nvm_writes.to_string()),
             ("tlb_miss_rate", format!("{:.6}", self.tlb_miss_rate)),
@@ -223,8 +223,8 @@ pub fn table1(config: &crate::SystemConfig) -> Vec<Table1Row> {
         ),
         row("Channels", "2 x 12.8 GB/s", {
             format!(
-                "{} x {} GB/s",
-                c.nvm_timing.channels, c.nvm_timing.channel_gbps
+                "{} x {} MB/s",
+                c.nvm_timing.channels, c.nvm_timing.channel_mbps
             )
         }),
         row("Read latency", "75 ns", format!("{}", c.nvm_timing.read)),

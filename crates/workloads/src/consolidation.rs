@@ -1,0 +1,161 @@
+//! Server-consolidation workload: tenant VMs dirtying and releasing
+//! whole footprints.
+//!
+//! §1 and §6 motivate Silent Shredder with consolidated servers: many
+//! tenants per machine, VMs created and torn down constantly, and every
+//! teardown forcing the hypervisor to shred the departing tenant's
+//! pages before the frames can be reused. This workload models that
+//! churn directly: each tenant owns a contiguous run of pages, dirties
+//! a deterministic sample of lines in each page (a VM that actually
+//! used its memory), and is then torn down — at which point *every*
+//! page it owned must be shredded at once.
+//!
+//! The teardown schedule is exposed as [`ConsolidationWorkload::epochs`]
+//! so scenario drivers (e.g. the sharding scaling bench) can replay the
+//! dirty/teardown cycle against a controller and batch the teardown
+//! shreds; the [`Workload`] impl additionally renders the dirtying
+//! phase as an ordinary operation trace for full-system runs.
+
+use ss_common::{DetRng, VirtAddr, BLOCKS_PER_PAGE, LINE_SIZE, PAGE_SIZE};
+use ss_cpu::Op;
+
+use crate::Workload;
+
+/// The consolidation churn model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsolidationWorkload {
+    /// Tenant VMs torn down over the run (one epoch each).
+    pub tenants: u32,
+    /// Pages per tenant (contiguous — a teardown frees a run).
+    pub pages_per_tenant: u64,
+    /// Lines each tenant dirties per page before teardown.
+    pub dirty_lines_per_page: u64,
+    /// Seed of the deterministic dirty-line sampler.
+    pub seed: u64,
+}
+
+impl ConsolidationWorkload {
+    /// A CI-sized instance: 8 tenants × 28 pages fits the 256-frame
+    /// `small_test` controller with room to spare.
+    pub fn small() -> Self {
+        ConsolidationWorkload {
+            tenants: 8,
+            pages_per_tenant: 28,
+            dirty_lines_per_page: 8,
+            seed: 0xC0_50_11,
+        }
+    }
+
+    /// Total pages across all tenants.
+    pub fn total_pages(&self) -> u64 {
+        u64::from(self.tenants) * self.pages_per_tenant
+    }
+
+    /// The tenant lifecycle schedule: dirty the epoch's pages, then
+    /// shred all of them. Deterministic in `seed`.
+    pub fn epochs(&self) -> Vec<TenantEpoch> {
+        (0..self.tenants)
+            .map(|tenant| {
+                let mut rng = DetRng::new(self.seed ^ (u64::from(tenant) << 32));
+                let dirty_per_page = self.dirty_lines_per_page.min(BLOCKS_PER_PAGE as u64);
+                let mut dirty = Vec::new();
+                for page in 0..self.pages_per_tenant {
+                    // Sample-without-replacement over the page's blocks.
+                    let mut picked = [false; BLOCKS_PER_PAGE];
+                    let mut taken = 0u64;
+                    while taken < dirty_per_page {
+                        let b = rng.below(BLOCKS_PER_PAGE as u64) as usize;
+                        if !picked[b] {
+                            picked[b] = true;
+                            taken += 1;
+                            dirty.push((page, b));
+                        }
+                    }
+                }
+                TenantEpoch {
+                    tenant,
+                    first_page: u64::from(tenant) * self.pages_per_tenant,
+                    pages: self.pages_per_tenant,
+                    dirty,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One tenant's lifetime: which pages it owned and which lines it wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantEpoch {
+    /// Tenant index.
+    pub tenant: u32,
+    /// First page of the tenant's contiguous run, as an offset into the
+    /// workload's footprint.
+    pub first_page: u64,
+    /// Pages in the run.
+    pub pages: u64,
+    /// Dirtied lines as `(page offset within the run, block index)`,
+    /// in write order.
+    pub dirty: Vec<(u64, usize)>,
+}
+
+impl Workload for ConsolidationWorkload {
+    fn name(&self) -> &str {
+        "server_consolidation"
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.total_pages() * PAGE_SIZE as u64
+    }
+
+    fn trace(&self, heap: VirtAddr) -> Vec<Op> {
+        let mut out = Vec::new();
+        for epoch in self.epochs() {
+            let base = heap.add(epoch.first_page * PAGE_SIZE as u64);
+            for &(page, block) in &epoch.dirty {
+                out.push(Op::StoreLine(
+                    base.add(page * PAGE_SIZE as u64 + (block * LINE_SIZE) as u64),
+                ));
+                out.push(Op::Compute(20));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_deterministic_and_disjoint() {
+        let w = ConsolidationWorkload::small();
+        let a = w.epochs();
+        assert_eq!(a, w.epochs(), "same seed must give same schedule");
+        assert_eq!(a.len(), 8);
+        for (i, e) in a.iter().enumerate() {
+            assert_eq!(e.first_page, i as u64 * w.pages_per_tenant);
+            assert_eq!(
+                e.dirty.len() as u64,
+                w.pages_per_tenant * w.dirty_lines_per_page
+            );
+            // No line dirtied twice within a page.
+            let mut seen = std::collections::BTreeSet::new();
+            for &(p, b) in &e.dirty {
+                assert!(p < e.pages);
+                assert!(seen.insert((p, b)), "duplicate dirty line {p}:{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_stays_in_footprint() {
+        let w = ConsolidationWorkload::small();
+        let heap = VirtAddr::new(0x40_0000);
+        let end = heap.raw() + w.footprint_bytes();
+        for op in w.trace(heap) {
+            if let Op::StoreLine(va) = op {
+                assert!(va.raw() >= heap.raw() && va.raw() < end);
+            }
+        }
+    }
+}
