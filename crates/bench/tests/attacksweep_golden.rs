@@ -1,0 +1,93 @@
+//! Byte-identity and red-exit gates for the adversary-sweep reports.
+//!
+//! The attacksweep campaign is a pure function of its seed set: no
+//! wall-clock, no environment, DetRng-only randomness. These tests pin
+//! that property to bytes — the text and JSON reports of
+//! `attacksweep --seeds 8` must match the goldens captured in `ci/`
+//! exactly — and prove the gate can actually fire by running the
+//! deliberately-weakened configuration and demanding a red exit. Any
+//! intentional behaviour change must regenerate the goldens in the same
+//! commit:
+//!
+//! ```text
+//! cargo run --release -p ss-bench --bin attacksweep -- --seeds 8 \
+//!     --json ci/attacksweep-seeds8.golden.json > ci/attacksweep-seeds8.golden.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../ci")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn attacksweep_seeds8_is_byte_identical_to_golden() {
+    let tmp = std::env::temp_dir().join(format!("attacksweep-golden-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_attacksweep"))
+        .args(["--seeds", "8", "--json"])
+        .arg(&tmp)
+        .output()
+        .expect("running attacksweep");
+    assert!(
+        output.status.success(),
+        "attacksweep failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    assert_eq!(
+        text,
+        golden("attacksweep-seeds8.golden.txt"),
+        "text report drifted from ci/attacksweep-seeds8.golden.txt"
+    );
+
+    let json = std::fs::read_to_string(&tmp).expect("json report");
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(
+        json,
+        golden("attacksweep-seeds8.golden.json"),
+        "json report drifted from ci/attacksweep-seeds8.golden.json"
+    );
+}
+
+#[test]
+fn attacksweep_weakened_config_exits_red() {
+    let output = Command::new(env!("CARGO_BIN_EXE_attacksweep"))
+        .args(["--weakened", "--seeds", "2"])
+        .output()
+        .expect("running attacksweep --weakened");
+    assert!(
+        !output.status.success(),
+        "the weakened (no-Merkle) config must turn the sweep red"
+    );
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    assert!(
+        text.contains("result: FAILED"),
+        "weakened sweep must report FAILED:\n{text}"
+    );
+    assert!(
+        text.contains("replay with: attacksweep --config weak-nomt --seed 0"),
+        "failures must print a replay line:\n{text}"
+    );
+}
+
+#[test]
+fn attacksweep_replay_of_campaign_seed_is_clean() {
+    let output = Command::new(env!("CARGO_BIN_EXE_attacksweep"))
+        .args(["--seed", "0"])
+        .output()
+        .expect("running attacksweep --seed 0");
+    assert!(
+        output.status.success(),
+        "replay of a clean campaign seed must stay clean:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    // Replay shows the full step scripts, including per-shard scans.
+    assert!(text.contains("adversary: cold scan"));
+    assert!(text.contains("config=ctr-bat-mt-x8"));
+}

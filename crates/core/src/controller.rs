@@ -1370,6 +1370,41 @@ impl MemoryController {
             .collect()
     }
 
+    /// An attacker's cold scan of the spare-line pool only. Remapped
+    /// lines physically live here; the pool is the residue surface a
+    /// remap-probe attack inspects for rescued-but-unshredded data.
+    pub(crate) fn cold_scan_spares(&self) -> Vec<(BlockAddr, Line)> {
+        self.nvm
+            .cold_scan()
+            .filter(|(a, _)| a.raw() >= self.spare_base)
+            .map(|(a, l)| (a, *l))
+            .collect()
+    }
+
+    /// An attacker's cold scan of the persisted counter region, keyed by
+    /// owning page. This is exactly the state a rollback attacker
+    /// captures at one power cycle and replays at the next.
+    pub(crate) fn cold_scan_counters(&self) -> Vec<(PageId, Line)> {
+        self.nvm
+            .cold_scan()
+            .filter(|(a, _)| a.raw() >= self.counter_base && a.raw() < self.spare_base)
+            .map(|(a, l)| {
+                (
+                    PageId::new((a.raw() - self.counter_base) / LINE_SIZE as u64),
+                    *l,
+                )
+            })
+            .collect()
+    }
+
+    /// Snapshot of the on-chip Merkle root (`None` when integrity is
+    /// off). The root is *inside* the trust boundary — an adversary can
+    /// replay every persisted counter line but cannot roll this back,
+    /// which is why rollback is detected rather than silently accepted.
+    pub(crate) fn merkle_root(&self) -> Option<ss_crypto::Digest> {
+        self.merkle.as_ref().map(MerkleTree::root)
+    }
+
     /// An attacker overwriting a *data* line in NVM (man-in-the-middle /
     /// overwrite attacks).
     pub(crate) fn nvm_tamper(&mut self, addr: BlockAddr, line: Line) {

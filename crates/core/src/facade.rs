@@ -127,6 +127,14 @@ impl<'a> Inspect<'a> {
     pub fn metrics(&self) -> MetricsRegistry {
         self.mc.metrics()
     }
+
+    /// Snapshot of the on-chip Merkle root (`None` when integrity is
+    /// disabled). Part of the persisted-state surface the adversary
+    /// harness compares across power cycles: counter lines in NVM can be
+    /// rolled back, this root cannot.
+    pub fn merkle_root(&self) -> Option<ss_crypto::Digest> {
+        self.mc.merkle_root()
+    }
 }
 
 /// Fault-injection and forensic port. Obtained via
@@ -144,8 +152,23 @@ impl<'a> FaultPort<'a> {
     }
 
     /// Reads every written line raw — the stolen-DIMM attack (§3).
+    /// Covers the data region *and* the spare pool (remapped lines
+    /// physically live there), but not the counter region.
     pub fn cold_scan_data(&self) -> Vec<(BlockAddr, Line)> {
         self.mc.cold_scan_data()
+    }
+
+    /// Cold scan restricted to the spare-line pool: the residue surface
+    /// a remap-probe attack inspects.
+    pub fn cold_scan_spares(&self) -> Vec<(BlockAddr, Line)> {
+        self.mc.cold_scan_spares()
+    }
+
+    /// Cold scan of the persisted counter region, keyed by owning page —
+    /// the state a rollback attacker captures at one power cycle and
+    /// replays at the next.
+    pub fn cold_scan_counters(&self) -> Vec<(PageId, Line)> {
+        self.mc.cold_scan_counters()
     }
 
     /// Overwrites a data line in the array behind the controller's back.
@@ -246,5 +269,13 @@ impl crate::shard::ShardedController {
     /// shard's own slice of the address space.
     pub fn inspect_shard(&self, s: usize) -> Option<Inspect<'_>> {
         self.shard(s).map(Inspect::new)
+    }
+
+    /// Fault-injection and forensic port into shard `s` (`None` when
+    /// out of range). Shard-local views, like [`Self::inspect_shard`]:
+    /// the adversary harness translates global addresses through the
+    /// [`crate::Interleave`] before poking a shard.
+    pub fn faults_shard(&mut self, s: usize) -> Option<FaultPort<'_>> {
+        self.shard_mut(s).map(FaultPort::new)
     }
 }

@@ -371,9 +371,44 @@ impl ShardedController {
         reg
     }
 
+    /// Flushes dirty counter blocks to NVM on every shard (clean
+    /// shutdown / battery-backed power-down behaviour).
+    ///
+    /// # Errors
+    ///
+    /// The first shard's NVM write error.
+    pub fn flush_counters(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            s.flush_counters()?;
+        }
+        Ok(())
+    }
+
+    /// One background-scrubber step on *every* shard (each channel runs
+    /// its own scrubber in idle cycles). Returns how many shards healed
+    /// something this step.
+    ///
+    /// # Errors
+    ///
+    /// The first shard's remap-path error.
+    pub fn scrub_step(&mut self, now: Cycles) -> Result<u64> {
+        let mut healed = 0u64;
+        for s in &mut self.shards {
+            if s.scrub_step(now)? {
+                healed += 1;
+            }
+        }
+        Ok(healed)
+    }
+
     /// Direct access to shard `s` (tests and the facade layer).
     pub(crate) fn shard(&self, s: usize) -> Option<&MemoryController> {
         self.shards.get(s)
+    }
+
+    /// Mutable access to shard `s` (the fault-port facade).
+    pub(crate) fn shard_mut(&mut self, s: usize) -> Option<&mut MemoryController> {
+        self.shards.get_mut(s)
     }
 
     fn check_data_addr(&self, addr: BlockAddr) -> Result<()> {

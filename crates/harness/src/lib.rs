@@ -22,18 +22,33 @@
 //! * [`scenario`] — whole-[`ss_sim::System`] crash/recovery round trips
 //!   and the write-queue-depth crash matrix used by `tests/persistence.rs`.
 //!
+//! * [`adversary`] — the malicious counterpart to the fault plan: an
+//!   [`Adversary`] with scripted physical capabilities (cold scan of
+//!   every persisted region between power cycles, stolen-DIMM offline
+//!   decrypt, counter rollback and stale-ciphertext replay) driven
+//!   through multi-step attack scenarios whose outcomes are classified
+//!   `Defended`/`Detected`/`Leaked` — any `Leaked` fails the sweep.
+//!   `attacksweep` (in `crates/bench`) runs the attack × seed × config
+//!   matrix and is gated in CI against a committed golden report.
+//!
 //! Everything is seeded through [`ss_common::DetRng`]: the same seed
 //! always produces the same plan, the same workload, and the same
 //! report. `faultsweep --seed N` (in `crates/bench`) replays one plan
-//! with per-fault detail.
+//! with per-fault detail; `attacksweep --seed N` does the same for
+//! attack scripts.
 
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod engine;
 pub mod plan;
 pub mod scenario;
 pub mod shadow;
 
+pub use adversary::{
+    demo_records, run_attack, run_attacks, Adversary, AttackConfig, AttackKind, AttackOutcome,
+    AttackRecord, AttackReport, AttackTally, DimmImage,
+};
 pub use engine::{
     run_plan, run_plan_full, FaultOutcome, FaultRecord, HarnessConfig, PlanArtifacts, PlanReport,
     Tally,

@@ -1,109 +1,56 @@
-//! The §4.1 attack model, end to end: data remanence, cold scans,
-//! dictionary leakage under ECB, counter tampering, and what shredding
-//! does to a stolen chip's contents.
+//! The adversary model, end to end: two scripted multi-step attacks
+//! from `ss_harness::adversary` against the paper's secure controller —
+//! one silently *Defended* (shred-then-steal: cold scan + stolen-DIMM
+//! offline decrypt + reboot reads all denied), one loudly *Detected*
+//! (rollback-replay: the on-chip Merkle root rejects the stale
+//! counter). The same records are asserted byte-for-byte by
+//! `tests/end_to_end.rs::attack_demo_scenarios_resolve_as_documented`,
+//! so this demo cannot silently rot.
 //!
 //! ```sh
 //! cargo run --release --example attack_demo
 //! ```
+//!
+//! For the full matrix (4 attacks × seeds × 6 configs, sharded
+//! included) run the sweep: `cargo run --release -p ss-bench --bin
+//! attacksweep`.
 
-use silent_shredder::common::{Cycles, Error, PageId, Result};
-use silent_shredder::core::EncryptionMode;
-use silent_shredder::prelude::*;
+use ss_harness::{demo_records, AttackOutcome, AttackRecord};
 
-const SECRET: [u8; 64] = [0x42; 64];
-
-fn entropy_estimate(line: &[u8; 64]) -> usize {
-    let mut seen = [false; 256];
-    for &b in line {
-        seen[b as usize] = true;
+fn narrate(heading: &str, record: &AttackRecord) {
+    println!("{heading}");
+    for step in &record.steps {
+        println!("    . {step}");
     }
-    seen.iter().filter(|&&s| s).count()
+    println!("  => {}: {}\n", record.outcome.label(), record.detail);
 }
 
-fn main() -> Result<()> {
-    println!("Attack surface demonstration (paper §4.1, §7.1)\n");
+fn main() {
+    println!("Adversary-model demonstration (§4.1; arXiv:1902.03518 attacker)\n");
+    let (defended, detected) = demo_records();
 
-    // 1. Remanence on an unencrypted NVMM: power off, scan, read secrets.
-    let mut plain = MemoryController::new(ControllerConfig {
-        data_capacity: 1 << 20,
-        ..ControllerConfig::plain()
-    })?;
-    let page = PageId::new(3);
-    plain.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
-    plain.power_loss()?;
-    let stolen: Vec<_> = plain.faults().cold_scan_data();
-    let leaked = stolen.iter().any(|(_, l)| *l == SECRET);
-    println!(
-        "1. unencrypted NVM, cold scan after power-off: secret {}",
-        if leaked {
-            "LEAKED (remanence vulnerability)"
-        } else {
-            "not found"
-        }
+    narrate(
+        "1. shred-then-steal: write secrets, shred, steal the DIMM cold",
+        &defended,
     );
-    assert!(leaked);
-
-    // 2. ECB hides bytes but leaks equality (dictionary attacks).
-    let mut ecb = MemoryController::new(ControllerConfig {
-        data_capacity: 1 << 20,
-        encryption: EncryptionMode::Ecb,
-        shredder: false,
-        integrity: false,
-        ..ControllerConfig::default()
-    })?;
-    ecb.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
-    ecb.write_block(page.block_addr(1), &SECRET, false, Cycles::ZERO)?;
-    let c0 = ecb.faults().nvm_peek(page.block_addr(0));
-    let c1 = ecb.faults().nvm_peek(page.block_addr(1));
-    println!(
-        "2. ECB: ciphertext != plaintext ({}), but equal plaintexts give equal\n   ciphertexts ({}) — dictionary attacks apply",
-        c0 != SECRET,
-        c0 == c1
+    narrate(
+        "2. rollback-replay: capture counter+ciphertext, replay them at reboot",
+        &detected,
     );
 
-    // 3. Counter mode: same data at different addresses is uncorrelated.
-    let mut ctr = MemoryController::new(ControllerConfig::small_test())?;
-    ctr.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
-    ctr.write_block(page.block_addr(1), &SECRET, false, Cycles::ZERO)?;
-    let c0 = ctr.faults().nvm_peek(page.block_addr(0));
-    let c1 = ctr.faults().nvm_peek(page.block_addr(1));
-    println!(
-        "3. CTR: equal plaintexts encrypt differently ({}), ciphertext entropy ~{} distinct bytes",
-        c0 != c1,
-        entropy_estimate(&c0)
+    assert_eq!(
+        defended.outcome,
+        AttackOutcome::Defended,
+        "shred-then-steal must be silently defended"
     );
-
-    // 4. Shred: the cold-scanned ciphertext becomes undecryptable garbage
-    //    and the architectural contents read as zero.
-    ctr.shred_page(page, true)?;
-    let read = ctr.read_block(page.block_addr(0), Cycles::ZERO)?;
-    println!(
-        "4. after shred: software reads {} (zero-filled: {}), cold scan still shows\n   old ciphertext but no IV can decrypt it to the secret",
-        if read.data == [0u8; 64] { "zeros" } else { "data?!" },
-        read.zero_filled
+    assert_eq!(
+        detected.outcome,
+        AttackOutcome::Detected,
+        "rollback-replay must be loudly detected"
     );
-
-    // 5. Counter tampering is detected by the Merkle tree.
-    ctr.write_block(page.block_addr(0), &SECRET, false, Cycles::ZERO)?;
-    ctr.flush_counters()?;
-    ctr.faults().tamper_counter_line(page, [0xFF; 64]);
-    ctr.faults().drop_counter_cache();
-    match ctr.read_block(page.block_addr(0), Cycles::ZERO) {
-        Err(Error::IntegrityViolation { detail }) => {
-            println!("5. counter replay/tamper: DETECTED ({detail})");
-        }
-        other => println!("5. counter tamper NOT detected: {other:?}"),
-    }
-
-    // 6. User-space shred attempts fault.
-    let mut mc = MemoryController::new(ControllerConfig::small_test())?;
-    match mc.mmio_write(silent_shredder::core::SHRED_REG, 0, false, Cycles::ZERO) {
-        Err(Error::PrivilegeViolation { .. }) => {
-            println!("6. user-mode write to the shred register: exception raised");
-        }
-        other => println!("6. privilege check failed: {other:?}"),
-    }
-
-    println!("\nAll attack-model properties hold.");
-    Ok(())
+    println!(
+        "Both attack-model properties hold: the zero-minor rule denies the \
+         cold-scan/offline attacker, and the on-chip Merkle root (which the \
+         adversary cannot roll back) catches the replay."
+    );
 }

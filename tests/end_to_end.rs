@@ -235,3 +235,50 @@ fn hypervisor_runs_on_real_hardware_stack() {
         "shred command wrote zeros"
     );
 }
+
+#[test]
+fn attack_demo_scenarios_resolve_as_documented() {
+    // `examples/attack_demo.rs` narrates exactly these two records; this
+    // test pins their outcomes and step scripts so the demo cannot rot.
+    use ss_harness::{demo_records, AttackKind, AttackOutcome};
+    let (defended, detected) = demo_records();
+
+    assert_eq!(defended.kind, AttackKind::ShredThenSteal);
+    assert_eq!(defended.outcome, AttackOutcome::Defended, "{defended}");
+    let script = defended.steps.join("\n");
+    assert!(script.contains("victim: shred page"), "{script}");
+    assert!(script.contains("adversary: cut power"), "{script}");
+    assert!(script.contains("adversary: cold scan"), "{script}");
+    assert!(
+        script.contains("adversary: offline decrypt attempt"),
+        "{script}"
+    );
+    assert!(
+        defended.detail.contains("denied"),
+        "defended detail should say the probes were denied: {defended}"
+    );
+
+    assert_eq!(detected.kind, AttackKind::RollbackReplay);
+    assert_eq!(detected.outcome, AttackOutcome::Detected, "{detected}");
+    let script = detected.steps.join("\n");
+    assert!(
+        script.contains("adversary: capture counter line"),
+        "{script}"
+    );
+    assert!(
+        script.contains("adversary: roll back counter line"),
+        "{script}"
+    );
+    assert!(script.contains("adversary: restore power"), "{script}");
+    assert!(
+        detected.detail.contains("Merkle"),
+        "detected detail should credit the Merkle tree: {detected}"
+    );
+
+    // Determinism: the demo's records are a pure function — rendering
+    // them twice gives identical bytes (what the example prints).
+    let (d2, t2) = demo_records();
+    assert_eq!(format!("{defended}{detected}"), format!("{d2}{t2}"));
+    assert_eq!(defended.to_json(), d2.to_json());
+    assert_eq!(detected.to_json(), t2.to_json());
+}

@@ -563,3 +563,126 @@ fn hypervisor_frame_conservation() {
         }
     }
 }
+
+// --- ss_core::interleave: the page→shard bijection ------------------
+
+/// Global → (shard, local) → global round-trips for random pages under
+/// assorted shard counts, including the non-power-of-two ones the
+/// round-robin arithmetic must not special-case.
+#[test]
+fn interleave_bijection_roundtrip() {
+    use silent_shredder::core::Interleave;
+    let mut rng = DetRng::new(0x11_7E01);
+    for shards in [1u32, 2, 3, 4, 5, 7, 8, 12, 256] {
+        let il = Interleave::new(shards).unwrap();
+        for _ in 0..256 {
+            let page = PageId::new(rng.below(1 << 20));
+            let (s, l) = (il.shard_of_page(page), il.local_page(page));
+            assert!(s < shards, "shard index out of range for {page}");
+            assert_eq!(
+                il.global_page(s, l),
+                page,
+                "{shards} shards: not a bijection at {page}"
+            );
+            // Inverse direction: a random (shard, local) pair maps to a
+            // global page owned by exactly that shard at that frame.
+            let s2 = rng.below(u64::from(shards)) as u32;
+            let l2 = PageId::new(rng.below(1 << 18));
+            let g = il.global_page(s2, l2);
+            assert_eq!(il.shard_of_page(g), s2);
+            assert_eq!(il.local_page(g), l2);
+        }
+    }
+}
+
+/// Edge case: one shard is the identity map — same pages, shard 0,
+/// bit-identical to the unsharded controller's address space.
+#[test]
+fn interleave_single_shard_is_identity() {
+    use silent_shredder::core::Interleave;
+    let il = Interleave::new(1).unwrap();
+    let mut rng = DetRng::new(0x11_7E02);
+    for _ in 0..256 {
+        let page = PageId::new(rng.next_u64() >> 12);
+        assert_eq!(il.shard_of_page(page), 0);
+        assert_eq!(il.local_page(page), page);
+        assert_eq!(il.global_page(0, page), page);
+    }
+}
+
+/// Edge case: as many shards as frames — every shard owns exactly one
+/// frame, at local index 0.
+#[test]
+fn interleave_shards_equal_frames() {
+    use silent_shredder::core::Interleave;
+    let frames = 256u64;
+    let il = Interleave::new(frames as u32).unwrap();
+    let mut seen = BTreeSet::new();
+    for p in 0..frames {
+        let page = PageId::new(p);
+        assert_eq!(il.shard_of_page(page), p as u32, "one frame per shard");
+        assert_eq!(
+            il.local_page(page),
+            PageId::new(0),
+            "local frame bound is 1"
+        );
+        assert!(seen.insert(il.shard_of_page(page)), "shard aliased twice");
+    }
+    assert_eq!(seen.len() as u64, frames);
+}
+
+/// Shard-local frame bounds: when `frames` divides evenly across `n`
+/// shards (the `ShardedConfig::validate` precondition), every global
+/// frame lands at a local index `< frames / n`, each shard receives
+/// exactly `frames / n` frames, and no (shard, local) slot is used
+/// twice. Exercised for non-power-of-two shard counts too.
+#[test]
+fn interleave_partitions_frames_within_local_bounds() {
+    use silent_shredder::core::Interleave;
+    let frames = 240u64; // divisible by every shard count below
+    for shards in [1u32, 2, 3, 4, 5, 6, 8, 10, 12, 15, 16] {
+        assert_eq!(frames % u64::from(shards), 0, "test precondition");
+        let per_shard = frames / u64::from(shards);
+        let il = Interleave::new(shards).unwrap();
+        let mut slots = BTreeSet::new();
+        let mut per_shard_count = BTreeMap::new();
+        for p in 0..frames {
+            let page = PageId::new(p);
+            let (s, l) = (il.shard_of_page(page), il.local_page(page));
+            assert!(
+                l.raw() < per_shard,
+                "{shards} shards: page {p} exceeds local bound ({} >= {per_shard})",
+                l.raw()
+            );
+            assert!(
+                slots.insert((s, l.raw())),
+                "{shards} shards: slot ({s}, {}) aliased",
+                l.raw()
+            );
+            *per_shard_count.entry(s).or_insert(0u64) += 1;
+        }
+        assert_eq!(slots.len() as u64, frames);
+        for (s, count) in per_shard_count {
+            assert_eq!(count, per_shard, "{shards} shards: shard {s} unbalanced");
+        }
+    }
+}
+
+/// Blocks inherit their page's shard and keep their in-page offset
+/// (random pages and block indices, random shard counts).
+#[test]
+fn interleave_blocks_follow_their_page() {
+    use silent_shredder::common::BLOCKS_PER_PAGE;
+    use silent_shredder::core::Interleave;
+    let mut rng = DetRng::new(0x11_7E03);
+    for _ in 0..256 {
+        let shards = 1 + rng.below(16) as u32;
+        let il = Interleave::new(shards).unwrap();
+        let page = PageId::new(rng.below(1 << 20));
+        let addr = page.block_addr(rng.below(BLOCKS_PER_PAGE as u64) as usize);
+        assert_eq!(il.shard_of_block(addr), il.shard_of_page(page));
+        let local = il.local_block(addr);
+        assert_eq!(local.page(), il.local_page(page));
+        assert_eq!(local.block_in_page(), addr.block_in_page());
+    }
+}

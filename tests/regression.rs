@@ -120,3 +120,87 @@ fn regression_cross_core_read_after_rewrite_sees_newest_value() {
 fn regression_second_alloc_touch_conserves_frames() {
     common::run_kernel_frame_conservation(&[(0, 1, 0), (1, 1, 0), (1, 1, 3), (2, 1, 0)]);
 }
+
+// --- adversary-report determinism pins ------------------------------
+//
+// The attacksweep golden gate compares whole files; these named tests
+// pin the *individual* ordering invariants that keep those files
+// byte-stable, so a future violation fails with a precise name instead
+// of a wall of golden diff. (The 32-seed double-run triage during
+// development found no divergent seed — these guard the properties that
+// keep it that way.)
+
+/// Cold-scan images must be shard-major and address-ordered within each
+/// shard: the scan iterates shards `0..n` over the device's BTreeMap.
+/// A HashMap (or per-shard thread) sneaking into the scan path would
+/// scramble this order and with it every sharded golden report.
+#[test]
+fn regression_attack_cold_scan_is_shard_major_address_ordered() {
+    use silent_shredder::common::PageId;
+    use silent_shredder::core::ControllerConfig;
+    use ss_harness::{Adversary, AttackConfig};
+
+    let cfg = AttackConfig::sharded("x4", ControllerConfig::small_test(), 4);
+    let mut adv = Adversary::build(&cfg).unwrap();
+    // One line on every shard (pages 1..=8 cover shards 0..4 twice).
+    for p in 1..=8u64 {
+        adv.victim_write(PageId::new(p).block_addr(0), &[p as u8; 64])
+            .unwrap();
+    }
+    adv.victim_flush_counters().unwrap();
+    adv.power_off().unwrap();
+    let image = adv.cold_scan().unwrap();
+    let data_keys: Vec<(u32, u64)> = image.data.iter().map(|(s, a, _)| (*s, a.raw())).collect();
+    let mut sorted = data_keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(data_keys, sorted, "data scan not (shard, addr)-ordered");
+    let ctr_keys: Vec<(u32, u64)> = image
+        .counters
+        .iter()
+        .map(|(s, p, _)| (*s, p.raw()))
+        .collect();
+    let mut sorted = ctr_keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(ctr_keys, sorted, "counter scan not (shard, page)-ordered");
+}
+
+/// Attack records always appear in `AttackKind::ALL` order, whatever
+/// the config — the report layout the goldens and the sweep's tally
+/// lines rely on.
+#[test]
+fn regression_attack_records_follow_attack_kind_order() {
+    use ss_harness::{run_attacks, AttackConfig, AttackKind};
+    for cfg in AttackConfig::matrix() {
+        let report = run_attacks(&cfg, 17);
+        let kinds: Vec<AttackKind> = report.records.iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, AttackKind::ALL.to_vec(), "{}", cfg.label);
+    }
+}
+
+/// Every matrix config renders byte-identical text and JSON across two
+/// independent runs at the same seed — the invariant that makes the
+/// committed `ci/attacksweep-seeds8.golden.*` files meaningful. This is
+/// the test that fails first if wall-clock, map iteration order, or an
+/// unseeded source leaks into the attack path.
+#[test]
+fn regression_attack_reports_byte_stable_across_runs() {
+    use ss_harness::{run_attacks, AttackConfig};
+    for cfg in AttackConfig::matrix() {
+        for seed in [0u64, 19] {
+            let a = run_attacks(&cfg, seed);
+            let b = run_attacks(&cfg, seed);
+            assert_eq!(
+                format!("{a}"),
+                format!("{b}"),
+                "{} seed {seed}: text report diverged",
+                cfg.label
+            );
+            assert_eq!(
+                a.to_json(),
+                b.to_json(),
+                "{} seed {seed}: json report diverged",
+                cfg.label
+            );
+        }
+    }
+}
