@@ -1,0 +1,95 @@
+//! Byte-identity and red-exit gates for the crash-sweep reports.
+//!
+//! The crashsweep campaign is a pure function of its seed set: no
+//! wall-clock, no environment, DetRng-only randomness. These tests pin
+//! that property to bytes — the text and JSON reports of
+//! `crashsweep --seeds 8` must match the goldens captured in `ci/`
+//! exactly — and prove the gate can actually fire by running the
+//! deliberately-weakened (no-recovery) configuration and demanding a
+//! red exit. Any intentional behaviour change must regenerate the
+//! goldens in the same commit:
+//!
+//! ```text
+//! cargo run --release -p ss-bench --bin crashsweep -- --seeds 8 \
+//!     --json ci/crashsweep-seeds8.golden.json > ci/crashsweep-seeds8.golden.txt
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../ci")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn crashsweep_seeds8_is_byte_identical_to_golden() {
+    let tmp = std::env::temp_dir().join(format!("crashsweep-golden-{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_crashsweep"))
+        .args(["--seeds", "8", "--json"])
+        .arg(&tmp)
+        .output()
+        .expect("running crashsweep");
+    assert!(
+        output.status.success(),
+        "crashsweep failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    assert_eq!(
+        text,
+        golden("crashsweep-seeds8.golden.txt"),
+        "text report drifted from ci/crashsweep-seeds8.golden.txt"
+    );
+
+    let json = std::fs::read_to_string(&tmp).expect("json report");
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(
+        json,
+        golden("crashsweep-seeds8.golden.json"),
+        "json report drifted from ci/crashsweep-seeds8.golden.json"
+    );
+}
+
+#[test]
+fn crashsweep_weakened_config_exits_red() {
+    let output = Command::new(env!("CARGO_BIN_EXE_crashsweep"))
+        .args(["--weakened", "--seeds", "2"])
+        .output()
+        .expect("running crashsweep --weakened");
+    assert!(
+        !output.status.success(),
+        "the weakened (no-recovery) config must turn the sweep red"
+    );
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    assert!(
+        text.contains("result: FAILED"),
+        "weakened sweep must report FAILED:\n{text}"
+    );
+    assert!(
+        text.contains("replay with: crashsweep --config weakened-norecovery --seed 0"),
+        "failures must print a replay line:\n{text}"
+    );
+}
+
+#[test]
+fn crashsweep_replay_of_campaign_seed_is_clean() {
+    let output = Command::new(env!("CARGO_BIN_EXE_crashsweep"))
+        .args(["--seed", "0"])
+        .output()
+        .expect("running crashsweep --seed 0");
+    assert!(
+        output.status.success(),
+        "replay of a clean campaign seed must stay clean:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let text = String::from_utf8(output.stdout).expect("utf8 report");
+    // Replay shows full per-crash-point records, including the torn
+    // variants and the sharded drain.
+    assert!(text.contains("torn 32"));
+    assert!(text.contains("config=adr-wt-x8"));
+    assert!(text.contains("shred-drain"));
+}

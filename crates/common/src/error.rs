@@ -84,6 +84,16 @@ pub enum Error {
         /// Device address of the quarantined line.
         addr: PhysAddr,
     },
+    /// Power was cut mid persist sequence (crash-injection model): the
+    /// in-flight operation stopped at an arbitrary persist step, possibly
+    /// tearing the 64 B line it was writing. The machine is "off" — every
+    /// further persist attempt fails with this error until the harness
+    /// runs the power-cycle + recovery protocol.
+    PowerCut {
+        /// The persist step (1-based, per controller lifetime) at which
+        /// the cut landed.
+        step: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -115,6 +125,9 @@ impl fmt::Display for Error {
                     f,
                     "line at {addr} is quarantined (unrecoverable media failure)"
                 )
+            }
+            Error::PowerCut { step } => {
+                write!(f, "power cut at persist step {step}; machine is off")
             }
         }
     }

@@ -33,6 +33,29 @@ pub enum ShredStrategy {
     MajorBumpResetMinors,
 }
 
+/// Which persistence domain the controller's volatile persist-path
+/// state sits in — the torn-write axis of the crash model (DESIGN.md
+/// §13; cf. the eADR mode of *From Ideal to Practice*,
+/// arXiv:2307.02050).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistDomain {
+    /// ADR: only completed 8-byte stores are durable. A crash can cut an
+    /// in-flight multi-step persist sequence after any numbered
+    /// [`crate::persist::PersistStep`], tear the 64 B line being written
+    /// at the cut, and drops un-drained write-queue entries. The
+    /// controller keeps an NVM-resident ordering journal so
+    /// [`crate::MemoryController::recover_mut`] can roll the damage
+    /// back (or forward) on reboot.
+    Adr,
+    /// eADR: stored energy flushes the whole controller persist path on
+    /// power failure, so every in-flight sequence completes — crashes
+    /// land on operation boundaries, 64 B line writes are atomic, the
+    /// write queue drains, and no ordering journal is needed. This is
+    /// the default and reproduces the pre-crash-model behaviour
+    /// byte for byte.
+    Eadr,
+}
+
 /// How counter-cache contents survive power loss (§4.3, §7.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CounterPersistence {
@@ -67,6 +90,12 @@ pub struct ControllerConfig {
     pub counter_cache_latency: Cycles,
     /// Counter persistence mode.
     pub counter_persistence: CounterPersistence,
+    /// Persistence domain of the controller's volatile persist path
+    /// (write queue, in-flight sequences). [`PersistDomain::Eadr`] (the
+    /// default) keeps the historical flush-everything-on-power-fail
+    /// behaviour; [`PersistDomain::Adr`] enables step-granular crash
+    /// cuts, torn 64 B lines, and the ordering journal.
+    pub persist_domain: PersistDomain,
     /// Maintain and verify a Merkle tree over the counter region.
     pub integrity: bool,
     /// Latency charged for the XOR of pad and data on the read critical
@@ -133,6 +162,7 @@ impl Default for ControllerConfig {
             counter_cache_ways: 8,
             counter_cache_latency: Cycles::new(10),
             counter_persistence: CounterPersistence::BatteryBackedWriteBack,
+            persist_domain: PersistDomain::Eadr,
             integrity: true,
             xor_latency: Cycles::new(2),
             aes_latency: Cycles::new(40),
@@ -223,6 +253,32 @@ impl ControllerConfig {
             if !wq.is_valid() {
                 return Err(Error::InvalidConfig {
                     detail: "invalid write-queue watermarks".into(),
+                });
+            }
+        }
+        if self.persist_domain == PersistDomain::Adr {
+            // Combinations the ordering journal cannot keep
+            // crash-consistent (DESIGN.md §13): counter-mode writes bump
+            // counters at enqueue time, so an ADR-volatile queue would
+            // drop ciphertext whose counters already advanced; DEUCE
+            // chunk metadata and Start-Gap moves mutate mapping state
+            // with no journaled pre-image.
+            if self.write_queue.is_some() && self.encryption == EncryptionMode::Ctr {
+                return Err(Error::InvalidConfig {
+                    detail: "ADR domain cannot cover an encrypted (counter-mode) write queue; \
+                             use eADR or drop the queue"
+                        .into(),
+                });
+            }
+            if self.deuce {
+                return Err(Error::InvalidConfig {
+                    detail: "DEUCE chunk metadata is not covered by the ADR ordering journal"
+                        .into(),
+                });
+            }
+            if self.wear_leveling {
+                return Err(Error::InvalidConfig {
+                    detail: "Start-Gap moves are not covered by the ADR ordering journal".into(),
                 });
             }
         }

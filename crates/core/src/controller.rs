@@ -14,11 +14,14 @@ use ss_trace::{
 };
 
 use crate::channel::ChannelSched;
-use crate::config::{ControllerConfig, CounterPersistence, EncryptionMode};
+use crate::config::{ControllerConfig, CounterPersistence, EncryptionMode, PersistDomain};
 use crate::counters::{BumpOutcome, CounterBlock};
 use crate::deuce::{self, DeuceMeta, CHUNKS};
 use crate::heal::{HealthStats, SparePool};
 use crate::mmio;
+use crate::persist::{
+    self, CrashCut, EntryKind, JournalEntry, PersistState, RecoveryReport, SeqTag,
+};
 use crate::wqueue::WriteQueue;
 use ss_nvm::StartGap;
 
@@ -101,6 +104,12 @@ pub struct MemoryController {
     /// deep helpers (retry loops, deferred heals) can stamp trace
     /// events without threading `now` through every private signature.
     op_now: Cycles,
+    /// NVM byte offset of the ordering-journal region (== device end
+    /// under eADR, where no journal is allocated).
+    journal_base: u64,
+    /// Persist-step counter, armed crash cut, and the volatile mirror of
+    /// the open journal sequence (see the [`persist`] module docs).
+    persist: PersistState,
 }
 
 impl MemoryController {
@@ -115,11 +124,18 @@ impl MemoryController {
         // One spare line after the data region serves as the Start-Gap
         // slot when wear levelling is enabled.
         let counter_base = config.data_capacity + LINE_SIZE as u64;
-        // The bad-line spare pool sits after the counter region:
-        // [data][gap][counters][spares].
+        // The bad-line spare pool sits after the counter region, and
+        // under ADR the ordering journal sits after the spares:
+        // [data][gap][counters][spares][journal].
         let spare_base = counter_base + frames * LINE_SIZE as u64;
+        let journal_base = spare_base + config.spare_lines * LINE_SIZE as u64;
+        let journal_lines = if config.persist_domain == PersistDomain::Adr {
+            persist::JOURNAL_LINES
+        } else {
+            0
+        };
         let nvm = NvmDevice::new(NvmConfig {
-            capacity_bytes: spare_base + config.spare_lines * LINE_SIZE as u64,
+            capacity_bytes: journal_base + journal_lines * LINE_SIZE as u64,
             timing: config.nvm_timing,
             endurance_limit: config.endurance_limit,
             ecc: config.nvm_ecc,
@@ -171,7 +187,244 @@ impl MemoryController {
             tracer,
             profile: StageProfile::new(),
             op_now: Cycles::ZERO,
+            journal_base,
+            persist: PersistState::new(),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Persist-step model: every durable line write of a multi-step
+    // persist sequence funnels through `persist_line`, which journals
+    // the line (ADR), counts the step, and honours an armed crash cut.
+    // ------------------------------------------------------------------
+
+    /// Whether the ordering journal is active (ADR persistence domain).
+    fn adr(&self) -> bool {
+        self.config.persist_domain == PersistDomain::Adr
+    }
+
+    /// Device address of journal line `idx` (0 = header; entry `i` uses
+    /// lines `1 + 2i` and `2 + 2i`).
+    fn journal_line_addr(&self, idx: u64) -> BlockAddr {
+        BlockAddr::new(self.journal_base + idx * LINE_SIZE as u64)
+    }
+
+    /// Opens a persist sequence (nested calls join the outermost one).
+    /// The NVM header is written lazily, on the first journal entry —
+    /// an operation that persists nothing leaves no journal trace.
+    fn seq_begin(&mut self, tag: SeqTag) {
+        if !self.adr() {
+            return;
+        }
+        if self.persist.depth == 0 {
+            self.persist.tag = Some(tag);
+        }
+        self.persist.depth += 1;
+    }
+
+    /// Closes a persist sequence. When the outermost level completes
+    /// without a fired cut and the header was written, the journal is
+    /// marked closed (committing the sequence); after a cut the header
+    /// is deliberately left open on NVM for recovery to find.
+    fn seq_end(&mut self) -> Result<()> {
+        if !self.adr() {
+            return Ok(());
+        }
+        self.persist.depth = self.persist.depth.saturating_sub(1);
+        if self.persist.depth > 0 {
+            return Ok(());
+        }
+        self.persist.tag = None;
+        self.persist.victim_flush = false;
+        if self.persist.cut_fired {
+            return Ok(());
+        }
+        if self.persist.header_written {
+            let seq = self.persist.next_seq;
+            self.nvm.write_line(
+                self.journal_line_addr(0),
+                &persist::encode_header(false, 0, seq),
+            )?;
+            self.persist.next_seq = seq + 1;
+            self.persist.header_written = false;
+            self.persist.journaled.clear();
+            self.persist.entry_count = 0;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` inside a persist sequence (the `with_seq` discipline:
+    /// every public mutating operation brackets its body so journal
+    /// entries group into one atomically-recoverable unit).
+    fn with_seq<T>(&mut self, tag: SeqTag, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        self.seq_begin(tag);
+        let result = f(self);
+        let end = self.seq_end();
+        let v = result?;
+        end?;
+        Ok(v)
+    }
+
+    /// Appends one journal record (header + entry + payload lines) to
+    /// the open sequence. Journal writes model a battery-latched path:
+    /// they bypass `persist_line` (no steps, no cuts, no tearing).
+    fn journal_write_entry(&mut self, entry: &JournalEntry) -> Result<()> {
+        if self.persist.entry_count >= persist::JOURNAL_MAX_ENTRIES {
+            return Err(Error::InvalidConfig {
+                detail: format!(
+                    "ordering journal overflow: one persist sequence exceeded {} entries",
+                    persist::JOURNAL_MAX_ENTRIES
+                ),
+            });
+        }
+        let seq = self.persist.next_seq;
+        if !self.persist.header_written {
+            let tag = self.persist.tag.map_or(0, SeqTag::raw);
+            self.nvm.write_line(
+                self.journal_line_addr(0),
+                &persist::encode_header(true, tag, seq),
+            )?;
+            self.persist.header_written = true;
+        }
+        let i = self.persist.entry_count as u64;
+        self.nvm.write_line(
+            self.journal_line_addr(1 + 2 * i),
+            &persist::encode_entry(entry, seq),
+        )?;
+        self.nvm
+            .write_line(self.journal_line_addr(2 + 2 * i), &entry.payload)?;
+        self.persist.entry_count += 1;
+        self.persist.journaled.push(entry.target.raw());
+        Ok(())
+    }
+
+    /// Journals the line about to be persisted to `slot`. Data and
+    /// counter lines of in-flight operations record their **pre-image**
+    /// (undo: a cut rolls the operation back); counter writebacks of
+    /// already-durable data (dirty-victim evictions, explicit flushes)
+    /// record the **post-image** (redo: re-persisting the newest value
+    /// is always consistent). First pre-image wins per line, so nested
+    /// sequences and crash-time flushes restore pre-operation state.
+    fn journal_append(
+        &mut self,
+        slot: BlockAddr,
+        data: &Line,
+        counter_page: Option<PageId>,
+    ) -> Result<()> {
+        let kind = match counter_page {
+            Some(_) => {
+                let redo =
+                    self.persist.victim_flush || self.persist.tag.is_some_and(SeqTag::is_redo);
+                if redo {
+                    EntryKind::CounterRedo
+                } else {
+                    EntryKind::CounterUndo
+                }
+            }
+            None => EntryKind::DataUndo,
+        };
+        if kind != EntryKind::CounterRedo && self.persist.journaled.contains(&slot.raw()) {
+            return Ok(());
+        }
+        let payload = match kind {
+            EntryKind::CounterRedo => *data,
+            _ => self.nvm.peek(slot),
+        };
+        let entry = JournalEntry {
+            kind,
+            target: slot,
+            aux: counter_page.map_or(0, |p| p.raw()),
+            was_quarantined: false,
+            payload,
+        };
+        self.journal_write_entry(&entry)
+    }
+
+    /// Journals a spare-pool allocation so recovery can roll the remap
+    /// table back to its pre-operation state (re-quarantining a line the
+    /// interrupted operation had revived).
+    fn journal_remap_alloc(
+        &mut self,
+        dev: BlockAddr,
+        spare: BlockAddr,
+        was_quarantined: bool,
+    ) -> Result<()> {
+        if !self.adr() {
+            return Ok(());
+        }
+        let entry = JournalEntry {
+            kind: EntryKind::RemapAlloc,
+            target: dev,
+            aux: spare.raw(),
+            was_quarantined,
+            payload: [0u8; LINE_SIZE],
+        };
+        self.journal_write_entry(&entry)
+    }
+
+    /// The persist choke point: every durable line write inside a
+    /// persist sequence lands here. Under ADR the line is journaled
+    /// first (write-ahead), the lifetime step counter ticks, and an
+    /// armed crash cut stops the machine — either just before the write
+    /// (`torn_bytes == 0`) or mid-write, persisting only an 8-byte-
+    /// aligned prefix of the new line over the old one. Under eADR the
+    /// step counter ticks (so crash-point censuses are domain-
+    /// independent) but cuts never fire: stored energy completes the
+    /// sequence.
+    fn persist_line(
+        &mut self,
+        slot: BlockAddr,
+        data: &Line,
+        counter_page: Option<PageId>,
+    ) -> Result<()> {
+        if self.persist.cut_fired {
+            return Err(Error::PowerCut {
+                step: self.persist.steps,
+            });
+        }
+        if self.adr() {
+            self.journal_append(slot, data, counter_page)?;
+        }
+        self.persist.steps += 1;
+        if self.adr() {
+            if let Some(cut) = self.persist.armed {
+                if self.persist.steps >= cut.at_step {
+                    self.persist.cut_fired = true;
+                    let torn = cut.torn_bytes.min(LINE_SIZE) & !7;
+                    if torn > 0 {
+                        let mut merged = self.nvm.peek(slot);
+                        merged[..torn].copy_from_slice(&data[..torn]);
+                        self.nvm.write_line(slot, &merged)?;
+                    }
+                    return Err(Error::PowerCut {
+                        step: self.persist.steps,
+                    });
+                }
+            }
+        }
+        self.nvm.write_line(slot, data)
+    }
+
+    /// Arms a crash cut (honoured only under ADR; under eADR the victim
+    /// operation completes — flush-on-fail semantics).
+    pub(crate) fn arm_crash_cut(&mut self, cut: CrashCut) {
+        self.persist.armed = Some(cut);
+    }
+
+    /// Disarms a pending crash cut without firing it.
+    pub(crate) fn disarm_crash_cut(&mut self) {
+        self.persist.armed = None;
+    }
+
+    /// Whether an armed cut has fired (the machine is "off" until
+    /// [`MemoryController::power_loss`] runs).
+    pub(crate) fn crash_cut_fired(&self) -> bool {
+        self.persist.cut_fired
+    }
+
+    /// Lifetime persist-step count (the crash injector's step census).
+    pub(crate) fn persist_steps(&self) -> u64 {
+        self.persist.steps
     }
 
     /// Reads a data line, applying wear-levelling remapping, write-queue
@@ -258,19 +511,20 @@ impl MemoryController {
             match self.heal.allocate(dev) {
                 Some(slot) => {
                     self.heal.unquarantine(dev);
+                    self.journal_remap_alloc(dev, slot, true)?;
                     self.stats.health.remaps.inc();
                     let at = self.op_now;
                     self.tracer.emit(at, || TraceEvent::LineRemap {
                         addr: dev,
                         ok: true,
                     });
-                    return self.nvm.write_line(slot, data);
+                    return self.persist_line(slot, data, None);
                 }
                 None => return Err(Error::Quarantined { addr: dev.addr() }),
             }
         }
         let slot = self.heal.redirect(dev);
-        self.nvm.write_line(slot, data)
+        self.persist_line(slot, data, None)
     }
 
     /// Writes a data line, applying wear-levelling remapping and
@@ -536,6 +790,30 @@ impl MemoryController {
         now: Cycles,
     ) -> Result<()> {
         let caddr = self.counter_addr(page);
+        // Journal the page's *pre-operation* counter image the moment an
+        // operation dirties it (write-ahead). The cached value — not the
+        // possibly-stale NVM line — is the truth under battery-backed
+        // write-back, and first-pre-image-wins dedupe keeps this in sync
+        // with the persist-time entry under write-through. Without this,
+        // the crash-time battery flush could persist a counter the
+        // interrupted operation bumped with no pre-image to roll back to.
+        if dirty && self.adr() && self.persist.depth > 0 {
+            let redo = self.persist.victim_flush || self.persist.tag.is_some_and(SeqTag::is_redo);
+            if !redo && !self.persist.journaled.contains(&caddr.raw()) {
+                let pre = self
+                    .counter_cache
+                    .iter()
+                    .find(|e| e.addr == caddr)
+                    .map_or_else(|| self.nvm.peek(caddr), |e| e.value.to_line());
+                self.journal_write_entry(&JournalEntry {
+                    kind: EntryKind::CounterUndo,
+                    target: caddr,
+                    aux: page.raw(),
+                    was_quarantined: false,
+                    payload: pre,
+                })?;
+            }
+        }
         let write_through =
             self.config.counter_persistence == CounterPersistence::WriteThrough && dirty;
         if write_through {
@@ -546,8 +824,15 @@ impl MemoryController {
             .insert(caddr, ctrs, dirty && !write_through);
         if let Some(v) = victim {
             if v.dirty {
+                // A dirty victim's data lines are already durable: its
+                // counter writeback journals a post-image (roll forward
+                // on recovery), not a pre-image.
                 let vpage = PageId::new((v.addr.raw() - self.counter_base) / LINE_SIZE as u64);
-                self.write_counters_to_nvm(vpage, &v.value, now)?;
+                let was = self.persist.victim_flush;
+                self.persist.victim_flush = true;
+                let r = self.write_counters_to_nvm(vpage, &v.value, now);
+                self.persist.victim_flush = was;
+                r?;
             }
         }
         Ok(())
@@ -564,7 +849,9 @@ impl MemoryController {
         let write_lat = self.config.nvm_timing.write_cycles();
         self.sched(now, write_lat);
         self.profile.charge(Stage::CounterWrite, write_lat);
-        self.nvm.write_line(caddr, &line)?;
+        // A cut here leaves the in-memory Merkle leaf at the OLD line:
+        // recovery's pre-image undo restores NVM to match it.
+        self.persist_line(caddr, &line, Some(page))?;
         self.stats.mem.counter_writes.inc();
         if let Some(merkle) = &mut self.merkle {
             merkle.update_leaf(page.raw() as usize, &line);
@@ -634,6 +921,10 @@ impl MemoryController {
     /// ciphertext: a crash between the spare write and the counter write
     /// leaves the old mapping decodable under the old counters.
     fn remap_line(&mut self, addr: BlockAddr, now: Cycles) -> Result<()> {
+        self.with_seq(SeqTag::Remap, |mc| mc.remap_line_inner(addr, now))
+    }
+
+    fn remap_line_inner(&mut self, addr: BlockAddr, now: Cycles) -> Result<()> {
         let dev = self.device_addr(addr);
         if self.heal.is_quarantined(dev) {
             return Ok(());
@@ -656,8 +947,9 @@ impl MemoryController {
                 let Some(new_slot) = self.heal.allocate(dev) else {
                     return self.fail_remap(dev);
                 };
+                self.journal_remap_alloc(dev, new_slot, false)?;
                 self.sched(now, self.config.nvm_timing.write_cycles());
-                self.nvm.write_line(new_slot, &rescued)?;
+                self.persist_line(new_slot, &rescued, None)?;
                 self.stats.health.remaps.inc();
                 self.tracer.emit(now, || TraceEvent::LineRemap {
                     addr: dev,
@@ -674,9 +966,10 @@ impl MemoryController {
                     // turn zero-fill reads back into array reads of
                     // stale ciphertext. Just retire the worn slot; the
                     // first post-shred write brings its own fresh IV.
-                    if self.heal.allocate(dev).is_none() {
+                    let Some(new_slot) = self.heal.allocate(dev) else {
                         return self.fail_remap(dev);
-                    }
+                    };
+                    self.journal_remap_alloc(dev, new_slot, false)?;
                     self.stats.health.remaps.inc();
                     self.tracer.emit(now, || TraceEvent::LineRemap {
                         addr: dev,
@@ -722,10 +1015,11 @@ impl MemoryController {
                 let Some(new_slot) = self.heal.allocate(dev) else {
                     return self.fail_remap(dev);
                 };
+                self.journal_remap_alloc(dev, new_slot, false)?;
                 // Commit order: spare ciphertext first, then the counter
                 // + Merkle update makes the new IV authoritative.
                 self.sched(now, self.config.nvm_timing.write_cycles());
-                self.nvm.write_line(new_slot, &new_cipher)?;
+                self.persist_line(new_slot, &new_cipher, None)?;
                 self.install_counters(page, new_ctrs, true, now)?;
                 self.stats.health.remaps.inc();
                 self.tracer.emit(now, || TraceEvent::LineRemap {
@@ -767,6 +1061,10 @@ impl MemoryController {
     /// Propagates remap-path errors; an already-quarantined line is
     /// skipped silently.
     pub fn scrub_step(&mut self, now: Cycles) -> Result<bool> {
+        self.with_seq(SeqTag::Scrub, |mc| mc.scrub_step_inner(now))
+    }
+
+    fn scrub_step_inner(&mut self, now: Cycles) -> Result<bool> {
         self.op_now = now;
         let lines = self.config.data_capacity / LINE_SIZE as u64;
         let addr = BlockAddr::new(self.scrub_cursor * LINE_SIZE as u64);
@@ -885,6 +1183,18 @@ impl MemoryController {
     ) -> Result<Cycles> {
         self.op_now = now;
         self.check_data_addr(addr)?;
+        self.with_seq(SeqTag::DemandWrite, |mc| {
+            mc.write_block_inner(addr, data, zeroing, now)
+        })
+    }
+
+    fn write_block_inner(
+        &mut self,
+        addr: BlockAddr,
+        data: &Line,
+        zeroing: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
         match self.config.encryption {
             EncryptionMode::None => {
                 if self.wqueue.is_none() {
@@ -1074,6 +1384,17 @@ impl MemoryController {
         kernel_mode: bool,
         now: Cycles,
     ) -> Result<Cycles> {
+        self.with_seq(SeqTag::Shred, |mc| {
+            mc.shred_page_at_inner(page, kernel_mode, now)
+        })
+    }
+
+    fn shred_page_at_inner(
+        &mut self,
+        page: PageId,
+        kernel_mode: bool,
+        now: Cycles,
+    ) -> Result<Cycles> {
         self.op_now = now;
         if !kernel_mode {
             self.stats.shred_denied.inc();
@@ -1238,7 +1559,8 @@ impl MemoryController {
     ///
     /// Propagates device write errors from the drain.
     pub fn fence_drain(&mut self, now: Cycles) -> Result<Cycles> {
-        self.drain_queue_fully(now)?;
+        self.op_now = now;
+        self.with_seq(SeqTag::DrainEntry, |mc| mc.drain_queue_fully(now))?;
         Ok(self.fence(now))
     }
 
@@ -1251,6 +1573,12 @@ impl MemoryController {
     ///
     /// As for [`MemoryController::write_block`].
     pub fn zero_page_in_place(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
+        self.with_seq(SeqTag::DemandWrite, |mc| {
+            mc.zero_page_in_place_inner(page, now)
+        })
+    }
+
+    fn zero_page_in_place_inner(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
         self.op_now = now;
         let zero = [0u8; LINE_SIZE];
         for b in 0..BLOCKS_PER_PAGE {
@@ -1297,6 +1625,16 @@ impl MemoryController {
     ///
     /// Propagates NVM write errors.
     pub fn flush_counters(&mut self) -> Result<()> {
+        self.with_seq(SeqTag::CounterFlush, Self::flush_counters_inner)
+    }
+
+    /// [`MemoryController::flush_counters`] without sequence bracketing.
+    /// The crash-time battery flush calls this directly when an
+    /// interrupted operation left the journal open: its counter writes
+    /// then join that sequence as post-image (redo) entries, while the
+    /// interrupted operation's own bumps keep their install-time
+    /// pre-images — recovery redoes the durable, undoes the torn.
+    fn flush_counters_inner(&mut self) -> Result<()> {
         let dirty: Vec<(BlockAddr, CounterBlock)> = self
             .counter_cache
             .iter()
@@ -1318,15 +1656,57 @@ impl MemoryController {
     /// cache loses its dirty blocks, rendering the affected pages
     /// unrecoverable (§7.1).
     ///
+    /// The persistence domain decides what happens to in-flight state
+    /// ([`PersistDomain`]): under eADR, stored energy completes the
+    /// in-flight sequence — the write queue drains fully, exactly the
+    /// historical behaviour. Under ADR the queue sits *outside* the
+    /// persistence domain and its contents vanish; only lines that
+    /// already reached the device (possibly a torn prefix from a fired
+    /// crash cut) survive, and the ordering journal carries what
+    /// [`MemoryController::recover_mut`] needs to restore consistency.
+    ///
+    /// Every DRAM-backed structure dies here in both domains: the
+    /// counter cache is rebuilt cold, deferred-heal flags drop, and the
+    /// device's own power cycle clears its volatile banks.
+    ///
     /// # Errors
     ///
     /// Propagates NVM write errors from the battery-backed flush.
     pub fn power_loss(&mut self) -> Result<()> {
-        // The write queue sits in the ADR persistence domain: queued
-        // writes always reach the device on power loss.
-        self.drain_queue_fully(Cycles::ZERO)?;
+        self.persist.armed = None;
+        let was_cut = self.persist.cut_fired;
+        self.persist.cut_fired = false;
+        match self.config.persist_domain {
+            PersistDomain::Eadr => {
+                // Flush-on-fail: queued writes always reach the device.
+                self.drain_queue_fully(Cycles::ZERO)?;
+            }
+            PersistDomain::Adr => {
+                if let Some(wq) = &mut self.wqueue {
+                    wq.clear();
+                }
+            }
+        }
         match self.config.counter_persistence {
-            CounterPersistence::BatteryBackedWriteBack => self.flush_counters()?,
+            CounterPersistence::BatteryBackedWriteBack => {
+                if was_cut && self.persist.header_written {
+                    // The battery flushes whatever the cache holds.
+                    // Appending to the still-open journal sequence as
+                    // *post-images* (redo) keeps counters of completed
+                    // operations — whose data is already durable — from
+                    // being rolled back; any counter the interrupted
+                    // operation itself bumped was journaled as a
+                    // pre-image at install time, and recovery's
+                    // undo-after-redo ordering restores it regardless.
+                    let was = self.persist.victim_flush;
+                    self.persist.victim_flush = true;
+                    let r = self.flush_counters_inner();
+                    self.persist.victim_flush = was;
+                    r?;
+                } else {
+                    self.flush_counters()?;
+                }
+            }
             CounterPersistence::WriteThrough => {}
             CounterPersistence::VolatileWriteBack => {
                 let lost_dirty = self.counter_cache.iter().any(|e| e.dirty);
@@ -1335,6 +1715,14 @@ impl MemoryController {
                 }
             }
         }
+        // Volatile controller state dies with power. `pending_heal` is
+        // empty between operations; clearing it here pins that any heal
+        // deferred by an interrupted operation is dropped, not replayed
+        // against post-recovery state.
+        self.pending_heal.clear();
+        self.persist.depth = 0;
+        self.persist.tag = None;
+        self.persist.victim_flush = false;
         self.counter_cache = SetAssocCache::new(self.counter_cache.config().clone());
         self.nvm.power_cycle();
         Ok(())
@@ -1354,6 +1742,138 @@ impl MemoryController {
         }
     }
 
+    /// The reboot recovery protocol. Runs after
+    /// [`MemoryController::power_loss`], before the first demand access:
+    ///
+    /// 1. The [`MemoryController::recover`] counter-availability check.
+    /// 2. **Journal resolution** (ADR only): an open sequence means
+    ///    power died mid-operation. Redo entries (counter writebacks of
+    ///    already-durable data) are re-applied in order; undo entries
+    ///    (the interrupted operation's data, spare, and counter
+    ///    pre-images) are restored in reverse, rolling Merkle leaves and
+    ///    the spare-pool map back with them. The journal is then marked
+    ///    closed — replaying recovery is idempotent.
+    /// 3. **Integrity re-verification**: every persisted counter line is
+    ///    checked against the in-memory Merkle tree. A mismatch that
+    ///    recovery could not repair is a hard
+    ///    [`Error::IntegrityViolation`], never a silently served read.
+    /// 4. **Shred census**: counts pages whose persisted counters are
+    ///    fully shredded under a non-zero major — re-establishing that
+    ///    shredded pages zero-fill (their minors are all 0) before any
+    ///    read is served.
+    ///
+    /// Calling it twice is equivalent to calling it once (the second
+    /// call finds a closed journal and repairs nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CounterLoss`] as for [`MemoryController::recover`];
+    /// [`Error::IntegrityViolation`] when a counter line fails
+    /// re-verification after journal resolution; NVM write errors from
+    /// the rollback writes.
+    pub fn recover_mut(&mut self) -> Result<RecoveryReport> {
+        self.recover()?;
+        let mut report = RecoveryReport::default();
+        if self.adr() {
+            let header = self.nvm.peek(self.journal_line_addr(0));
+            if let Some((open, tag, seq_no)) = persist::decode_header(&header) {
+                self.persist.next_seq = seq_no + 1;
+                if open {
+                    report.journal_open = true;
+                    report.interrupted_tag = tag;
+                    let mut entries = Vec::new();
+                    for i in 0..persist::JOURNAL_MAX_ENTRIES as u64 {
+                        let eh = self.nvm.peek(self.journal_line_addr(1 + 2 * i));
+                        let payload = self.nvm.peek(self.journal_line_addr(2 + 2 * i));
+                        match persist::decode_entry(&eh, seq_no, payload) {
+                            Some(e) => entries.push(e),
+                            None => break,
+                        }
+                    }
+                    // Roll forward: metadata writebacks of durable data.
+                    for e in &entries {
+                        if e.kind == EntryKind::CounterRedo {
+                            self.nvm.write_line(e.target, &e.payload)?;
+                            if let Some(merkle) = &mut self.merkle {
+                                merkle
+                                    .update_leaf(persist::entry_page(e).raw() as usize, &e.payload);
+                            }
+                            report.redone += 1;
+                        }
+                    }
+                    // Roll back the interrupted operation, newest first.
+                    for e in entries.iter().rev() {
+                        match e.kind {
+                            EntryKind::DataUndo => {
+                                self.nvm.write_line(e.target, &e.payload)?;
+                                report.undone += 1;
+                            }
+                            EntryKind::CounterUndo => {
+                                self.nvm.write_line(e.target, &e.payload)?;
+                                if let Some(merkle) = &mut self.merkle {
+                                    merkle.update_leaf(
+                                        persist::entry_page(e).raw() as usize,
+                                        &e.payload,
+                                    );
+                                }
+                                report.undone += 1;
+                            }
+                            EntryKind::RemapAlloc => {
+                                if self.heal.undo_remap(e.target, BlockAddr::new(e.aux)) {
+                                    report.remaps_rolled_back += 1;
+                                }
+                                if e.was_quarantined {
+                                    self.heal.quarantine(e.target);
+                                }
+                            }
+                            EntryKind::CounterRedo => {}
+                        }
+                    }
+                    self.nvm.write_line(
+                        self.journal_line_addr(0),
+                        &persist::encode_header(false, 0, seq_no),
+                    )?;
+                }
+            }
+            self.persist.header_written = false;
+            self.persist.journaled.clear();
+            self.persist.entry_count = 0;
+            self.persist.depth = 0;
+            self.persist.tag = None;
+            self.persist.victim_flush = false;
+        }
+        report.root_verified = true;
+        let frames = self.config.frames();
+        if self.merkle.is_some() {
+            for p in 0..frames {
+                let caddr = BlockAddr::new(self.counter_base + p * LINE_SIZE as u64);
+                let line = self.nvm.peek(caddr);
+                let ok = self
+                    .merkle
+                    .as_ref()
+                    .is_some_and(|m| m.verify_leaf(p as usize, &line));
+                if !ok {
+                    return Err(Error::IntegrityViolation {
+                        detail: format!(
+                            "recovery: persisted counter line of page {p} does not match the \
+                             Merkle tree"
+                        ),
+                    });
+                }
+            }
+        }
+        if self.config.encryption == EncryptionMode::Ctr {
+            for p in 0..frames {
+                let caddr = BlockAddr::new(self.counter_base + p * LINE_SIZE as u64);
+                let ctrs = CounterBlock::from_line(&self.nvm.peek(caddr));
+                if ctrs.major > 0 && (0..BLOCKS_PER_PAGE).all(|b| ctrs.is_shredded(b)) {
+                    report.shredded_pages += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
     // ------------------------------------------------------------------
     // Attack-model and test surfaces (§4.1).
     // ------------------------------------------------------------------
@@ -1365,7 +1885,10 @@ impl MemoryController {
     pub(crate) fn cold_scan_data(&self) -> Vec<(BlockAddr, Line)> {
         self.nvm
             .cold_scan()
-            .filter(|(a, _)| a.raw() < self.counter_base || a.raw() >= self.spare_base)
+            .filter(|(a, _)| {
+                a.raw() < self.counter_base
+                    || (a.raw() >= self.spare_base && a.raw() < self.journal_base)
+            })
             .map(|(a, l)| (a, *l))
             .collect()
     }
@@ -1376,7 +1899,7 @@ impl MemoryController {
     pub(crate) fn cold_scan_spares(&self) -> Vec<(BlockAddr, Line)> {
         self.nvm
             .cold_scan()
-            .filter(|(a, _)| a.raw() >= self.spare_base)
+            .filter(|(a, _)| a.raw() >= self.spare_base && a.raw() < self.journal_base)
             .map(|(a, l)| (a, *l))
             .collect()
     }

@@ -135,6 +135,16 @@ impl<'a> Inspect<'a> {
     pub fn merkle_root(&self) -> Option<ss_crypto::Digest> {
         self.mc.merkle_root()
     }
+
+    /// Lifetime count of persist steps — durable NVM line writes issued
+    /// through the controller's persist choke point. The crash harness
+    /// runs a victim operation once against an unarmed twin to take this
+    /// census, then replays it with a cut armed at each step in turn
+    /// (DESIGN.md §13). Ticks under both persistence domains so the
+    /// census is domain-independent.
+    pub fn persist_steps(&self) -> u64 {
+        self.mc.persist_steps()
+    }
 }
 
 /// Fault-injection and forensic port. Obtained via
@@ -247,6 +257,33 @@ impl<'a> FaultPort<'a> {
     /// inverted cells.
     pub fn force_line_failure(&mut self, addr: BlockAddr, weak_bits: u32) {
         self.mc.force_line_failure(addr, weak_bits);
+    }
+
+    /// Arms a one-shot crash cut: the persist sequence is severed once
+    /// the lifetime persist-step count reaches `at_step`, leaving the
+    /// first `torn_bytes` of that step's line written (rounded down to
+    /// an 8-byte torn-write granule; 0 = the step is dropped whole).
+    /// Every operation after the cut fails with
+    /// [`ss_common::Error::PowerCut`] until
+    /// [`MemoryController::power_loss`] reboots the machine. Under the
+    /// eADR domain the cut never fires — flush-on-fail completes every
+    /// step — so arming is a no-op there by construction.
+    pub fn arm_crash_cut(&mut self, at_step: u64, torn_bytes: usize) {
+        self.mc.arm_crash_cut(crate::persist::CrashCut {
+            at_step,
+            torn_bytes,
+        });
+    }
+
+    /// Disarms a pending crash cut that has not fired yet.
+    pub fn disarm_crash_cut(&mut self) {
+        self.mc.disarm_crash_cut();
+    }
+
+    /// Whether an armed cut has fired (the machine is "off" — every
+    /// operation errors until [`MemoryController::power_loss`]).
+    pub fn crash_cut_fired(&self) -> bool {
+        self.mc.crash_cut_fired()
     }
 }
 

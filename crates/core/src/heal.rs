@@ -137,6 +137,24 @@ impl SparePool {
         Some(BlockAddr::new(spare))
     }
 
+    /// Rolls back an interrupted allocation: removes the `dev → spare`
+    /// redirect installed by [`SparePool::allocate`] and, when the spare
+    /// was the most recent allocation, returns the slot to the bump
+    /// allocator. Used only by crash recovery — a committed remap is
+    /// never undone. Returns whether a redirect was removed.
+    pub fn undo_remap(&mut self, dev: BlockAddr, spare: BlockAddr) -> bool {
+        match self.map.get(&dev.raw()) {
+            Some(s) if *s == spare.raw() => {}
+            _ => return false,
+        }
+        self.map.remove(&dev.raw());
+        let last = self.base + self.next_free.saturating_sub(1) * LINE_SIZE as u64;
+        if self.next_free > 0 && spare.raw() == last {
+            self.next_free -= 1;
+        }
+        true
+    }
+
     /// Puts `dev` on the quarantine list.
     pub fn quarantine(&mut self, dev: BlockAddr) {
         self.quarantined.insert(dev.raw());
@@ -206,6 +224,21 @@ mod tests {
         assert_eq!(pool.free(), 0);
         assert!(pool.allocate(b).is_none(), "pool should be exhausted");
         assert_eq!(pool.remapped_count(), 1);
+    }
+
+    #[test]
+    fn undo_remap_rolls_back_latest_allocation() {
+        let mut pool = SparePool::new(0x1000, 2);
+        let a = BlockAddr::new(0);
+        let s0 = pool.allocate(a).unwrap();
+        assert!(pool.undo_remap(a, s0));
+        assert_eq!(pool.redirect(a), a, "redirect removed");
+        assert_eq!(pool.free(), 2, "slot returned to the bump allocator");
+        // Mismatched spare (stale journal entry) is a no-op.
+        let s1 = pool.allocate(a).unwrap();
+        assert!(!pool.undo_remap(a, BlockAddr::new(0x00DE_ADC0)));
+        assert_eq!(pool.redirect(a), s1);
+        assert!(!pool.undo_remap(BlockAddr::new(64), s1), "unmapped line");
     }
 
     #[test]

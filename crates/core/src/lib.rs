@@ -54,12 +54,14 @@ pub mod facade;
 pub mod heal;
 pub mod interleave;
 pub mod mmio;
+pub mod persist;
 pub mod shard;
 pub mod wqueue;
 
 pub use channel::ChannelSched;
 pub use config::{
-    ControllerConfig, CounterPersistence, EncryptionMode, ShardedConfig, ShredStrategy,
+    ControllerConfig, CounterPersistence, EncryptionMode, PersistDomain, ShardedConfig,
+    ShredStrategy,
 };
 pub use controller::{ControllerStats, MemoryController, ReadResult};
 pub use counters::CounterBlock;
@@ -67,7 +69,8 @@ pub use facade::{FaultPort, Inspect};
 pub use heal::{HealthStats, RetryPolicy, SparePool};
 pub use interleave::Interleave;
 pub use mmio::{MmioError, MmioOp, SHRED_DRAIN_REG, SHRED_ENQ_REG, SHRED_REG};
-pub use shard::{DrainReport, ShardedController, ShredQueueStats};
+pub use persist::{CrashCut, RecoveryReport, SeqTag};
+pub use shard::{DrainReport, PerShard, ShardedController, ShredQueueStats};
 pub use wqueue::{WriteQueue, WriteQueueConfig, WriteQueueStats};
 // Re-exported because `ControllerConfig::nvm_ecc` is part of this
 // crate's public configuration surface.

@@ -36,6 +36,50 @@ use crate::controller::{MemoryController, ReadResult};
 use crate::counters::CounterBlock;
 use crate::interleave::Interleave;
 use crate::mmio;
+use crate::persist::RecoveryReport;
+
+/// Per-shard outcomes of a fleet-wide operation (power loss, recovery).
+///
+/// One bad channel must not mask another's corruption: every shard runs
+/// to completion and reports its own result, instead of the sweep
+/// stopping at the first error. [`PerShard::ok`] collapses back to the
+/// legacy first-error view for callers that only need pass/fail.
+#[derive(Debug)]
+pub struct PerShard<T> {
+    results: Vec<(u32, Result<T>)>,
+}
+
+impl<T> PerShard<T> {
+    /// Every shard's result, in shard order.
+    pub fn results(&self) -> &[(u32, Result<T>)] {
+        &self.results
+    }
+
+    /// Consumes the outcome, yielding every shard's result.
+    pub fn into_results(self) -> Vec<(u32, Result<T>)> {
+        self.results
+    }
+
+    /// Whether every shard succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.results.iter().all(|(_, r)| r.is_ok())
+    }
+
+    /// Collapses to the first error (legacy single-error view); `Ok`
+    /// when every shard succeeded.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-numbered failing shard's error.
+    pub fn ok(&self) -> Result<()> {
+        for (_, r) in &self.results {
+            if let Err(e) = r {
+                return Err(e.clone());
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Statistics of the shred command queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -319,27 +363,46 @@ impl ShardedController {
     /// state and are lost — the kernel re-posts after recovery, exactly
     /// as it would re-issue an un-acked synchronous shred.
     ///
-    /// # Errors
-    ///
-    /// The first shard error encountered.
-    pub fn power_loss(&mut self) -> Result<()> {
+    /// Every shard runs its power-down path even when an earlier shard
+    /// errors: power fails on all channels at once, and a flush failure
+    /// on channel 0 must not leave channels 1..n un-cycled (or mask
+    /// their own failures). Use [`PerShard::ok`] for the legacy
+    /// first-error view.
+    pub fn power_loss(&mut self) -> PerShard<()> {
         self.shred_queue.clear();
-        for s in &mut self.shards {
-            s.power_loss()?;
-        }
-        Ok(())
+        let results = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.power_loss()))
+            .collect();
+        PerShard { results }
     }
 
-    /// Post-power-loss recovery check across every shard.
-    ///
-    /// # Errors
-    ///
-    /// The first shard's recovery error (e.g. counter loss).
-    pub fn recover(&self) -> Result<()> {
-        for s in &self.shards {
-            s.recover()?;
-        }
-        Ok(())
+    /// Post-power-loss recovery check across every shard. All shards are
+    /// checked — one shard's counter loss does not hide another's.
+    pub fn recover(&self) -> PerShard<()> {
+        let results = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.recover()))
+            .collect();
+        PerShard { results }
+    }
+
+    /// The reboot recovery protocol
+    /// ([`MemoryController::recover_mut`]) on every shard. All shards
+    /// recover even when one fails, so a sweep sees every channel's
+    /// verdict.
+    pub fn recover_mut_all(&mut self) -> PerShard<RecoveryReport> {
+        let results = self
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.recover_mut()))
+            .collect();
+        PerShard { results }
     }
 
     /// Clears statistics on every shard and on the queue.

@@ -176,6 +176,15 @@ impl WriteQueue {
     pub fn burst_len(&self) -> usize {
         self.entries.len().saturating_sub(self.config.drain_low)
     }
+
+    /// Drops every queued write without draining it. Models an ADR power
+    /// loss, where the queue sits *outside* the persistence domain: the
+    /// buffered lines simply vanish. Returns how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        dropped
+    }
 }
 
 #[cfg(test)]

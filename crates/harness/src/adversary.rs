@@ -528,14 +528,14 @@ impl Target {
     fn power_loss(&mut self) -> Result<()> {
         match self {
             Target::Plain(mc) => mc.power_loss(),
-            Target::Sharded(sc) => sc.power_loss(),
+            Target::Sharded(sc) => sc.power_loss().ok(),
         }
     }
 
     fn recover(&self) -> Result<()> {
         match self {
             Target::Plain(mc) => mc.recover(),
-            Target::Sharded(sc) => sc.recover(),
+            Target::Sharded(sc) => sc.recover().ok(),
         }
     }
 

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adversary;
+pub mod crash;
 pub mod engine;
 pub mod plan;
 pub mod scenario;
@@ -49,10 +50,17 @@ pub use adversary::{
     demo_records, run_attack, run_attacks, Adversary, AttackConfig, AttackKind, AttackOutcome,
     AttackRecord, AttackReport, AttackTally, DimmImage,
 };
+pub use crash::{
+    run_crash_config, CrashConfig, CrashOutcome, CrashRecord, CrashReport, CrashScenario,
+    CrashTally,
+};
 pub use engine::{
     run_plan, run_plan_full, FaultOutcome, FaultRecord, HarnessConfig, PlanArtifacts, PlanReport,
     Tally,
 };
 pub use plan::{FaultKind, FaultPlan, ScheduledFault};
-pub use scenario::{crash_at_depth, system_crash_roundtrip, system_volatile_crash, CrashVerdict};
+pub use scenario::{
+    crash_at_depth, crash_at_depth_sharded, system_crash_roundtrip, system_volatile_crash,
+    CrashVerdict,
+};
 pub use shadow::ShadowModel;

@@ -8,7 +8,10 @@
 use std::fmt;
 
 use ss_common::{BlockAddr, Cycles, Error, PageId, LINE_SIZE, PAGE_SIZE};
-use ss_core::{ControllerConfig, CounterPersistence, MemoryController, WriteQueueConfig};
+use ss_core::{
+    ControllerConfig, CounterPersistence, MemoryController, ShardedConfig, ShardedController,
+    WriteQueueConfig,
+};
 use ss_cpu::Op;
 use ss_sim::{System, SystemConfig};
 
@@ -88,6 +91,67 @@ pub fn crash_at_depth(persistence: CounterPersistence, depth: usize) -> CrashVer
     }
     for (addr, line) in &written {
         match mc.read_block(*addr, Cycles::ZERO) {
+            Ok(r) if r.data == *line => {}
+            _ => return CrashVerdict::Corrupted { addr: addr.raw() },
+        }
+    }
+    CrashVerdict::Recovered
+}
+
+/// [`crash_at_depth`] over a sharded controller: `depth` distinct lines
+/// land round-robin across `shards` channels (each shard owns its own
+/// write queue and persist domain), then power is cut, every shard
+/// recovers, and every line is verified. Exercises the per-shard
+/// [`ShardedController::power_loss`] / [`ShardedController::recover`]
+/// surfaces the plain scenario cannot reach.
+///
+/// # Panics
+///
+/// Panics if the sharded controller cannot be built (harness misuse).
+pub fn crash_at_depth_sharded(
+    persistence: CounterPersistence,
+    depth: usize,
+    shards: u32,
+) -> CrashVerdict {
+    let queue = WriteQueueConfig {
+        capacity: 8,
+        drain_low: 1,
+        drain_high: 8,
+    };
+    let base = ControllerConfig {
+        counter_persistence: persistence,
+        write_queue: Some(queue),
+        ..ControllerConfig::small_test()
+    };
+    let mut sc = ShardedController::new(ShardedConfig::new(shards, base))
+        .expect("scenario config must build");
+    let mut written: Vec<(BlockAddr, Line)> = Vec::new();
+    for i in 0..depth {
+        // Consecutive pages interleave round-robin, touching every shard
+        // once depth >= shards.
+        let addr = PageId::new(1 + i as u64).block_addr(i);
+        let line = [(i as u8) ^ 0x3C; LINE_SIZE];
+        sc.write_block(addr, &line, false, Cycles::ZERO)
+            .expect("pre-crash write");
+        written.push((addr, line));
+    }
+    if sc.power_loss().ok().is_err() {
+        return CrashVerdict::Corrupted { addr: 0 };
+    }
+    match sc.recover().ok() {
+        Ok(()) => {}
+        Err(Error::CounterLoss) => {
+            for (addr, _) in &written {
+                if sc.read_block(*addr, Cycles::ZERO).is_ok() {
+                    return CrashVerdict::Corrupted { addr: addr.raw() };
+                }
+            }
+            return CrashVerdict::CounterLoss;
+        }
+        Err(_) => return CrashVerdict::Corrupted { addr: 0 },
+    }
+    for (addr, line) in &written {
+        match sc.read_block(*addr, Cycles::ZERO) {
             Ok(r) if r.data == *line => {}
             _ => return CrashVerdict::Corrupted { addr: addr.raw() },
         }
@@ -196,6 +260,23 @@ mod tests {
     #[test]
     fn volatile_loss_is_loud() {
         let v = crash_at_depth(CounterPersistence::VolatileWriteBack, 4);
+        assert_eq!(v, CrashVerdict::CounterLoss);
+    }
+
+    #[test]
+    fn sharded_battery_backed_survives_every_depth() {
+        for depth in 0..=8 {
+            assert_eq!(
+                crash_at_depth_sharded(CounterPersistence::BatteryBackedWriteBack, depth, 4),
+                CrashVerdict::Recovered,
+                "depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_volatile_loss_is_loud() {
+        let v = crash_at_depth_sharded(CounterPersistence::VolatileWriteBack, 6, 4);
         assert_eq!(v, CrashVerdict::CounterLoss);
     }
 }

@@ -561,6 +561,44 @@ mod tests {
     }
 
     #[test]
+    fn power_cycle_volatile_set_is_lines_and_flip_state_only() {
+        // Pins the exact DRAM-drop semantics the crash harness leans on:
+        // a power cycle clears the stored lines (and the FNW flip state
+        // that travels with them) for DRAM, while lifetime accounting —
+        // stats and cell wear — survives in both kinds, because it
+        // models the controller's bookkeeping, not charge in the array.
+        let mut d = NvmDevice::new(NvmConfig {
+            write_scheme: WriteScheme::Dcw,
+            ..NvmDevice::dram_config(1 << 20)
+        });
+        let a = BlockAddr::new(64);
+        d.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
+        let wear = d.wear().total_writes();
+        d.power_cycle();
+        assert_eq!(d.read_line(a).unwrap().into_data(), [0u8; LINE_SIZE]);
+        // An identical rewrite is NOT skipped: DCW compares against the
+        // post-cycle zeros, so the stored line really dropped.
+        d.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
+        assert_eq!(d.stats().skipped_writes.get(), 0);
+        assert_eq!(d.stats().writes.get(), 2, "stats survive the cycle");
+        assert!(d.wear().total_writes() > wear, "wear survives the cycle");
+
+        // NVM under the same scheme: the line persists, so the identical
+        // rewrite IS skipped — remanence is the mirror image of the
+        // DRAM drop.
+        let mut n = NvmDevice::new(NvmConfig {
+            capacity_bytes: 1 << 20,
+            write_scheme: WriteScheme::Dcw,
+            ..NvmConfig::default()
+        });
+        n.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
+        n.power_cycle();
+        n.write_line(a, &[0xEE; LINE_SIZE]).unwrap();
+        assert_eq!(n.stats().skipped_writes.get(), 1);
+        assert_eq!(n.stats().power_cycles, 1);
+    }
+
+    #[test]
     fn cold_scan_sees_everything_in_order() {
         let mut d = dev();
         d.write_line(BlockAddr::new(192), &[2u8; LINE_SIZE])

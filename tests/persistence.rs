@@ -198,3 +198,193 @@ fn whole_system_crash_roundtrip_recovers() {
 fn whole_system_volatile_crash_is_detected() {
     assert_eq!(system_volatile_crash(), CrashVerdict::CounterLoss);
 }
+
+// ---------------------------------------------------------------------
+// Sharded crash matrix: the per-shard power_loss/recover surfaces with
+// every line interleaved round-robin across the channels.
+// ---------------------------------------------------------------------
+
+use ss_harness::{
+    crash_at_depth_sharded, run_crash_config, CrashConfig, CrashTally, CrashVerdict as V,
+};
+
+#[test]
+fn sharded_crash_matrix_persistence_by_queue_depth() {
+    for shards in [4, 8] {
+        for depth in 0..=8 {
+            assert_eq!(
+                crash_at_depth_sharded(CounterPersistence::BatteryBackedWriteBack, depth, shards),
+                V::Recovered,
+                "{shards} shards at queue depth {depth}"
+            );
+        }
+        // Volatile counters stay loud when the loss is spread across
+        // shards: one shard's CounterLoss must surface, not be averaged
+        // away by its clean siblings.
+        assert_eq!(
+            crash_at_depth_sharded(CounterPersistence::VolatileWriteBack, 8, shards),
+            V::CounterLoss,
+            "{shards} shards"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Torn-write crash consistency (DESIGN.md §13): the persist-step crash
+// matrix, the reboot recovery protocol, and its idempotence.
+// ---------------------------------------------------------------------
+
+use silent_shredder::common::LINE_SIZE;
+use silent_shredder::core::{EncryptionMode, PersistDomain, WriteQueueConfig};
+
+#[test]
+fn crash_matrix_smoke_covers_all_outcome_classes() {
+    // Two seeds over the full crashsweep matrix: zero silent outcomes,
+    // and every terminal class — rolled back whole (OldState), committed
+    // whole (NewState), and actively resolved by recovery (Repaired) —
+    // must actually be observed, so a classifier bug that lumps
+    // everything into one bucket cannot pass as "clean".
+    let mut grand = CrashTally::default();
+    for cfg in CrashConfig::matrix() {
+        for seed in 0..2 {
+            let report = run_crash_config(&cfg, seed);
+            assert!(
+                report.clean(),
+                "silent corruption in {} seed {seed}:\n{report}",
+                cfg.label
+            );
+            grand.merge(report.tally());
+        }
+    }
+    assert_eq!(grand.silent, 0);
+    assert!(grand.old_state > 0, "no crash point rolled back: {grand}");
+    assert!(grand.new_state > 0, "no crash point committed: {grand}");
+    assert!(
+        grand.repaired > 0,
+        "recovery never had to repair anything: {grand}"
+    );
+}
+
+/// An ADR write-through controller with a crash cut armed at persist
+/// step `steps + offset` of the next operation.
+fn adr_controller() -> MemoryController {
+    MemoryController::new(ControllerConfig {
+        persist_domain: PersistDomain::Adr,
+        counter_persistence: CounterPersistence::WriteThrough,
+        ..ControllerConfig::small_test()
+    })
+    .expect("controller")
+}
+
+#[test]
+fn reboot_recovery_is_idempotent() {
+    let mut mc = adr_controller();
+    let addr = PageId::new(3).block_addr(1);
+    let old = [0x11u8; 64];
+    mc.write_block(addr, &old, false, Cycles::ZERO).unwrap();
+    // Cut at step 2 of the next write: the new ciphertext reaches the
+    // array but the counter install does not — the worst case, where
+    // only the journal can restore a readable state.
+    let steps = mc.inspect().persist_steps();
+    mc.faults().arm_crash_cut(steps + 2, 0);
+    assert!(mc
+        .write_block(addr, &[0x22u8; 64], false, Cycles::ZERO)
+        .is_err());
+    mc.power_loss().unwrap();
+
+    let first = mc.recover_mut().expect("first recovery");
+    assert!(
+        first.journal_open,
+        "cut mid-sequence leaves the journal open"
+    );
+    assert!(first.repaired(), "the torn write must be rolled back");
+    assert_eq!(mc.read_block(addr, Cycles::ZERO).unwrap().data, old);
+
+    // Recovering again on the same boot finds the closed journal,
+    // repairs nothing, and changes nothing.
+    let second = mc.recover_mut().expect("second recovery");
+    assert!(!second.journal_open);
+    assert!(!second.repaired());
+    assert_eq!(mc.read_block(addr, Cycles::ZERO).unwrap().data, old);
+}
+
+#[test]
+fn recover_crash_recover_converges() {
+    let mut mc = adr_controller();
+    let addr = PageId::new(5).block_addr(2);
+    let old = [0x33u8; 64];
+    mc.write_block(addr, &old, false, Cycles::ZERO).unwrap();
+    let steps = mc.inspect().persist_steps();
+    mc.faults().arm_crash_cut(steps + 2, 32);
+    assert!(mc
+        .write_block(addr, &[0x44u8; 64], false, Cycles::ZERO)
+        .is_err());
+    mc.power_loss().unwrap();
+    mc.recover_mut().expect("first recovery");
+
+    // A second power loss immediately after recovery (no work in
+    // between) must converge: recovery finds nothing open and the
+    // rolled-back state is stable.
+    mc.power_loss().unwrap();
+    let again = mc.recover_mut().expect("recovery after re-crash");
+    assert!(!again.journal_open);
+    assert!(!again.repaired());
+    assert_eq!(mc.read_block(addr, Cycles::ZERO).unwrap().data, old);
+
+    // And the machine is fully live: the interrupted update can be
+    // retried and sticks across one more clean power cycle.
+    let new = [0x44u8; 64];
+    mc.write_block(addr, &new, false, Cycles::ZERO).unwrap();
+    mc.power_loss().unwrap();
+    mc.recover_mut().expect("clean-cycle recovery");
+    assert_eq!(mc.read_block(addr, Cycles::ZERO).unwrap().data, new);
+}
+
+#[test]
+fn power_loss_volatile_set_is_pinned() {
+    let queue = WriteQueueConfig {
+        capacity: 8,
+        drain_low: 1,
+        drain_high: 8,
+    };
+    // eADR: the write queue sits inside the persistence domain —
+    // flush-on-fail drains queued lines to the device at power loss.
+    let mut mc = MemoryController::new(ControllerConfig {
+        write_queue: Some(queue),
+        ..ControllerConfig::small_test()
+    })
+    .unwrap();
+    let addr = PageId::new(2).block_addr(0);
+    mc.write_block(addr, &RECORD, false, Cycles::ZERO).unwrap();
+    assert!(mc.inspect().write_queue_len() > 0, "write must be queued");
+    mc.power_loss().unwrap();
+    mc.recover_mut().unwrap();
+    assert_eq!(mc.inspect().write_queue_len(), 0);
+    assert!(
+        !mc.inspect().counter_line_dirty(PageId::new(2)),
+        "the counter cache reboots cold"
+    );
+    assert_eq!(mc.read_block(addr, Cycles::ZERO).unwrap().data, RECORD);
+
+    // ADR: the queue is volatile — queued lines vanish at power loss and
+    // the line still reads as never-written, not as a silent half-write.
+    let mut mc = MemoryController::new(ControllerConfig {
+        persist_domain: PersistDomain::Adr,
+        encryption: EncryptionMode::None,
+        shredder: false,
+        integrity: false,
+        write_queue: Some(queue),
+        ..ControllerConfig::small_test()
+    })
+    .unwrap();
+    mc.write_block(addr, &RECORD, false, Cycles::ZERO).unwrap();
+    assert!(mc.inspect().write_queue_len() > 0, "write must be queued");
+    mc.power_loss().unwrap();
+    mc.recover_mut().unwrap();
+    assert_eq!(mc.inspect().write_queue_len(), 0);
+    assert_eq!(
+        mc.read_block(addr, Cycles::ZERO).unwrap().data,
+        [0u8; LINE_SIZE],
+        "ADR queue contents must drop whole, never drain silently"
+    );
+}
