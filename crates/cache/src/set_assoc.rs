@@ -179,8 +179,9 @@ impl<V> SetAssocCache<V> {
         match pos {
             Some(i) => {
                 self.stats.hits.inc();
-                let entry = self.sets[set].remove(i).expect("position came from iter");
-                self.sets[set].push_front(entry);
+                if let Some(entry) = self.sets[set].remove(i) {
+                    self.sets[set].push_front(entry);
+                }
                 self.sets[set].front_mut()
             }
             None => {
@@ -205,23 +206,28 @@ impl<V> SetAssocCache<V> {
         let ways = self.config.ways;
         let set = self.set_index(addr);
         if let Some(i) = self.sets[set].iter().position(|e| e.addr == addr) {
-            let mut entry = self.sets[set].remove(i).expect("position came from iter");
-            entry.value = value;
-            entry.dirty |= dirty;
-            self.sets[set].push_front(entry);
+            if let Some(mut entry) = self.sets[set].remove(i) {
+                entry.value = value;
+                entry.dirty |= dirty;
+                self.sets[set].push_front(entry);
+            }
             return None;
         }
         let victim = if self.sets[set].len() >= ways {
-            let v = self.sets[set].pop_back().expect("set is full");
-            self.stats.evictions.inc();
-            if v.dirty {
-                self.stats.dirty_evictions.inc();
+            match self.sets[set].pop_back() {
+                Some(v) => {
+                    self.stats.evictions.inc();
+                    if v.dirty {
+                        self.stats.dirty_evictions.inc();
+                    }
+                    Some(Evicted {
+                        addr: v.addr,
+                        dirty: v.dirty,
+                        value: v.value,
+                    })
+                }
+                None => None,
             }
-            Some(Evicted {
-                addr: v.addr,
-                dirty: v.dirty,
-                value: v.value,
-            })
         } else {
             None
         };

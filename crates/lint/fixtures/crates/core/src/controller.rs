@@ -1,0 +1,13 @@
+//! PERSIST-001 fixture: a choke-file device write is legitimate only
+//! while the `persist_line` choke point exists. Linted together with
+//! `persist.rs` this file is clean; linted alone (the choke point
+//! "deleted") it turns red.
+pub struct FlushPath {
+    nvm: NvmDevice,
+}
+
+impl FlushPath {
+    pub fn write_back(&mut self, slot: u64, data: &[u8; 64]) {
+        self.nvm.write_line(slot, data);
+    }
+}

@@ -1,0 +1,10 @@
+//! CRYPTO-001 clean fixture: ss-core is the legitimate decrypt site.
+pub struct ReadPath {
+    engine: CtrEngine,
+}
+
+impl ReadPath {
+    pub fn fill(&mut self, iv: u64, line: &mut [u8; 64]) {
+        self.engine.decrypt_line(iv, line);
+    }
+}

@@ -1,0 +1,14 @@
+//! PERSIST-001 fixture: the persist-step choke point itself.
+pub struct MemoryController {
+    nvm: NvmDevice,
+}
+
+impl MemoryController {
+    /// The one legitimate device write: journaled and step-numbered.
+    pub fn persist_line(&mut self, slot: u64, data: &[u8; 64]) {
+        self.journal_append(slot);
+        self.nvm.write_line(slot, data);
+    }
+
+    fn journal_append(&mut self, _slot: u64) {}
+}

@@ -1,0 +1,11 @@
+//! PERSIST-001 fixture: wear-migration writes that bypass the choke point.
+pub struct WearMover {
+    nvm: NvmDevice,
+}
+
+impl WearMover {
+    pub fn migrate(&mut self, from: u64, to: u64, data: &[u8; 64]) {
+        self.nvm.write_line(to, data);
+        NvmDevice::write_line(&mut self.nvm, from, data);
+    }
+}

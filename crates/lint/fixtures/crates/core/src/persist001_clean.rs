@@ -1,0 +1,12 @@
+//! PERSIST-001 clean fixture: queue drains route through the choke point.
+pub struct WriteQueue {
+    slots: Vec<u64>,
+}
+
+impl WriteQueue {
+    pub fn drain(&mut self, ctrl: &mut MemoryController) {
+        for slot in 0..self.slots.len() {
+            ctrl.persist_line(slot as u64, &[0u8; 64]);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! SEC-003 fixture: the controller's public API — the reachability roots.
+pub struct MemoryController {
+    engine: CtrEngine,
+    dev: NvmDevice,
+}
+
+impl MemoryController {
+    pub fn read_block(&mut self) -> u64 {
+        self.engine.pad_for(9)
+    }
+
+    pub fn shred_page(&mut self) {
+        self.dev.scrub_slot();
+    }
+}

@@ -1,0 +1,16 @@
+//! SEC-003 fixture: a panic on the controller's keystream path, plus an
+//! unreachable helper whose panic is out of SEC-003's scope.
+pub struct CtrEngine {
+    keys: Vec<u64>,
+}
+
+impl CtrEngine {
+    pub fn pad_for(&self, lane: usize) -> u64 {
+        *self.keys.get(lane).expect("lane out of range")
+    }
+
+    /// Never called from the controller API: not a SEC-003 finding.
+    pub fn offline_audit(&self) -> u64 {
+        *self.keys.first().expect("audit needs at least one key")
+    }
+}

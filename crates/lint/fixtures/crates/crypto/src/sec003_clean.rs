@@ -1,0 +1,10 @@
+//! SEC-003 clean fixture: controller-reachable helpers propagate errors.
+pub struct CleanEngine {
+    keys: Vec<u64>,
+}
+
+impl CleanEngine {
+    pub fn pad_for(&self, lane: usize) -> Result<u64, &'static str> {
+        self.keys.get(lane).copied().ok_or("lane out of range")
+    }
+}

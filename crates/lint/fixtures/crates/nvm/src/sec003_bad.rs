@@ -1,0 +1,13 @@
+//! SEC-003 fixture: a panic in the device helper the shred path uses.
+pub struct NvmDevice {
+    armed: bool,
+}
+
+impl NvmDevice {
+    pub fn scrub_slot(&mut self) {
+        if !self.armed {
+            panic!("scrub before arm");
+        }
+        self.armed = false;
+    }
+}

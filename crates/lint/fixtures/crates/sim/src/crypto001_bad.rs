@@ -1,0 +1,12 @@
+//! CRYPTO-001 fixture: decrypt/keystream surfaces touched outside ss-core.
+pub struct Probe {
+    engine: CtrEngine,
+}
+
+impl Probe {
+    pub fn snoop(&mut self, iv: u64, line: &mut [u8; 64]) {
+        self.engine.decrypt_line(iv, line);
+        let ks = self.engine.pad(iv);
+        Aes128::decrypt_block(&ks, line);
+    }
+}

@@ -1,0 +1,10 @@
+//! CRYPTO-001 clean fixture: encrypt-side use is fine outside ss-core.
+pub struct Writer {
+    engine: CtrEngine,
+}
+
+impl Writer {
+    pub fn seal(&mut self, iv: u64, line: &mut [u8; 64]) {
+        self.engine.encrypt_line(iv, line);
+    }
+}

@@ -1,0 +1,3 @@
+//! META-002 fixture: a stale escape excused via the lint.toml hatch.
+// lint:allow-file(DET-003)
+pub fn quiet() {}

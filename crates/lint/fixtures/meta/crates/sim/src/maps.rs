@@ -1,0 +1,6 @@
+//! META-002 fixture: this file's findings keep a config escape in use.
+use std::collections::HashMap;
+
+pub fn table() -> HashMap<u64, u64> {
+    HashMap::new()
+}

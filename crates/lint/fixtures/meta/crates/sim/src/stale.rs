@@ -1,0 +1,7 @@
+//! META-002 fixture: stale escapes at both granularities.
+// lint:allow-file(DET-002)
+
+// lint:allow(DET-001)
+pub fn tidy() -> u64 {
+    7
+}

@@ -1,0 +1,4 @@
+//! META-002 fixture: a line escape doing real work is not flagged.
+pub fn hot_set() {
+    let _names = std::collections::HashSet::<u64>::new(); // lint:allow(DET-001)
+}

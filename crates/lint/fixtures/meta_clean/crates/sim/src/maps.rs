@@ -1,0 +1,7 @@
+//! Every escape in this mini-workspace earns its keep.
+use std::collections::HashMap;
+
+pub fn stamp() -> u64 {
+    let _t = Instant::now(); // lint:allow(DET-002)
+    0
+}

@@ -1,0 +1,211 @@
+//! An approximate workspace call graph over [`crate::items`].
+//!
+//! Resolution is by name, not by type — deliberately over-approximate
+//! so that graph rules (reachability, containment) never miss a real
+//! edge. The shape of the call narrows the candidate set:
+//!
+//! * `Type::name(…)` resolves to functions in an `impl Type` block
+//!   (nothing, when `Type` is a foreign/std type with no workspace
+//!   impl);
+//! * `Self::name(…)` resolves inside the caller's own impl target;
+//! * `module::name(…)` (lowercase qualifier) and bare `name(…)` prefer
+//!   free functions of that name, falling back to any;
+//! * `recv.name(…)` resolves to every workspace *method* of that name —
+//!   the deliberately blunt edge that keeps reachability sound without
+//!   type inference;
+//! * macros resolve to nothing (they are matched directly by rules).
+//!
+//! Test code (trailing `#[cfg(test)]` modules, `tests/`, `benches/`,
+//! `examples/` targets) is excluded from the resolution index, so the
+//! graph describes production paths only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::{CallKind, CallSite, FnItem};
+
+/// The workspace call graph: parsed functions plus a name index.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every parsed function, in file/parse order.
+    pub fns: Vec<FnItem>,
+    /// Resolution index over non-test functions.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph (and its name index) from parsed items.
+    pub fn build(fns: Vec<FnItem>) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            if !f.in_test {
+                by_name.entry(f.name.clone()).or_default().push(idx);
+            }
+        }
+        CallGraph { fns, by_name }
+    }
+
+    /// Resolves one call site made by `caller` to candidate callees.
+    pub fn resolve(&self, caller: &FnItem, call: &CallSite) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        let with = |pred: &dyn Fn(&FnItem) -> bool| -> Vec<usize> {
+            candidates
+                .iter()
+                .copied()
+                .filter(|&i| pred(&self.fns[i]))
+                .collect()
+        };
+        match &call.kind {
+            CallKind::Macro => Vec::new(),
+            CallKind::Method => with(&|f| f.is_method),
+            CallKind::Qualified(q) if q == "Self" => with(&|f| f.impl_type == caller.impl_type),
+            CallKind::Qualified(q) => {
+                let on_type = with(&|f| f.impl_type.as_deref() == Some(q.as_str()));
+                if !on_type.is_empty() {
+                    return on_type;
+                }
+                // An uppercase qualifier names a type; with no workspace
+                // impl it is foreign (Vec::new, u32::from_le_bytes) and
+                // resolves to nothing. A lowercase qualifier is a module
+                // path, so fall through to free-function resolution.
+                if q.chars().next().is_some_and(char::is_uppercase) {
+                    return Vec::new();
+                }
+                prefer_free(candidates, &self.fns)
+            }
+            CallKind::Bare => prefer_free(candidates, &self.fns),
+        }
+    }
+
+    /// The set of functions transitively reachable from `root`
+    /// (inclusive), traversing only functions accepted by `domain`.
+    pub fn reachable(&self, root: usize, domain: &dyn Fn(&FnItem) -> bool) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            if !seen.insert(idx) {
+                continue;
+            }
+            let f = &self.fns[idx];
+            for call in &f.calls {
+                for target in self.resolve(f, call) {
+                    if !seen.contains(&target) && domain(&self.fns[target]) {
+                        stack.push(target);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Bare-name resolution: free functions of that name when any exist,
+/// otherwise every function of that name.
+fn prefer_free(candidates: &[usize], fns: &[FnItem]) -> Vec<usize> {
+    let free: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| !fns[i].is_method)
+        .collect();
+    if free.is_empty() {
+        candidates.to_vec()
+    } else {
+        free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::parse_items;
+    use crate::lexer::scrub;
+    use crate::rules::first_test_line;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let mut fns = Vec::new();
+        for (path, src) in files {
+            let s = scrub(src);
+            fns.extend(parse_items(path, &s, first_test_line(&s)));
+        }
+        CallGraph::build(fns)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.name == name)
+            .expect("fn exists")
+    }
+
+    #[test]
+    fn method_calls_link_across_files() {
+        let g = graph(&[
+            (
+                "crates/core/src/a.rs",
+                "pub struct C;\nimpl C {\n pub fn read(&self) { self.pad_for(1); }\n}",
+            ),
+            (
+                "crates/crypto/src/b.rs",
+                "pub struct E;\nimpl E {\n pub fn pad_for(&self, x: u32) { helper(x); }\n}\nfn helper(_x: u32) {}",
+            ),
+        ]);
+        let reach = g.reachable(idx(&g, "read"), &|_| true);
+        assert!(reach.contains(&idx(&g, "pad_for")));
+        assert!(reach.contains(&idx(&g, "helper")));
+    }
+
+    #[test]
+    fn qualified_calls_respect_impl_type() {
+        let g = graph(&[(
+            "x.rs",
+            "pub struct A;\nimpl A {\n pub fn go() {}\n}\npub struct B;\nimpl B {\n pub fn go() {}\n}\nfn f() { A::go(); }",
+        )]);
+        let f = &g.fns[idx(&g, "f")];
+        let targets = g.resolve(f, &f.calls[0]);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(g.fns[targets[0]].impl_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn foreign_type_qualifiers_resolve_to_nothing() {
+        let g = graph(&[("x.rs", "fn new() {}\nfn f() { Vec::new(); }")]);
+        let f = &g.fns[idx(&g, "f")];
+        assert!(g.resolve(f, &f.calls[0]).is_empty());
+    }
+
+    #[test]
+    fn self_qualifier_stays_in_the_callers_impl() {
+        let g = graph(&[(
+            "x.rs",
+            "pub struct A;\nimpl A {\n fn helper() {}\n pub fn go() { Self::helper(); }\n}\npub struct B;\nimpl B {\n fn helper() {}\n}",
+        )]);
+        let go = &g.fns[idx(&g, "go")];
+        let targets = g.resolve(go, &go.calls[0]);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(g.fns[targets[0]].impl_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn test_code_is_not_a_resolution_target() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn f() { helper(); }\n#[cfg(test)]\nmod tests {\n fn helper() {}\n}",
+        )]);
+        let f = &g.fns[idx(&g, "f")];
+        assert!(g.resolve(f, &f.calls[0]).is_empty());
+    }
+
+    #[test]
+    fn domain_bounds_traversal() {
+        let g = graph(&[
+            ("crates/core/src/a.rs", "pub fn f() { over_there(); }"),
+            (
+                "crates/harness/src/b.rs",
+                "pub fn over_there() { deeper(); }\npub fn deeper() {}",
+            ),
+        ]);
+        let reach = g.reachable(idx(&g, "f"), &|f| f.file.starts_with("crates/core/"));
+        assert!(!reach.contains(&idx(&g, "over_there")));
+    }
+}

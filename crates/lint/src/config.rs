@@ -29,6 +29,9 @@ pub struct AllowEntry {
     pub path: String,
     /// Human justification (required: an unexplained escape is a smell).
     pub reason: String,
+    /// 1-indexed `lint.toml` line of the `[[allow]]` header, so the
+    /// META-002 stale-entry finding points at the entry itself.
+    pub line: usize,
 }
 
 /// Parsed `lint.toml`.
@@ -87,6 +90,7 @@ impl LintConfig {
             if line == "[[allow]]" {
                 cfg.finish_allow(&mut section, lineno)?;
                 section = Section::Allow {
+                    line: lineno,
                     rule: None,
                     path: None,
                     reason: None,
@@ -121,7 +125,9 @@ impl LintConfig {
                 Section::None => {
                     return Err(format!("lint.toml:{lineno}: key outside any section"));
                 }
-                Section::Allow { rule, path, reason } => {
+                Section::Allow {
+                    rule, path, reason, ..
+                } => {
                     let v = parse_string(value)
                         .ok_or_else(|| format!("lint.toml:{lineno}: expected a string"))?;
                     match key {
@@ -152,10 +158,21 @@ impl LintConfig {
 
     /// Closes a pending `[[allow]]` section, validating completeness.
     fn finish_allow(&mut self, section: &mut Section, lineno: usize) -> Result<(), String> {
-        if let Section::Allow { rule, path, reason } = std::mem::replace(section, Section::None) {
+        if let Section::Allow {
+            line,
+            rule,
+            path,
+            reason,
+        } = std::mem::replace(section, Section::None)
+        {
             match (rule, path, reason) {
                 (Some(rule), Some(path), Some(reason)) => {
-                    self.allows.push(AllowEntry { rule, path, reason });
+                    self.allows.push(AllowEntry {
+                        rule,
+                        path,
+                        reason,
+                        line,
+                    });
                 }
                 _ => {
                     return Err(format!(
@@ -171,6 +188,7 @@ impl LintConfig {
 enum Section {
     None,
     Allow {
+        line: usize,
         rule: Option<String>,
         path: Option<String>,
         reason: Option<String>,
@@ -240,6 +258,9 @@ deps = ["ss-common", "ss-crypto"]
         )
         .expect("parses");
         assert_eq!(cfg.allows.len(), 2);
+        // Entry lines point at the [[allow]] headers, for META-002.
+        assert_eq!(cfg.allows[0].line, 3);
+        assert_eq!(cfg.allows[1].line, 8);
         assert!(cfg.allows("DET-002", "crates/bench/src/runner.rs"));
         assert!(!cfg.allows("DET-002", "crates/bench/src/lib.rs"));
         assert!(cfg.allows("SEC-002", "crates/bench/src/experiments.rs"));

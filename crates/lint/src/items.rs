@@ -1,0 +1,488 @@
+//! A hand-rolled item parser on top of [`crate::lexer`].
+//!
+//! The call-graph rules (PERSIST-001, SEC-003, CRYPTO-001) need more
+//! than per-line token matching: they reason about *which function* a
+//! line belongs to and *what that function calls*. This module extracts
+//! exactly that — `fn` items, their enclosing `impl` blocks, and the
+//! call expressions inside each body — from the scrubbed token stream,
+//! with no type checking and no `syn`. The result is approximate by
+//! design (names, not types), which [`crate::callgraph`] turns into an
+//! over-approximated call graph: it may report an edge that the
+//! compiler would not, never the reverse, so reachability-based rules
+//! stay sound and false positives are handled by the normal escape
+//! hatches.
+
+use crate::lexer::{Scrubbed, Token};
+
+/// How a call expression names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(x)` — a bare path, usually a free function.
+    Bare,
+    /// `recv.name(x)` — a method call on some receiver.
+    Method,
+    /// `Qualifier::name(x)` — the last path segment before the callee
+    /// (`NvmDevice::write_line` → `NvmDevice`, `Self::helper` → `Self`).
+    Qualified(String),
+    /// `name!(…)` — a macro invocation (`panic!`, `write!`, …).
+    Macro,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name (the identifier before `(` or `!`).
+    pub name: String,
+    /// 1-indexed source line.
+    pub line: usize,
+    /// Call shape, for resolution.
+    pub kind: CallKind,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Repo-relative file with `/` separators.
+    pub file: String,
+    /// Target type of the enclosing `impl` block, if any
+    /// (`impl Display for Foo` → `Foo`).
+    pub impl_type: Option<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub is_method: bool,
+    /// Whether the item carries a `pub` qualifier.
+    pub is_pub: bool,
+    /// Whether the item is test code: inside the trailing `#[cfg(test)]`
+    /// module, or anywhere in a test/bench/example target file.
+    pub in_test: bool,
+    /// Calls made inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Keywords and ubiquitous constructors that look like `ident(` but are
+/// not function calls worth an edge.
+const NOT_CALLS: &[&str] = &[
+    "if", "else", "match", "while", "loop", "for", "in", "return", "break", "continue", "let",
+    "mut", "ref", "move", "as", "where", "impl", "fn", "pub", "use", "mod", "struct", "enum",
+    "trait", "type", "const", "static", "unsafe", "extern", "crate", "super", "dyn", "async",
+    "await", "Some", "None", "Ok", "Err",
+];
+
+/// Whether `path` is a test/bench/example target, where panic-freedom
+/// rules do not apply (assertions are the point there).
+pub fn is_test_target(path: &str) -> bool {
+    for marker in ["tests/", "benches/", "examples/"] {
+        if path.starts_with(marker) || path.contains(&format!("/{marker}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts every `fn` item (with its calls) from a scrubbed file.
+/// `first_test_line` marks the trailing unit-test module, as computed
+/// by [`crate::rules::first_test_line`].
+pub fn parse_items(path: &str, scrubbed: &Scrubbed, first_test_line: Option<usize>) -> Vec<FnItem> {
+    // Flatten to one (line, token) stream so items can span lines.
+    let mut ts: Vec<(usize, Token)> = Vec::new();
+    for ln in 1..=scrubbed.lines.len() {
+        for tok in scrubbed.tokens(ln) {
+            ts.push((ln, tok));
+        }
+    }
+
+    let file_is_test = is_test_target(path);
+    let mut out: Vec<FnItem> = Vec::new();
+    // (impl type, brace depth of the impl body).
+    let mut impl_stack: Vec<(String, usize)> = Vec::new();
+    // (index into `out`, brace depth of the fn body).
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < ts.len() {
+        let (line, tok) = &ts[i];
+        match tok {
+            Token::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Token::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while impl_stack.last().is_some_and(|(_, d)| *d > depth) {
+                    impl_stack.pop();
+                }
+                while fn_stack.last().is_some_and(|(_, d)| *d > depth) {
+                    fn_stack.pop();
+                }
+                i += 1;
+            }
+            Token::Ident(id) if id == "impl" && starts_item(&ts, i) => {
+                // Header runs to the body `{` (or a terminating `;`/`}`
+                // if the stream is truncated mid-item).
+                let mut j = i + 1;
+                while j < ts.len()
+                    && !matches!(
+                        ts[j].1,
+                        Token::Punct('{') | Token::Punct(';') | Token::Punct('}')
+                    )
+                {
+                    j += 1;
+                }
+                if j < ts.len() && ts[j].1.is_punct('{') {
+                    let header: Vec<&Token> = ts[i + 1..j].iter().map(|(_, t)| t).collect();
+                    if let Some(ty) = impl_target(&header) {
+                        depth += 1;
+                        impl_stack.push((ty, depth));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i = j;
+            }
+            Token::Ident(id) if id == "fn" => {
+                let Some(Token::Ident(name)) = ts.get(i + 1).map(|(_, t)| t) else {
+                    i += 1; // `fn(u32) -> u32` pointer type, or truncated
+                    continue;
+                };
+                let name = name.clone();
+                let is_pub = pub_before(&ts, i);
+                // Skip generics between the name and the parameter list.
+                let mut j = i + 2;
+                if ts.get(j).is_some_and(|(_, t)| t.is_punct('<')) {
+                    let mut angle = 0usize;
+                    while j < ts.len() {
+                        match ts[j].1 {
+                            Token::Punct('<') => angle += 1,
+                            Token::Punct('>') => {
+                                angle -= 1;
+                                if angle == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                // Parameter list.
+                let mut is_method = false;
+                if ts.get(j).is_some_and(|(_, t)| t.is_punct('(')) {
+                    let mut paren = 0usize;
+                    let start = j;
+                    while j < ts.len() {
+                        match ts[j].1 {
+                            Token::Punct('(') => paren += 1,
+                            Token::Punct(')') => {
+                                paren -= 1;
+                                if paren == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    // A `self` receiver sits before the first top-level
+                    // comma: `self`, `&self`, `&mut self`, `&'a mut self`.
+                    let mut k = start + 1;
+                    let mut inner = 0usize;
+                    while k < j {
+                        match &ts[k].1 {
+                            Token::Punct('(') | Token::Punct('<') | Token::Punct('[') => inner += 1,
+                            Token::Punct(')') | Token::Punct('>') | Token::Punct(']') => {
+                                inner = inner.saturating_sub(1);
+                            }
+                            Token::Punct(',') if inner == 0 => break,
+                            Token::Ident(p) if p == "self" && inner == 0 => {
+                                is_method = true;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the body `{` (or `;` for a bodiless signature).
+                while j < ts.len() && !matches!(ts[j].1, Token::Punct('{') | Token::Punct(';')) {
+                    j += 1;
+                }
+                if j < ts.len() && ts[j].1.is_punct('{') {
+                    depth += 1;
+                    let in_test = file_is_test || first_test_line.is_some_and(|t| *line >= t);
+                    out.push(FnItem {
+                        name,
+                        line: *line,
+                        file: path.to_string(),
+                        impl_type: impl_stack.last().map(|(t, _)| t.clone()),
+                        is_method,
+                        is_pub,
+                        in_test,
+                        calls: Vec::new(),
+                    });
+                    fn_stack.push((out.len() - 1, depth));
+                    i = j + 1;
+                } else {
+                    i = j; // signature only — no body, no calls
+                }
+            }
+            Token::Ident(name) => {
+                if let Some(&(fn_idx, _)) = fn_stack.last() {
+                    if let Some(call) = call_at(&ts, i, name) {
+                        out[fn_idx].calls.push(call);
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether the `impl` at `ts[i]` begins an item (vs `-> impl Trait` /
+/// `x: impl Trait` type positions). Item position means the previous
+/// token closes another item or attribute.
+fn starts_item(ts: &[(usize, Token)], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| &ts[p].1) {
+        None => true,
+        Some(Token::Punct(c)) => matches!(c, '{' | '}' | ';' | ']'),
+        Some(Token::Ident(id)) => id == "unsafe",
+    }
+}
+
+/// The target type of an `impl` header: the last top-level path segment
+/// of the part after `for` (or of the whole header when there is no
+/// trait), before any `where` clause.
+fn impl_target(header: &[&Token]) -> Option<String> {
+    // Cut the `where` clause, tracking `<>` nesting.
+    let mut angle = 0i32;
+    let mut end = header.len();
+    let mut for_at = None;
+    for (k, tok) in header.iter().enumerate() {
+        match tok {
+            Token::Punct('<') => angle += 1,
+            Token::Punct('>') => angle -= 1,
+            Token::Ident(id) if angle == 0 && id == "where" => {
+                end = k;
+                break;
+            }
+            Token::Ident(id) if angle == 0 && id == "for" => for_at = Some(k),
+            _ => {}
+        }
+    }
+    let slice = match for_at {
+        Some(k) if k + 1 < end => &header[k + 1..end],
+        _ => &header[..end],
+    };
+    let mut angle = 0i32;
+    let mut last = None;
+    for tok in slice {
+        match tok {
+            Token::Punct('<') => angle += 1,
+            Token::Punct('>') => angle -= 1,
+            Token::Ident(id) if angle == 0 => last = Some(id.clone()),
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Whether a `pub` qualifier sits shortly before the `fn` at `ts[i]`
+/// (allowing `pub(crate) const unsafe fn …`).
+fn pub_before(ts: &[(usize, Token)], i: usize) -> bool {
+    let mut k = i;
+    for _ in 0..8 {
+        let Some(p) = k.checked_sub(1) else {
+            return false;
+        };
+        match &ts[p].1 {
+            Token::Punct('{' | '}' | ';') => return false,
+            Token::Ident(id) if id == "pub" => return true,
+            _ => k = p,
+        }
+    }
+    false
+}
+
+/// Classifies the identifier at `ts[i]` as a call expression, if the
+/// following token makes it one.
+fn call_at(ts: &[(usize, Token)], i: usize, name: &str) -> Option<CallSite> {
+    if NOT_CALLS.contains(&name) {
+        return None;
+    }
+    let line = ts[i].0;
+    let next = ts.get(i + 1).map(|(_, t)| t)?;
+    let prev = i.checked_sub(1).map(|p| &ts[p].1);
+    // Attribute interior (`#[inline(always)]`, `#[cfg(test)]`): not calls.
+    if matches!(prev, Some(Token::Punct('[')))
+        && matches!(i.checked_sub(2).map(|p| &ts[p].1), Some(Token::Punct('#')))
+    {
+        return None;
+    }
+    if next.is_punct('!') {
+        // Macro call only when an argument group follows (`panic!(…)`),
+        // so `a != b` never matches.
+        let after = ts.get(i + 2).map(|(_, t)| t)?;
+        if matches!(after, Token::Punct('(' | '[' | '{')) {
+            return Some(CallSite {
+                name: name.to_string(),
+                line,
+                kind: CallKind::Macro,
+            });
+        }
+        return None;
+    }
+    if !next.is_punct('(') {
+        return None;
+    }
+    let kind = match prev {
+        Some(Token::Punct('.')) => CallKind::Method,
+        Some(Token::Punct(':')) => {
+            // `Segment :: name (` — pick the segment right before `::`.
+            let q = i
+                .checked_sub(3)
+                .map(|p| &ts[p].1)
+                .and_then(|t| match t {
+                    Token::Ident(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            CallKind::Qualified(q)
+        }
+        _ => CallKind::Bare,
+    };
+    Some(CallSite {
+        name: name.to_string(),
+        line,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+    use crate::rules::first_test_line;
+
+    fn parse(path: &str, src: &str) -> Vec<FnItem> {
+        let s = scrub(src);
+        parse_items(path, &s, first_test_line(&s))
+    }
+
+    #[test]
+    fn extracts_fns_with_impl_context() {
+        let items = parse(
+            "crates/core/src/x.rs",
+            "pub struct C;\nimpl C {\n    pub fn read(&mut self) -> u32 {\n        self.helper()\n    }\n    fn helper(&self) -> u32 { 7 }\n}\nfn free() {}\n",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].name, "read");
+        assert_eq!(items[0].impl_type.as_deref(), Some("C"));
+        assert!(items[0].is_pub && items[0].is_method);
+        assert_eq!(items[0].calls.len(), 1);
+        assert_eq!(items[0].calls[0].name, "helper");
+        assert_eq!(items[0].calls[0].kind, CallKind::Method);
+        assert_eq!(items[1].name, "helper");
+        assert!(!items[1].is_pub);
+        assert_eq!(items[2].name, "free");
+        assert!(items[2].impl_type.is_none());
+    }
+
+    #[test]
+    fn trait_impl_targets_the_type_not_the_trait() {
+        let items = parse(
+            "x.rs",
+            "impl std::fmt::Display for Wrapper<T> where T: Copy {\n    fn fmt(&self) -> u8 { 0 }\n}",
+        );
+        assert_eq!(items[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_impl_block() {
+        let items = parse(
+            "x.rs",
+            "fn iterate(x: impl Clone) -> impl Iterator<Item = u32> {\n    inner()\n}",
+        );
+        assert_eq!(items.len(), 1);
+        assert!(items[0].impl_type.is_none());
+        assert_eq!(items[0].calls[0].name, "inner");
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let items = parse(
+            "x.rs",
+            "fn f() {\n    free();\n    recv.method();\n    NvmDevice::write_line();\n    Self::own();\n    panic!(\"x\");\n    if a != b {}\n}",
+        );
+        let calls = &items[0].calls;
+        assert_eq!(calls[0].kind, CallKind::Bare);
+        assert_eq!(calls[1].kind, CallKind::Method);
+        assert_eq!(calls[2].kind, CallKind::Qualified("NvmDevice".into()));
+        assert_eq!(calls[3].kind, CallKind::Qualified("Self".into()));
+        assert_eq!(
+            calls[4],
+            CallSite {
+                name: "panic".into(),
+                line: 6,
+                kind: CallKind::Macro
+            }
+        );
+        // `a != b` is not a macro call; `if (` is not a call.
+        assert_eq!(calls.len(), 5);
+    }
+
+    #[test]
+    fn constructors_and_attributes_are_not_calls() {
+        let items = parse(
+            "x.rs",
+            "fn f() -> Option<u32> {\n    #[allow(dead_code)]\n    let x = Some(3);\n    if let Ok(v) = go(x) { return Some(v); }\n    None\n}",
+        );
+        let names: Vec<&str> = items[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["go"]);
+    }
+
+    #[test]
+    fn trailing_test_module_marks_fns_as_test() {
+        let items = parse(
+            "crates/core/src/x.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn in_test() { x.unwrap(); }\n}",
+        );
+        assert!(!items[0].in_test);
+        assert!(items[1].in_test);
+    }
+
+    #[test]
+    fn test_targets_are_all_test_code() {
+        let items = parse("crates/core/tests/it.rs", "fn helper() { x.unwrap(); }");
+        assert!(items[0].in_test);
+        assert!(is_test_target("tests/lint.rs"));
+        assert!(is_test_target("crates/bench/benches/fig04.rs"));
+        assert!(is_test_target("examples/attack_demo.rs"));
+        assert!(!is_test_target("crates/core/src/controller.rs"));
+    }
+
+    #[test]
+    fn nested_fn_owns_its_calls() {
+        let items = parse(
+            "x.rs",
+            "fn outer() {\n    fn inner() { deep(); }\n    shallow();\n}",
+        );
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[0].calls[0].name, "shallow");
+        assert_eq!(items[1].name, "inner");
+        assert_eq!(items[1].calls[0].name, "deep");
+    }
+
+    #[test]
+    fn bodiless_signatures_are_skipped() {
+        let items = parse("x.rs", "trait T {\n    fn sig(&self) -> u32;\n    fn with_default(&self) -> u32 { helper() }\n}");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "with_default");
+    }
+}

@@ -35,6 +35,23 @@ impl Token {
     }
 }
 
+/// One `lint:allow` / `lint:allow-file` escape as written in source,
+/// tracked for the META-002 unused-escape audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-indexed line the directive itself is written on.
+    pub line: usize,
+    /// The rule it escapes.
+    pub rule: String,
+    /// `true` for `lint:allow-file(...)`.
+    pub file_wide: bool,
+    /// For line directives: the code line the allowance binds to
+    /// (the same line, or the next code line for a comment-only
+    /// directive). `0` when the directive never bound to any code line
+    /// (dangling at end of file) — always stale.
+    pub applies_to: usize,
+}
+
 /// A source file with comments and literals blanked out.
 #[derive(Debug, Clone, Default)]
 pub struct Scrubbed {
@@ -46,6 +63,8 @@ pub struct Scrubbed {
     pub line_allows: Vec<BTreeSet<String>>,
     /// Rules allowed for the whole file by `// lint:allow-file(...)`.
     pub file_allows: BTreeSet<String>,
+    /// Every escape directive found, in source order, for META-002.
+    pub directives: Vec<AllowDirective>,
 }
 
 impl Scrubbed {
@@ -110,7 +129,8 @@ pub fn scrub(source: &str) -> Scrubbed {
     let mut state = State::Code;
     let mut code_line = String::new();
     let mut comment_line = String::new();
-    let mut pending_allows: BTreeSet<String> = BTreeSet::new();
+    // Line directives not yet bound to a code line: (directive line, rule).
+    let mut pending_allows: Vec<(usize, String)> = Vec::new();
     let mut i = 0;
     let n = chars.len();
 
@@ -119,18 +139,44 @@ pub fn scrub(source: &str) -> Scrubbed {
     // "directive-only line applies to the next code line" rule.
     macro_rules! flush_line {
         () => {{
-            let mut allows: BTreeSet<String> = std::mem::take(&mut pending_allows);
+            let lineno = out.lines.len() + 1;
             let (line_rules, file_rules) = parse_directives(&comment_line);
-            out.file_allows.extend(file_rules);
+            for rule in file_rules {
+                out.directives.push(AllowDirective {
+                    line: lineno,
+                    rule: rule.clone(),
+                    file_wide: true,
+                    applies_to: 0,
+                });
+                out.file_allows.insert(rule);
+            }
             let has_code = code_line.chars().any(|c| !c.is_whitespace());
+            let mut allows: BTreeSet<String> = BTreeSet::new();
             if has_code {
-                allows.extend(line_rules);
+                for (dir_line, rule) in pending_allows.drain(..) {
+                    out.directives.push(AllowDirective {
+                        line: dir_line,
+                        rule: rule.clone(),
+                        file_wide: false,
+                        applies_to: lineno,
+                    });
+                    allows.insert(rule);
+                }
+                for rule in line_rules {
+                    out.directives.push(AllowDirective {
+                        line: lineno,
+                        rule: rule.clone(),
+                        file_wide: false,
+                        applies_to: lineno,
+                    });
+                    allows.insert(rule);
+                }
             } else {
                 // Comment-only line: defer the allowance to the next
                 // line that carries code.
-                pending_allows = line_rules;
-                pending_allows.extend(allows.iter().cloned());
-                allows.clear();
+                for rule in line_rules {
+                    pending_allows.push((lineno, rule));
+                }
             }
             out.lines.push(std::mem::take(&mut code_line));
             out.line_allows.push(allows);
@@ -269,6 +315,16 @@ pub fn scrub(source: &str) -> Scrubbed {
     if !code_line.is_empty() || !comment_line.is_empty() || out.lines.is_empty() {
         flush_line!();
     }
+    // Directives that never bound to a code line are recorded as
+    // dangling (`applies_to: 0`) so META-002 can flag them.
+    for (dir_line, rule) in pending_allows {
+        out.directives.push(AllowDirective {
+            line: dir_line,
+            rule,
+            file_wide: false,
+            applies_to: 0,
+        });
+    }
     out
 }
 
@@ -347,6 +403,23 @@ fn char_literal_starts(chars: &[char], i: usize) -> bool {
     }
 }
 
+/// Whether `s` is a well-formed rule ID (`DET-001`, `PERSIST-001`, …):
+/// an uppercase prefix, a dash, and a numeric suffix. Prose mentions of
+/// the directive syntax (`RULE-ID` placeholders, ellipses) never
+/// suppressed anything, so they are not harvested — and therefore not
+/// subject to the META-002 stale-escape audit.
+fn is_rule_id(s: &str) -> bool {
+    match s.rsplit_once('-') {
+        Some((prefix, digits)) => {
+            !prefix.is_empty()
+                && prefix.chars().all(|c| c.is_ascii_uppercase())
+                && !digits.is_empty()
+                && digits.chars().all(|c| c.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
 /// Extracts `lint:allow(...)` / `lint:allow-file(...)` rule lists from
 /// one line's accumulated comment text.
 fn parse_directives(comment: &str) -> (BTreeSet<String>, BTreeSet<String>) {
@@ -366,7 +439,7 @@ fn parse_directives(comment: &str) -> (BTreeSet<String>, BTreeSet<String>) {
         if let Some(end) = args.find(')') {
             for rule in args[..end].split(',') {
                 let rule = rule.trim();
-                if !rule.is_empty() {
+                if is_rule_id(rule) {
                     if is_file {
                         file_rules.insert(rule.to_string());
                     } else {
@@ -492,5 +565,98 @@ mod tests {
         let s = scrub("x(); // lint:allow(DET-001, DET-002)");
         assert!(s.allows(1, "DET-001"));
         assert!(s.allows(1, "DET-002"));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        // The body contains a "# that would close a one-hash raw string.
+        let line = scrubbed_line(r###"let s = r##"quote "# HashMap"##; tail();"###);
+        assert!(!line.contains("HashMap"), "{line:?}");
+        assert!(line.contains("tail()"), "{line:?}");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let line = scrubbed_line(r#"let b = b"HashMap"; go();"#);
+        assert!(!line.contains("HashMap"), "{line:?}");
+        assert!(line.contains("go()"), "{line:?}");
+        let line = scrubbed_line(r##"let rb = br#"HashMap"#; go();"##);
+        assert!(!line.contains("HashMap"), "{line:?}");
+        assert!(line.contains("go()"), "{line:?}");
+    }
+
+    #[test]
+    fn lifetimes_survive_while_char_literals_blank() {
+        // Multiple lifetimes in a generic list are code, not char
+        // literals: the signature must survive scrubbing intact.
+        let line = scrubbed_line("fn f<'a, 'b>(x: &'a str, y: &'b [u8]) -> &'a str { x }");
+        assert!(line.contains("fn f"), "{line:?}");
+        assert!(line.contains("[u8]"), "{line:?}");
+        // A char literal right after a lifetime-looking context blanks.
+        let line = scrubbed_line("let c = 'x'; keep();");
+        assert!(!line.contains('x'), "{line:?}");
+        assert!(line.contains("keep()"), "{line:?}");
+        // Escaped tick inside a char literal does not end it early.
+        let line = scrubbed_line(r"let c = '\''; keep();");
+        assert!(line.contains("keep()"), "{line:?}");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let s = scrub("a /* 1 /* 2 /* HashMap */ 2 */ 1 */ b");
+        assert!(!s.lines[0].contains("HashMap"), "{:?}", s.lines[0]);
+        assert!(s.lines[0].contains('a'));
+        assert!(s.lines[0].contains('b'));
+    }
+
+    #[test]
+    fn doc_comment_containing_code_is_inert() {
+        let s =
+            scrub("/// ```\n/// let m = HashMap::new();\n/// m.unwrap();\n/// ```\nfn real() {}");
+        for line in &s.lines[..4] {
+            assert!(!line.contains("HashMap"), "{line:?}");
+            assert!(!line.contains("unwrap"), "{line:?}");
+        }
+        assert!(s.lines[4].contains("fn real"));
+    }
+
+    #[test]
+    fn directives_record_line_and_binding() {
+        let s = scrub(
+            "// lint:allow(DET-001)\nlet m = 1;\nx(); // lint:allow(DET-002)\n// lint:allow(DET-003)",
+        );
+        assert_eq!(
+            s.directives,
+            vec![
+                AllowDirective {
+                    line: 1,
+                    rule: "DET-001".into(),
+                    file_wide: false,
+                    applies_to: 2,
+                },
+                AllowDirective {
+                    line: 3,
+                    rule: "DET-002".into(),
+                    file_wide: false,
+                    applies_to: 3,
+                },
+                // Dangling at EOF: never bound to a code line.
+                AllowDirective {
+                    line: 4,
+                    rule: "DET-003".into(),
+                    file_wide: false,
+                    applies_to: 0,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn prose_directive_mentions_are_not_harvested() {
+        // Doc text describing the escape syntax must not create (and
+        // later stale-flag) phantom directives.
+        let s = scrub("/// escape via `// lint:allow(RULE-ID)` or lint:allow(...)\nfn f() {}");
+        assert!(s.directives.is_empty(), "{:?}", s.directives);
+        assert!(s.file_allows.is_empty());
     }
 }

@@ -6,15 +6,23 @@
 //! the coding rules those invariants rest on, at CI time, on every
 //! diff:
 //!
-//! | rule      | what it rejects |
-//! |-----------|-----------------|
-//! | DET-001   | `HashMap`/`HashSet` (randomized iteration order) |
-//! | DET-002   | wall-clock / OS-environment inputs (`Instant::now`, `SystemTime`, `std::env`) |
-//! | DET-003   | RNGs other than `ss_common::rng::DetRng` |
-//! | SEC-001   | `unwrap()`/`expect()`/`panic!` in `ss-core` non-test code |
-//! | SEC-002   | raw `ss-nvm` device write APIs referenced outside `ss-core` |
-//! | LAYER-001 | crate dependencies outside the declared layering DAG |
-//! | META-001  | crate roots missing `#![forbid(unsafe_code)]` |
+//! | rule        | what it rejects |
+//! |-------------|-----------------|
+//! | DET-001     | `HashMap`/`HashSet` (randomized iteration order) |
+//! | DET-002     | wall-clock / OS-environment inputs (`Instant::now`, `SystemTime`, `std::env`) |
+//! | DET-003     | RNGs other than `ss_common::rng::DetRng` |
+//! | SEC-001     | `unwrap()`/`expect()`/`panic!` in `ss-core` non-test code |
+//! | SEC-002     | raw `ss-nvm` device write APIs referenced outside `ss-core` |
+//! | SEC-003     | panics reachable from `MemoryController`'s public API (call graph) |
+//! | PERSIST-001 | `ss-core` device writes that bypass the `persist_line` choke point |
+//! | CRYPTO-001  | `ss-crypto` decrypt/keystream surfaces invoked outside `ss-core` |
+//! | LAYER-001   | crate dependencies outside the declared layering DAG |
+//! | META-001    | crate roots missing `#![forbid(unsafe_code)]` |
+//! | META-002    | escape hatches (`lint:allow*`, `[[allow]]`) that suppress nothing |
+//!
+//! The source-level rules match token sequences per line; the call-graph
+//! rules (SEC-003/PERSIST-001/CRYPTO-001) run on an approximate
+//! workspace call graph built by [`items`] + [`callgraph`].
 //!
 //! Escape hatches: a `// lint:allow(RULE-ID)` comment on (or directly
 //! above) the offending line, a `// lint:allow-file(RULE-ID)` comment
@@ -29,7 +37,9 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
 pub mod config;
+pub mod items;
 pub mod layering;
 pub mod lexer;
 pub mod rules;
@@ -86,7 +96,9 @@ impl std::fmt::Display for Finding {
 pub fn check_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let config = load_config(root)?;
     let files = collect_sources(root)?;
-    check_files(root, &config, &files)
+    // The full tree is in view, so stale escapes are decidable: audit
+    // them (META-002).
+    run_check(root, &config, &files, true)
 }
 
 /// Loads and parses `<root>/lint.toml`.
@@ -103,7 +115,10 @@ pub fn load_config(root: &Path) -> Result<LintConfig, String> {
 
 /// Checks an explicit set of files (paths relative to `root`, or
 /// absolute under it). `Cargo.toml`s get the manifest rules; `.rs`
-/// files get the source rules; crate roots additionally get META-001.
+/// files get the source rules plus the call-graph rules over the given
+/// set; crate roots additionally get META-001. The stale-escape audit
+/// (META-002) stays off: with only part of the tree in view, "this
+/// escape suppresses nothing" is not decidable.
 ///
 /// # Errors
 ///
@@ -113,9 +128,29 @@ pub fn check_files(
     config: &LintConfig,
     files: &[PathBuf],
 ) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+    run_check(root, config, files, false)
+}
+
+/// The shared checking pipeline. Pass 1 scrubs each file, runs the
+/// per-file rules unfiltered, and collects `fn` items; pass 2 builds
+/// the call graph and runs the graph rules; then every escape hatch is
+/// applied centrally — tracking which directives and `[[allow]]`
+/// entries actually suppressed something, so `audit_allows` can turn
+/// the unused ones into META-002 findings.
+fn run_check(
+    root: &Path,
+    config: &LintConfig,
+    files: &[PathBuf],
+    audit_allows: bool,
+) -> Result<Vec<Finding>, String> {
+    let mut raw = Vec::new();
+    let mut sources: Vec<(String, lexer::Scrubbed)> = Vec::new();
+    let mut fns = Vec::new();
     for file in files {
-        let abs = if file.is_absolute() {
+        // Workspace walks hand back paths already carrying the root
+        // prefix; explicit file lists are root-relative. Join only in
+        // the latter case so a relative `--root` is not doubled.
+        let abs = if file.is_absolute() || file.starts_with(root) {
             file.clone()
         } else {
             root.join(file)
@@ -125,11 +160,11 @@ pub fn check_files(
             let text = std::fs::read_to_string(&abs)
                 .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
             let manifest = normalise_manifest(layering::parse_manifest(&rel, &text));
-            findings.extend(layering::check_layering(&manifest, config));
+            raw.extend(layering::check_layering(&manifest, config));
             // META-001 runs per crate root, keyed off its manifest.
             if manifest.name.is_some() {
                 if let Some((root_rel, root_abs)) = crate_root_file(&abs, &rel) {
-                    findings.extend(layering::check_crate_root(&root_rel, &root_abs, config));
+                    raw.extend(layering::check_crate_root(&root_rel, &root_abs, config));
                 }
             }
             continue;
@@ -140,19 +175,105 @@ pub fn check_files(
         let text = std::fs::read_to_string(&abs)
             .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
         let scrubbed = lexer::scrub(&text);
+        let first_test = rules::first_test_line(&scrubbed);
         let ctx = rules::FileContext {
             path: &rel,
             scrubbed: &scrubbed,
-            first_test_line: rules::first_test_line(&scrubbed),
+            first_test_line: first_test,
         };
-        findings.extend(
-            rules::check_file(&ctx)
-                .into_iter()
-                .filter(|f| !config.allows(&f.rule, &f.path)),
-        );
+        raw.extend(rules::check_file(&ctx));
+        fns.extend(items::parse_items(&rel, &scrubbed, first_test));
+        sources.push((rel, scrubbed));
     }
-    findings.sort();
-    findings.dedup();
+    let graph = callgraph::CallGraph::build(fns);
+    raw.extend(rules::check_graph(&graph));
+    raw.sort();
+    raw.dedup();
+
+    // Central escape filtering. Every escape that matches a raw finding
+    // is marked used (even when another escape already suppressed it),
+    // so META-002 only flags escapes that do no work at all.
+    let mut entry_used = vec![false; config.allows.len()];
+    let mut directive_used: Vec<Vec<bool>> = sources
+        .iter()
+        .map(|(_, s)| vec![false; s.directives.len()])
+        .collect();
+    let by_path: std::collections::BTreeMap<&str, usize> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _))| (rel.as_str(), i))
+        .collect();
+    let mut findings = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for (i, a) in config.allows.iter().enumerate() {
+            if a.rule == f.rule
+                && (a.path == f.path || (a.path.ends_with('/') && f.path.starts_with(&a.path)))
+            {
+                entry_used[i] = true;
+                suppressed = true;
+            }
+        }
+        if let Some(&src) = by_path.get(f.path.as_str()) {
+            for (j, d) in sources[src].1.directives.iter().enumerate() {
+                if d.rule == f.rule && (d.file_wide || d.applies_to == f.line) {
+                    directive_used[src][j] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    if audit_allows {
+        for (src, (rel, scrubbed)) in sources.iter().enumerate() {
+            for (j, d) in scrubbed.directives.iter().enumerate() {
+                if directive_used[src][j] {
+                    continue;
+                }
+                let kind = if d.file_wide {
+                    "lint:allow-file"
+                } else {
+                    "lint:allow"
+                };
+                let finding = Finding::new(
+                    rel,
+                    d.line,
+                    "META-002",
+                    format!("stale {kind}({}) escape: it suppresses no findings", d.rule),
+                );
+                // META-002 itself is escapable only via lint.toml — a
+                // line directive excusing a stale directive would be
+                // stale in turn.
+                if !config.allows(&finding.rule, &finding.path) {
+                    findings.push(finding);
+                }
+            }
+        }
+        for (i, a) in config.allows.iter().enumerate() {
+            // META-002 entries are the audit's own escape hatch, not
+            // subjects of it.
+            if entry_used[i] || a.rule == "META-002" {
+                continue;
+            }
+            let finding = Finding::new(
+                "lint.toml",
+                a.line,
+                "META-002",
+                format!(
+                    "stale [[allow]] entry: {} for {:?} suppresses no findings",
+                    a.rule, a.path
+                ),
+            );
+            if !config.allows(&finding.rule, &finding.path) {
+                findings.push(finding);
+            }
+        }
+        findings.sort();
+        findings.dedup();
+    }
     Ok(findings)
 }
 

@@ -1,12 +1,15 @@
 //! `ss-lint` CLI.
 //!
 //! ```text
-//! cargo run -p ss-lint -- [--json] [--root DIR] [paths…]
+//! cargo run -p ss-lint -- [--json] [--root DIR] [--rule ID]… [paths…]
 //! ```
 //!
 //! With no paths, lints every `.rs` file and `Cargo.toml` in the
-//! workspace. Prints `file:line RULE-ID message` per finding (or a JSON
-//! array with `--json`) and exits nonzero when anything fires.
+//! workspace. `--rule` (repeatable) keeps only the named rule's
+//! findings — the analysis still runs in full, so call-graph rules and
+//! escape tracking behave identically; only the report is filtered.
+//! Prints `file:line RULE-ID message` per finding (or a JSON array with
+//! `--json`) and exits nonzero when anything fires.
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +22,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut rules: Vec<String> = Vec::new();
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,8 +35,19 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--rule" => match args.next() {
+                Some(id) => rules.push(id),
+                None => {
+                    eprintln!("--rule needs a rule ID (e.g. PERSIST-001)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: ss-lint [--json] [--root DIR] [paths...]");
+                eprintln!("usage: ss-lint [--json] [--root DIR] [--rule ID]... [paths...]");
+                return ExitCode::FAILURE;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other} (usage: ss-lint [--json] [--root DIR] [--rule ID]... [paths...])");
                 return ExitCode::FAILURE;
             }
             other => paths.push(PathBuf::from(other)),
@@ -52,13 +67,16 @@ fn main() -> ExitCode {
     } else {
         ss_lint::load_config(&root).and_then(|config| ss_lint::check_files(&root, &config, &paths))
     };
-    let findings = match result {
+    let mut findings = match result {
         Ok(f) => f,
         Err(e) => {
             eprintln!("ss-lint: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if !rules.is_empty() {
+        findings.retain(|f| rules.iter().any(|r| r == &f.rule));
+    }
 
     if json {
         print!("{}", ss_lint::render_json(&findings));

@@ -7,8 +7,11 @@
 //! [`crate::layering`]. Rationale and escape hatches for every rule are
 //! documented in `LINTS.md`.
 
+use crate::callgraph::CallGraph;
+use crate::items::{CallKind, CallSite, FnItem};
 use crate::lexer::{Scrubbed, Token};
 use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything a source-level rule needs to know about one file.
 pub struct FileContext<'a> {
@@ -44,8 +47,10 @@ pub fn first_test_line(scrubbed: &Scrubbed) -> Option<usize> {
     })
 }
 
-/// Runs every source-level rule over `ctx`, honouring `// lint:allow`
-/// escapes. Config-level allowlisting is applied by the caller.
+/// Runs every source-level rule over `ctx`. Findings come back
+/// unfiltered: `lint:allow` escapes and config-level allowlisting are
+/// applied centrally by the caller (so escape *usage* can be audited
+/// for META-002).
 pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
     let mut findings = Vec::new();
     for ln in 1..=ctx.scrubbed.lines.len() {
@@ -60,8 +65,211 @@ pub fn check_file(ctx: &FileContext<'_>) -> Vec<Finding> {
         sec_001(ctx, ln, &toks, &mut findings);
         sec_002(ctx, ln, &toks, &mut findings);
     }
-    findings.retain(|f| !ctx.scrubbed.allows(f.line, &f.rule));
     findings
+}
+
+/// Runs the call-graph rules over the whole analyzed file set. Like
+/// [`check_file`], findings are unfiltered; escapes apply centrally.
+pub fn check_graph(graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    persist_001(graph, &mut findings);
+    sec_003(graph, &mut findings);
+    crypto_001(graph, &mut findings);
+    findings
+}
+
+/// The files where direct device writes are legitimate: the persist
+/// choke point itself and the controller (journal append, recovery
+/// redo/undo, spare-pool remap — the machinery persist steps are built
+/// from).
+const PERSIST_CHOKE_FILES: &[&str] = &[
+    "crates/core/src/controller.rs",
+    "crates/core/src/persist.rs",
+];
+
+/// Whether a call site is a raw device write (`NvmDevice::write_line`,
+/// spelled as a method or with an explicit type qualifier).
+fn is_device_write(call: &CallSite) -> bool {
+    call.name == "write_line"
+        && match &call.kind {
+            CallKind::Method => true,
+            CallKind::Qualified(q) => q == "NvmDevice",
+            _ => false,
+        }
+}
+
+/// PERSIST-001: inside `ss-core`, every durable line write must pass
+/// through the `persist_line` choke point, which numbers it as a
+/// persist step and (under ADR) journals the write-ahead undo image. A
+/// `write_line` call in any other ss-core file bypasses crash-cut
+/// accounting and the ordering journal — exactly the "optimized" path
+/// that silently loses crash consistency. Within the choke files the
+/// write is legitimate only while a `persist_line` function actually
+/// exists in the analyzed set: a refactor that deletes or renames the
+/// choke point is flagged at every device write it orphans.
+fn persist_001(graph: &CallGraph, out: &mut Vec<Finding>) {
+    let persist_exists = graph
+        .fns
+        .iter()
+        .any(|f| f.name == "persist_line" && !f.in_test && f.file.starts_with("crates/core/src/"));
+    for f in &graph.fns {
+        if !f.file.starts_with("crates/core/src/") || f.in_test {
+            continue;
+        }
+        let in_choke = PERSIST_CHOKE_FILES.contains(&f.file.as_str());
+        for call in &f.calls {
+            if !is_device_write(call) {
+                continue;
+            }
+            if !in_choke {
+                out.push(Finding::new(
+                    &f.file,
+                    call.line,
+                    "PERSIST-001",
+                    format!(
+                        "{}() writes the device directly; route durable writes through the \
+                         persist_line choke point so each takes a persist step and its \
+                         ordering-journal entry",
+                        f.name
+                    ),
+                ));
+            } else if !persist_exists {
+                out.push(Finding::new(
+                    &f.file,
+                    call.line,
+                    "PERSIST-001",
+                    format!(
+                        "{}() writes the device but ss-core defines no persist_line choke \
+                         point; the ordering-journal invariant has lost its anchor",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The crates a `MemoryController` request may execute in: ss-core and
+/// the helper crates its layer depends on. SEC-003's reachability
+/// traversal never leaves this set, so name collisions with harness or
+/// bench code cannot drag unrelated functions into the closure.
+const CONTROLLER_DOMAIN: &[&str] = &[
+    "crates/core/src/",
+    "crates/crypto/src/",
+    "crates/nvm/src/",
+    "crates/cache/src/",
+    "crates/common/src/",
+    "crates/trace/src/",
+];
+
+/// Whether a `MemoryController` method is part of the public request
+/// API that SEC-003 roots at (`read_block`, `write_block`,
+/// `shred_page*`, `recover_mut`, and any future spelling with those
+/// prefixes).
+fn is_controller_root(name: &str) -> bool {
+    name == "recover_mut"
+        || name.starts_with("read")
+        || name.starts_with("write")
+        || name.starts_with("shred")
+}
+
+/// SEC-003: call-graph panic-reachability. No function transitively
+/// reachable from `MemoryController`'s public API may `panic!`,
+/// `unwrap()` or `expect()` — the interprocedural extension of SEC-001
+/// into the `ss-crypto`/`ss-nvm`/`ss-cache` helpers those paths
+/// actually execute. Findings are reported only outside
+/// `crates/core/src/` (SEC-001 already owns every line there).
+fn sec_003(graph: &CallGraph, out: &mut Vec<Finding>) {
+    let domain = |f: &FnItem| !f.in_test && CONTROLLER_DOMAIN.iter().any(|d| f.file.starts_with(d));
+    let mut reached: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.impl_type.as_deref() == Some("MemoryController")
+            && f.is_pub
+            && !f.in_test
+            && f.file.starts_with("crates/core/src/")
+            && is_controller_root(&f.name)
+        {
+            for r in graph.reachable(idx, &domain) {
+                reached.entry(r).or_default().insert(f.name.as_str());
+            }
+        }
+    }
+    for (idx, roots) in &reached {
+        let f = &graph.fns[*idx];
+        if f.file.starts_with("crates/core/src/") {
+            continue;
+        }
+        for call in &f.calls {
+            let panics = match &call.kind {
+                CallKind::Macro => call.name == "panic",
+                CallKind::Method => call.name == "unwrap" || call.name == "expect",
+                _ => false,
+            };
+            if panics {
+                let via: Vec<&str> = roots.iter().copied().collect();
+                out.push(Finding::new(
+                    &f.file,
+                    call.line,
+                    "SEC-003",
+                    format!(
+                        "{}() is reachable from MemoryController::{{{}}} but calls {}; \
+                         propagate ss_common::error instead",
+                        f.name,
+                        via.join(","),
+                        call.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The `ss-crypto` surfaces that recover plaintext or keystream
+/// material: line/block decryption and the one-time-pad generator.
+const CRYPTO_DECRYPT_SURFACE: &[&str] = &["decrypt_line", "decrypt_block", "pad"];
+
+/// CRYPTO-001: the decrypt/keystream surfaces of `ss-crypto` may be
+/// invoked only from `ss-core` (and `ss-crypto` itself) — the
+/// plaintext-containment dual of SEC-002. Software above the controller
+/// sees plaintext only through the controller's read path, where the
+/// shred check and zero-fill stand between the array and the caller; a
+/// decrypt call anywhere else is an oracle that bypasses them. A call
+/// that resolves to a same-named workspace function outside ss-crypto
+/// is not flagged.
+fn crypto_001(graph: &CallGraph, out: &mut Vec<Finding>) {
+    for f in &graph.fns {
+        if f.in_test
+            || f.file.starts_with("crates/core/src/")
+            || f.file.starts_with("crates/crypto/src/")
+        {
+            continue;
+        }
+        for call in &f.calls {
+            if !CRYPTO_DECRYPT_SURFACE.contains(&call.name.as_str())
+                || !matches!(call.kind, CallKind::Method | CallKind::Qualified(_))
+            {
+                continue;
+            }
+            let targets = graph.resolve(f, call);
+            if !targets.is_empty()
+                && !targets
+                    .iter()
+                    .any(|&t| graph.fns[t].file.starts_with("crates/crypto/src/"))
+            {
+                continue;
+            }
+            out.push(Finding::new(
+                &f.file,
+                call.line,
+                "CRYPTO-001",
+                format!(
+                    "{}() recovers plaintext/keystream outside ss-core; ss-crypto decrypt \
+                     surfaces are contained to the controller",
+                    call.name
+                ),
+            ));
+        }
+    }
 }
 
 /// DET-001: no `HashMap`/`HashSet` anywhere in the workspace. Their
@@ -146,7 +354,7 @@ fn det_003(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Findi
 /// thresholds), so a float is either dead weight or a reintroduced
 /// nondeterminism hazard. Scoped to the accounting files; the one-time
 /// probability→threshold conversion at construction carries explicit
-/// `lint:allow(DET-004)` escapes. Trailing test modules are exempt
+/// `DET-004` line escapes. Trailing test modules are exempt
 /// (tests may compare against float reference implementations).
 fn det_004(ctx: &FileContext<'_>, ln: usize, toks: &[Token], out: &mut Vec<Finding>) {
     const CYCLE_ACCOUNTING_FILES: &[&str] = &[
@@ -275,9 +483,15 @@ mod tests {
         }
     }
 
+    // Mirrors the central pipeline: run the per-file rules, then apply
+    // the file's own `lint:allow` escapes (lib.rs does this filtering
+    // for real runs, tracking escape usage for META-002).
     fn rules_on(path: &str, src: &str) -> Vec<Finding> {
         let s = scrub(src);
         check_file(&ctx(path, &s))
+            .into_iter()
+            .filter(|f| !s.allows(f.line, &f.rule))
+            .collect()
     }
 
     #[test]
@@ -351,5 +565,86 @@ mod tests {
             "use std::collections::HashMap; // lint:allow(DET-001)",
         );
         assert!(f.is_empty());
+    }
+
+    fn graph_on(files: &[(&str, &str)]) -> Vec<Finding> {
+        let mut fns = Vec::new();
+        for (path, src) in files {
+            let s = scrub(src);
+            fns.extend(crate::items::parse_items(path, &s, first_test_line(&s)));
+        }
+        check_graph(&CallGraph::build(fns))
+    }
+
+    #[test]
+    fn persist001_flags_device_writes_outside_the_choke_point() {
+        let persist = (
+            "crates/core/src/persist.rs",
+            "impl MemoryController {\n pub fn persist_line(&mut self) { self.nvm.write_line(a, d); }\n}",
+        );
+        let bypass = (
+            "crates/core/src/wear.rs",
+            "pub fn migrate(nvm: &mut N) {\n nvm.write_line(a, d);\n}",
+        );
+        let f = graph_on(&[persist, bypass]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "PERSIST-001");
+        assert_eq!(
+            (f[0].path.as_str(), f[0].line),
+            ("crates/core/src/wear.rs", 2)
+        );
+        // The choke point itself is clean while it exists…
+        assert!(graph_on(&[persist]).is_empty());
+        // …but a choke-file write with no persist_line anywhere is red.
+        let renamed = (
+            "crates/core/src/persist.rs",
+            "impl MemoryController {\n pub fn flush(&mut self) { self.nvm.write_line(a, d); }\n}",
+        );
+        let f = graph_on(&[renamed]);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no persist_line choke point"));
+    }
+
+    #[test]
+    fn sec003_flags_panics_reachable_from_the_controller_api() {
+        let api = (
+            "crates/core/src/controller.rs",
+            "impl MemoryController {\n pub fn read_block(&self) { self.engine.pad_for(1); }\n}",
+        );
+        let helper = (
+            "crates/crypto/src/ctr.rs",
+            "impl Engine {\n pub fn pad_for(&self, x: u32) { self.key.get(x).unwrap(); }\n pub fn offline(&self) { panic!(); }\n}",
+        );
+        let f = graph_on(&[api, helper]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "SEC-003");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("MemoryController::{read_block}"));
+        // The unreachable offline() panic is not flagged.
+        assert!(!f.iter().any(|f| f.line == 3));
+    }
+
+    #[test]
+    fn crypto001_contains_decrypt_surfaces_to_core() {
+        let sim = (
+            "crates/sim/src/probe.rs",
+            "pub fn snoop(e: &Engine) { e.decrypt_line(iv, data); }",
+        );
+        let f = graph_on(&[sim]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "CRYPTO-001");
+        // The same call from ss-core is the legitimate read path.
+        let core = (
+            "crates/core/src/controller.rs",
+            "pub fn fill(e: &Engine) { e.decrypt_line(iv, data); }",
+        );
+        assert!(graph_on(&[core]).is_empty());
+        // A call resolving to a local, non-crypto fn of the same name is
+        // not a crypto surface.
+        let local = (
+            "crates/sim/src/fmt.rs",
+            "impl Table {\n pub fn pad(&self, w: usize) {}\n pub fn render(&self) { self.pad(3); }\n}",
+        );
+        assert!(graph_on(&[local]).is_empty());
     }
 }

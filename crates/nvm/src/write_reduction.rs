@@ -70,8 +70,18 @@ impl WriteScheme {
             WriteScheme::FlipNWrite => {
                 let mut bits = 0u32;
                 for w in 0..LINE_SIZE / 4 {
-                    let old_word = u32::from_le_bytes(old[w * 4..w * 4 + 4].try_into().unwrap());
-                    let new_word = u32::from_le_bytes(new[w * 4..w * 4 + 4].try_into().unwrap());
+                    let old_word = u32::from_le_bytes([
+                        old[w * 4],
+                        old[w * 4 + 1],
+                        old[w * 4 + 2],
+                        old[w * 4 + 3],
+                    ]);
+                    let new_word = u32::from_le_bytes([
+                        new[w * 4],
+                        new[w * 4 + 1],
+                        new[w * 4 + 2],
+                        new[w * 4 + 3],
+                    ]);
                     // The stored pattern is the word XOR its flip mask.
                     let stored_old = if flip_state[w] { !old_word } else { old_word };
                     // Cost of each choice includes toggling the flip bit
