@@ -3,7 +3,7 @@
 use ss_bench::experiments::ablation_counter_strategy;
 use ss_bench::runner::time_it;
 use ss_common::{Cycles, PageId};
-use ss_core::{ControllerConfig, MemoryController, ShredStrategy};
+use ss_core::{ControllerConfigBuilder, MemoryController, ShredStrategy};
 
 fn main() {
     println!("\nShred-strategy ablation (200 shreds of a live page):");
@@ -23,10 +23,12 @@ fn main() {
             ShredStrategy::MajorBumpResetMinors,
         ),
     ] {
-        let mut mc = MemoryController::new(ControllerConfig {
-            shred_strategy: strategy,
-            ..ControllerConfig::small_test()
-        })
+        let mut mc = MemoryController::new(
+            ControllerConfigBuilder::small_test()
+                .shred_strategy(strategy)
+                .build()
+                .expect("config"),
+        )
         .expect("mc");
         mc.write_block(PageId::new(1).block_addr(0), &[5; 64], false, Cycles::ZERO)
             .expect("write");

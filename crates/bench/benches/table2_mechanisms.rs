@@ -5,7 +5,7 @@ use ss_bench::experiments::table2;
 use ss_bench::runner::{time_it, ExperimentScale};
 use ss_cache::{Hierarchy, HierarchyConfig};
 use ss_common::{Cycles, PageId};
-use ss_core::{ControllerConfig, MemoryController};
+use ss_core::{ControllerConfigBuilder, MemoryController};
 use ss_os::{zeroing, ZeroStrategy};
 use ss_sim::Hardware;
 
@@ -15,11 +15,13 @@ fn hardware() -> Hardware {
         ..HierarchyConfig::scaled_down(256)
     })
     .expect("hierarchy");
-    let controller = MemoryController::new(ControllerConfig {
-        data_capacity: 4 << 20,
-        counter_cache_bytes: 32 << 10,
-        ..ControllerConfig::default()
-    })
+    let controller = MemoryController::new(
+        ControllerConfigBuilder::new()
+            .data_capacity(4 << 20)
+            .counter_cache_bytes(32 << 10)
+            .build()
+            .expect("config"),
+    )
     .expect("controller");
     Hardware::new(hierarchy, controller)
 }

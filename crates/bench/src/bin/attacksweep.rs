@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! attacksweep [--seeds N] [--seed S] [--config LABEL] [--json FILE]
-//!             [--weakened] [--list]
+//!             [--scattered] [--weakened] [--list]
 //! ```
 //!
 //! The security analog of `faultsweep`: every attack script in
@@ -24,6 +24,12 @@
 //! report, which stays byte-identical whether or not `--json` is
 //! given).
 //!
+//! `--scattered` swaps the matrix for the scattered two-share rows
+//! ([`AttackConfig::scattered_matrix`]): the `ScatteredTwoShare`
+//! protection backend under battery-backed and write-through liveness
+//! metadata, healing pressure, and a 4-shard controller. Stolen-DIMM
+//! attacks against shredded pages must classify `defended` there too.
+//!
 //! `--weakened` swaps the matrix for the deliberately broken
 //! [`AttackConfig::weakened`] configuration (no Merkle tree). Its
 //! rollback-replay attack *leaks*, so the sweep must exit red — CI runs
@@ -40,6 +46,7 @@ struct Options {
     replay: Option<u64>,
     config: Option<String>,
     json: Option<String>,
+    scattered: bool,
     weakened: bool,
     list: bool,
 }
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
         replay: None,
         config: None,
         json: None,
+        scattered: false,
         weakened: false,
         list: false,
     };
@@ -77,12 +85,13 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 opts.json = Some(args.next().ok_or("--json needs a file path")?);
             }
+            "--scattered" => opts.scattered = true,
             "--weakened" => opts.weakened = true,
             "--list" => opts.list = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: attacksweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] \
-                     [--weakened] [--list]"
+                     [--scattered] [--weakened] [--list]"
                         .to_string(),
                 );
             }
@@ -91,6 +100,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.seeds == 0 {
         return Err("--seeds must be at least 1".to_string());
+    }
+    if opts.scattered && opts.weakened {
+        return Err("--scattered and --weakened are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -187,6 +199,8 @@ fn main() -> ExitCode {
     };
     let pool = if opts.weakened {
         vec![AttackConfig::weakened()]
+    } else if opts.scattered {
+        AttackConfig::scattered_matrix()
     } else {
         AttackConfig::matrix()
     };

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! crashsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE]
-//!            [--weakened] [--list]
+//!            [--scattered] [--weakened] [--list]
 //! ```
 //!
 //! The crash-consistency analog of `attacksweep`: every scenario in
@@ -25,6 +25,12 @@
 //! report, which stays byte-identical whether or not `--json` is
 //! given).
 //!
+//! `--scattered` swaps the matrix for the scattered two-share rows
+//! ([`CrashConfig::scattered_matrix`]): ADR write-through, ADR battery,
+//! eADR, and a 4-shard ADR row, all with the `ScatteredTwoShare`
+//! protection backend, so torn cuts between the two share persists are
+//! exercised too.
+//!
 //! `--weakened` swaps the matrix for the deliberately broken
 //! [`CrashConfig::weakened`] configuration (ADR torn writes with the
 //! reboot recovery protocol disabled). Its demand-write cuts serve
@@ -42,6 +48,7 @@ struct Options {
     replay: Option<u64>,
     config: Option<String>,
     json: Option<String>,
+    scattered: bool,
     weakened: bool,
     list: bool,
 }
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
         replay: None,
         config: None,
         json: None,
+        scattered: false,
         weakened: false,
         list: false,
     };
@@ -79,12 +87,13 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 opts.json = Some(args.next().ok_or("--json needs a file path")?);
             }
+            "--scattered" => opts.scattered = true,
             "--weakened" => opts.weakened = true,
             "--list" => opts.list = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: crashsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] \
-                     [--weakened] [--list]"
+                     [--scattered] [--weakened] [--list]"
                         .to_string(),
                 );
             }
@@ -93,6 +102,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.seeds == 0 {
         return Err("--seeds must be at least 1".to_string());
+    }
+    if opts.scattered && opts.weakened {
+        return Err("--scattered and --weakened are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -189,6 +201,8 @@ fn main() -> ExitCode {
     };
     let pool = if opts.weakened {
         vec![CrashConfig::weakened()]
+    } else if opts.scattered {
+        CrashConfig::scattered_matrix()
     } else {
         CrashConfig::matrix()
     };

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE]
-//!            [--metrics-json FILE] [--trace] [--list]
+//!            [--metrics-json FILE] [--scattered] [--trace] [--list]
 //! ```
 //!
 //! The default campaign runs seeds `0..N` (N = 32) against every
@@ -25,6 +25,11 @@
 //! §10) to `FILE`: per config, counters summed over every seed in the
 //! campaign (or the single replayed seed). Byte-identical across runs,
 //! and collecting it never changes the text or `--json` reports.
+//!
+//! `--scattered` swaps the matrix for the scattered two-share rows
+//! ([`HarnessConfig::scattered_matrix`]): every counter-persistence
+//! flavor of the `ScatteredTwoShare` protection backend, with and
+//! without integrity, plus a healing-pressure row.
 //!
 //! `--trace` (replay mode only) enables the controller's event trace
 //! and prints the retained records after each per-fault report. Event
@@ -49,6 +54,7 @@ struct Options {
     config: Option<String>,
     json: Option<String>,
     metrics_json: Option<String>,
+    scattered: bool,
     trace: bool,
     list: bool,
 }
@@ -60,6 +66,7 @@ fn parse_args() -> Result<Options, String> {
         config: None,
         json: None,
         metrics_json: None,
+        scattered: false,
         trace: false,
         list: false,
     };
@@ -90,12 +97,13 @@ fn parse_args() -> Result<Options, String> {
             "--metrics-json" => {
                 opts.metrics_json = Some(args.next().ok_or("--metrics-json needs a file path")?);
             }
+            "--scattered" => opts.scattered = true,
             "--trace" => opts.trace = true,
             "--list" => opts.list = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: faultsweep [--seeds N] [--seed S] [--config LABEL] [--json FILE] \
-                     [--metrics-json FILE] [--trace] [--list]"
+                     [--metrics-json FILE] [--scattered] [--trace] [--list]"
                         .to_string(),
                 );
             }
@@ -230,7 +238,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let matrix: Vec<HarnessConfig> = HarnessConfig::matrix()
+    let pool = if opts.scattered {
+        HarnessConfig::scattered_matrix()
+    } else {
+        HarnessConfig::matrix()
+    };
+    let matrix: Vec<HarnessConfig> = pool
         .into_iter()
         .filter(|c| opts.config.as_deref().is_none_or(|l| c.label == l))
         .collect();

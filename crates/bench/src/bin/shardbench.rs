@@ -21,7 +21,7 @@ use std::env;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use ss_core::{ControllerConfig, ShardedConfig};
+use ss_core::{ControllerConfig, ControllerConfigBuilder, ShardedConfig};
 use ss_sim::{ConsolidationReport, ConsolidationScenario};
 use ss_workloads::ConsolidationWorkload;
 
@@ -67,11 +67,11 @@ fn parse_args() -> Result<Options, String> {
 /// The bench's controller: `small_test` scaled up so every shard count
 /// under test divides the frame count and the drain batches are long
 /// enough to dwarf per-batch constants.
-fn base_config() -> ControllerConfig {
-    ControllerConfig {
-        data_capacity: 8 << 20, // 2048 frames: divisible by 1,2,4,8
-        ..ControllerConfig::small_test()
-    }
+fn base_config() -> Result<ControllerConfig, String> {
+    ControllerConfigBuilder::small_test()
+        .data_capacity(8 << 20) // 2048 frames: divisible by 1,2,4,8
+        .build()
+        .map_err(|e| format!("base config: {e}"))
 }
 
 /// The bench workload: 16 tenants × 112 pages = 1792 pages of churn.
@@ -85,12 +85,12 @@ fn workload() -> ConsolidationWorkload {
 }
 
 fn run(shards: u32) -> Result<ConsolidationReport, String> {
-    let scenario = ConsolidationScenario::new(workload(), {
-        let mut sc = ShardedConfig::new(shards, base_config());
-        sc.shred_queue_capacity = 4096;
-        sc
-    })
-    .map_err(|e| format!("shards={shards}: {e}"))?;
+    let sharded = ShardedConfig::builder(shards, base_config()?)
+        .shred_queue_capacity(4096)
+        .build()
+        .map_err(|e| format!("shards={shards}: {e}"))?;
+    let scenario = ConsolidationScenario::new(workload(), sharded)
+        .map_err(|e| format!("shards={shards}: {e}"))?;
     scenario.run().map_err(|e| format!("shards={shards}: {e}"))
 }
 

@@ -3,7 +3,7 @@
 //! binary formats them.
 
 use ss_common::{Cycles, PageId, Result, LINE_SIZE, PAGE_SIZE};
-use ss_core::{ControllerConfig, ShredStrategy};
+use ss_core::{ControllerConfigBuilder, ShredStrategy};
 use ss_cpu::Op;
 use ss_nvm::{NvmConfig, NvmDevice, WriteScheme};
 use ss_os::ZeroStrategy;
@@ -548,10 +548,11 @@ pub fn ablation_counter_strategy() -> Result<Vec<StrategyRow>> {
     ];
     let mut rows = Vec::new();
     for (name, strategy) in strategies {
-        let mut mc = ss_core::MemoryController::new(ControllerConfig {
-            shred_strategy: strategy,
-            ..ControllerConfig::small_test()
-        })?;
+        let mut mc = ss_core::MemoryController::new(
+            ControllerConfigBuilder::small_test()
+                .shred_strategy(strategy)
+                .build()?,
+        )?;
         let page = PageId::new(1);
         // Write the page once, then shred it 200 times (the VM-churn
         // pattern): option 1 overflows its 7-bit minors repeatedly.
@@ -638,10 +639,9 @@ pub fn ablation_dcw_fnw() -> Result<Vec<DcwRow>> {
         ("CTR controller + DCW", false),
         ("DEUCE controller + DCW", true),
     ] {
-        let mut mc = ss_core::MemoryController::new(ControllerConfig {
-            deuce,
-            ..ControllerConfig::small_test()
-        })?;
+        let mut mc = ss_core::MemoryController::new(
+            ControllerConfigBuilder::small_test().deuce(deuce).build()?,
+        )?;
         // Note: the controller's NVM uses the Raw scheme; we measure
         // ciphertext diffusion directly instead.
         let mut rng = ss_common::DetRng::new(99);
@@ -705,10 +705,11 @@ pub fn ablation_counter_persistence() -> Result<Vec<PersistenceRow>> {
     let shreds = 256u64;
     let mut rows = Vec::new();
     for (mode, persistence) in modes {
-        let mut mc = ss_core::MemoryController::new(ControllerConfig {
-            counter_persistence: persistence,
-            ..ControllerConfig::small_test()
-        })?;
+        let mut mc = ss_core::MemoryController::new(
+            ControllerConfigBuilder::small_test()
+                .counter_persistence(persistence)
+                .build()?,
+        )?;
         // Shred many distinct pages (VM-churn pattern); counters change
         // on every shred even for already-shredded pages (major bump).
         for p in 0..shreds {
@@ -749,13 +750,14 @@ pub struct WearLevelRow {
 pub fn ablation_wear_leveling() -> Result<Vec<WearLevelRow>> {
     let mut rows = Vec::new();
     for (config, wear_leveling) in [("no wear levelling", false), ("start-gap", true)] {
-        let mut mc = ss_core::MemoryController::new(ControllerConfig {
-            data_capacity: 32 << 10, // 512 lines: rotations complete fast
-            counter_cache_bytes: 16 << 10,
-            wear_leveling,
-            start_gap_interval: 1,
-            ..ControllerConfig::default()
-        })?;
+        let mut mc = ss_core::MemoryController::new(
+            ControllerConfigBuilder::new()
+                .data_capacity(32 << 10) // 512 lines: rotations complete fast
+                .counter_cache_bytes(16 << 10)
+                .wear_leveling(wear_leveling)
+                .start_gap_interval(1)
+                .build()?,
+        )?;
         let mut rng = ss_common::DetRng::new(17);
         // Zipf-skewed writes over 8 pages: a few lines take most writes.
         for i in 0..4000u64 {
@@ -807,16 +809,17 @@ pub fn ablation_self_healing() -> Result<Vec<SelfHealRow>> {
     ];
     let mut rows = Vec::new();
     for (config, endurance_limit, scrub_interval, transient_read_ber) in cases {
-        let mut mc = ss_core::MemoryController::new(ControllerConfig {
-            data_capacity: 32 << 10, // 512 lines: hot lines wear out fast
-            counter_cache_bytes: 16 << 10,
-            endurance_limit,
-            scrub_interval,
-            transient_read_ber,
-            spare_lines: 256,
-            nvm_fault_seed: 7,
-            ..ControllerConfig::default()
-        })?;
+        let mut mc = ss_core::MemoryController::new(
+            ControllerConfigBuilder::new()
+                .data_capacity(32 << 10) // 512 lines: hot lines wear out fast
+                .counter_cache_bytes(16 << 10)
+                .endurance_limit(endurance_limit)
+                .scrub_interval(scrub_interval)
+                .transient_read_ber(transient_read_ber)
+                .spare_lines(256)
+                .nvm_fault_seed(7)
+                .build()?,
+        )?;
         let mut rng = ss_common::DetRng::new(23);
         // Zipf-skewed, write-heavy traffic (7 writes : 1 read) over 8
         // pages: demand reads are too rare to catch wear early, which is

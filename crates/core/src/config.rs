@@ -18,6 +18,27 @@ pub enum EncryptionMode {
     Ctr,
 }
 
+/// Which memory-protection backend the controller runs
+/// (DESIGN.md §15). The backend owns the encrypt-on-write /
+/// decrypt-on-read / shred / rescue-remap / recovery-reverify surface
+/// behind the [`crate::protection::MemoryProtection`] trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtectionMode {
+    /// The paper's design: counter-mode AES-CTR with per-page major and
+    /// per-block minor counters, shred = major bump + minor reset.
+    /// Behaviour is governed by the [`EncryptionMode`] axis exactly as
+    /// before the trait existed.
+    CounterMode,
+    /// Scattered two-share memory (cf. *Secure Scattered Memory*,
+    /// arXiv:2402.15824): every line is secret-shared into a
+    /// uniform-random share in the data region and an XOR-masked share
+    /// in a disjoint mask region. Either share alone is a one-time pad
+    /// of nothing; shred = discard the masked share. Requires
+    /// `encryption == None` — the split *is* the confidentiality
+    /// mechanism.
+    ScatteredTwoShare,
+}
+
 /// Which §4.2 design option a shred command applies to the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ShredStrategy {
@@ -77,6 +98,11 @@ pub struct ControllerConfig {
     pub data_capacity: u64,
     /// Encryption mode.
     pub encryption: EncryptionMode,
+    /// Memory-protection backend. [`ProtectionMode::CounterMode`] (the
+    /// default) reproduces the paper's controller byte for byte;
+    /// [`ProtectionMode::ScatteredTwoShare`] secret-shares lines across
+    /// two NVM regions instead of encrypting them.
+    pub protection: ProtectionMode,
     /// Whether the Silent Shredder mechanism (shred command + zero-fill
     /// reads) is enabled. Requires `encryption == Ctr`.
     pub shredder: bool,
@@ -156,6 +182,7 @@ impl Default for ControllerConfig {
         ControllerConfig {
             data_capacity: 1 << 30,
             encryption: EncryptionMode::Ctr,
+            protection: ProtectionMode::CounterMode,
             shredder: true,
             shred_strategy: ShredStrategy::MajorBumpResetMinors,
             counter_cache_bytes: 4 << 20,
@@ -216,6 +243,30 @@ impl ControllerConfig {
         }
     }
 
+    /// The scattered two-share backend: lines are secret-shared across
+    /// two NVM regions, shred = discard the masked share. Keeps the
+    /// shred command and liveness-metadata integrity on; encryption is
+    /// `None` because the split is the confidentiality mechanism.
+    pub fn scattered() -> Self {
+        ControllerConfig {
+            protection: ProtectionMode::ScatteredTwoShare,
+            encryption: EncryptionMode::None,
+            shredder: true,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Starts a validating [`ControllerConfigBuilder`] seeded with the
+    /// default (paper) configuration.
+    pub fn builder() -> ControllerConfigBuilder {
+        ControllerConfigBuilder::new()
+    }
+
+    /// Continues this configuration in a validating builder.
+    pub fn into_builder(self) -> ControllerConfigBuilder {
+        ControllerConfigBuilder { cfg: self }
+    }
+
     /// Number of 4 KiB frames of data memory.
     pub fn frames(&self) -> u64 {
         self.data_capacity / PAGE_SIZE as u64
@@ -234,7 +285,45 @@ impl ControllerConfig {
                 detail: format!("data capacity {} not page aligned", self.data_capacity),
             });
         }
-        if self.shredder && self.encryption != EncryptionMode::Ctr {
+        if self.protection == ProtectionMode::ScatteredTwoShare {
+            // The scattered backend's share split is the confidentiality
+            // mechanism; the counter-mode axes it replaces must be off,
+            // and the machinery it has no share-consistent story for
+            // (DEUCE chunk metadata, write-queue coalescing, Start-Gap
+            // moves) is rejected at this single choke point.
+            if self.encryption != EncryptionMode::None {
+                return Err(Error::InvalidConfig {
+                    detail: "scattered two-share mode replaces encryption; set encryption to None"
+                        .into(),
+                });
+            }
+            if self.shredder && self.shred_strategy != ShredStrategy::MajorBumpResetMinors {
+                return Err(Error::InvalidConfig {
+                    detail: "scattered shredding requires the major-bump-reset-minors strategy"
+                        .into(),
+                });
+            }
+            if self.deuce {
+                return Err(Error::InvalidConfig {
+                    detail: "DEUCE partial re-encryption does not apply to scattered shares".into(),
+                });
+            }
+            if self.write_queue.is_some() {
+                return Err(Error::InvalidConfig {
+                    detail: "scattered two-share mode does not support the write queue".into(),
+                });
+            }
+            if self.wear_leveling {
+                return Err(Error::InvalidConfig {
+                    detail: "Start-Gap wear levelling does not cover the scattered mask region"
+                        .into(),
+                });
+            }
+        }
+        if self.protection == ProtectionMode::CounterMode
+            && self.shredder
+            && self.encryption != EncryptionMode::Ctr
+        {
             return Err(Error::InvalidConfig {
                 detail: "silent shredder requires counter-mode encryption".into(),
             });
@@ -401,6 +490,245 @@ impl ShardedConfig {
     }
 }
 
+/// Validating builder for [`ControllerConfig`] — the one construction
+/// choke point that rejects invalid axis combinations (scattered +
+/// DEUCE, ADR-incompatible sets, …) before a controller ever sees them.
+///
+/// Starts from the paper's default configuration (or a preset) and
+/// chains setters; [`ControllerConfigBuilder::build`] runs
+/// [`ControllerConfig::validate`] and only then releases the config.
+///
+/// # Examples
+///
+/// ```
+/// use ss_core::{ControllerConfig, ProtectionMode};
+///
+/// let cfg = ControllerConfig::builder()
+///     .data_capacity(1 << 20)
+///     .counter_cache_bytes(16 << 10)
+///     .protection(ProtectionMode::ScatteredTwoShare)
+///     .encryption(ss_core::EncryptionMode::None)
+///     .build()
+///     .expect("valid scattered config");
+/// assert!(cfg.shredder);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControllerConfigBuilder {
+    cfg: ControllerConfig,
+}
+
+impl Default for ControllerConfigBuilder {
+    fn default() -> Self {
+        ControllerConfigBuilder::new()
+    }
+}
+
+impl ControllerConfigBuilder {
+    /// A builder seeded with [`ControllerConfig::default`].
+    pub fn new() -> Self {
+        ControllerConfigBuilder {
+            cfg: ControllerConfig::default(),
+        }
+    }
+
+    /// A builder seeded with [`ControllerConfig::small_test`].
+    pub fn small_test() -> Self {
+        ControllerConfig::small_test().into_builder()
+    }
+
+    /// A builder seeded with [`ControllerConfig::plain`].
+    pub fn plain() -> Self {
+        ControllerConfig::plain().into_builder()
+    }
+
+    /// A builder seeded with [`ControllerConfig::encrypted_baseline`].
+    pub fn encrypted_baseline() -> Self {
+        ControllerConfig::encrypted_baseline().into_builder()
+    }
+
+    /// A builder seeded with [`ControllerConfig::scattered`].
+    pub fn scattered() -> Self {
+        ControllerConfig::scattered().into_builder()
+    }
+
+    /// Sets the data capacity in bytes.
+    pub fn data_capacity(mut self, bytes: u64) -> Self {
+        self.cfg.data_capacity = bytes;
+        self
+    }
+
+    /// Sets the encryption mode.
+    pub fn encryption(mut self, mode: EncryptionMode) -> Self {
+        self.cfg.encryption = mode;
+        self
+    }
+
+    /// Selects the memory-protection backend.
+    pub fn protection(mut self, mode: ProtectionMode) -> Self {
+        self.cfg.protection = mode;
+        self
+    }
+
+    /// Enables or disables the shred command.
+    pub fn shredder(mut self, on: bool) -> Self {
+        self.cfg.shredder = on;
+        self
+    }
+
+    /// Sets the shred strategy.
+    pub fn shred_strategy(mut self, strategy: ShredStrategy) -> Self {
+        self.cfg.shred_strategy = strategy;
+        self
+    }
+
+    /// Sets the counter-cache capacity in bytes.
+    pub fn counter_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.counter_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the counter-persistence mode.
+    pub fn counter_persistence(mut self, mode: CounterPersistence) -> Self {
+        self.cfg.counter_persistence = mode;
+        self
+    }
+
+    /// Sets the persistence domain of the controller persist path.
+    pub fn persist_domain(mut self, domain: PersistDomain) -> Self {
+        self.cfg.persist_domain = domain;
+        self
+    }
+
+    /// Enables or disables the counter-region integrity tree.
+    pub fn integrity(mut self, on: bool) -> Self {
+        self.cfg.integrity = on;
+        self
+    }
+
+    /// Enables or disables DEUCE partial re-encryption.
+    pub fn deuce(mut self, on: bool) -> Self {
+        self.cfg.deuce = on;
+        self
+    }
+
+    /// Sets the DEUCE epoch length in writes.
+    pub fn deuce_epoch(mut self, epoch: u8) -> Self {
+        self.cfg.deuce_epoch = epoch;
+        self
+    }
+
+    /// Installs (or removes) the controller write queue.
+    pub fn write_queue(mut self, wq: Option<crate::wqueue::WriteQueueConfig>) -> Self {
+        self.cfg.write_queue = wq;
+        self
+    }
+
+    /// Enables or disables Start-Gap wear levelling.
+    pub fn wear_leveling(mut self, on: bool) -> Self {
+        self.cfg.wear_leveling = on;
+        self
+    }
+
+    /// Sets the start-gap rotation interval (writes per gap move).
+    pub fn start_gap_interval(mut self, interval: u64) -> Self {
+        self.cfg.start_gap_interval = interval;
+        self
+    }
+
+    /// Sets the per-line endurance limit of the backing NVM.
+    pub fn endurance_limit(mut self, limit: Option<u64>) -> Self {
+        self.cfg.endurance_limit = limit;
+        self
+    }
+
+    /// Sets the ECC strength of the backing NVM.
+    pub fn nvm_ecc(mut self, ecc: EccConfig) -> Self {
+        self.cfg.nvm_ecc = ecc;
+        self
+    }
+
+    /// Sets the transient read bit-error rate of the backing NVM.
+    pub fn transient_read_ber(mut self, ber: f64) -> Self {
+        self.cfg.transient_read_ber = ber;
+        self
+    }
+
+    /// Seeds the device's deterministic fault stream.
+    pub fn nvm_fault_seed(mut self, seed: u64) -> Self {
+        self.cfg.nvm_fault_seed = seed;
+        self
+    }
+
+    /// Reserves spare lines for bad-line remapping.
+    pub fn spare_lines(mut self, lines: u64) -> Self {
+        self.cfg.spare_lines = lines;
+        self
+    }
+
+    /// Sets the background scrub interval (demand writes per step).
+    pub fn scrub_interval(mut self, interval: Option<u64>) -> Self {
+        self.cfg.scrub_interval = interval;
+        self
+    }
+
+    /// Sets the event-trace ring depth.
+    pub fn trace_depth(mut self, depth: Option<usize>) -> Self {
+        self.cfg.trace_depth = depth;
+        self
+    }
+
+    /// Validates and releases the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for any combination
+    /// [`ControllerConfig::validate`] rejects.
+    pub fn build(self) -> Result<ControllerConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// Validating builder for [`ShardedConfig`], mirroring
+/// [`ControllerConfigBuilder`] for the multi-channel facade.
+#[derive(Debug, Clone)]
+pub struct ShardedConfigBuilder {
+    cfg: ShardedConfig,
+}
+
+impl ShardedConfigBuilder {
+    /// A builder for `shards` channels over `base`.
+    pub fn new(shards: u32, base: ControllerConfig) -> Self {
+        ShardedConfigBuilder {
+            cfg: ShardedConfig::new(shards, base),
+        }
+    }
+
+    /// Sets the MMIO shred-queue capacity in pages.
+    pub fn shred_queue_capacity(mut self, pages: usize) -> Self {
+        self.cfg.shred_queue_capacity = pages;
+        self
+    }
+
+    /// Validates and releases the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for anything
+    /// [`ShardedConfig::validate`] rejects.
+    pub fn build(self) -> Result<ShardedConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+impl ShardedConfig {
+    /// Starts a validating [`ShardedConfigBuilder`].
+    pub fn builder(shards: u32, base: ControllerConfig) -> ShardedConfigBuilder {
+        ShardedConfigBuilder::new(shards, base)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -507,5 +835,84 @@ mod tests {
             ..ControllerConfig::small_test()
         };
         assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn scattered_preset_is_valid_and_axes_are_rejected() {
+        let s = ControllerConfig::scattered();
+        assert!(s.validate().is_ok());
+        assert_eq!(s.protection, ProtectionMode::ScatteredTwoShare);
+        assert_eq!(s.encryption, EncryptionMode::None);
+        assert!(s.shredder);
+
+        // Scattered replaces encryption entirely.
+        for mode in [EncryptionMode::Ecb, EncryptionMode::Ctr] {
+            let bad = ControllerConfig {
+                encryption: mode,
+                ..ControllerConfig::scattered()
+            };
+            assert!(bad.validate().is_err(), "{mode:?} must be rejected");
+        }
+        // Only the major-bump-reset-minors strategy keeps the liveness
+        // metadata shred-consistent.
+        let bad_strategy = ControllerConfig {
+            shred_strategy: ShredStrategy::MajorBumpOnly,
+            ..ControllerConfig::scattered()
+        };
+        assert!(bad_strategy.validate().is_err());
+        // DEUCE, the write queue, and Start-Gap have no share story.
+        let deuce = ControllerConfig {
+            deuce: true,
+            ..ControllerConfig::scattered()
+        };
+        assert!(deuce.validate().is_err());
+        let wq = ControllerConfig {
+            write_queue: Some(crate::wqueue::WriteQueueConfig::default()),
+            ..ControllerConfig::scattered()
+        };
+        assert!(wq.validate().is_err());
+        let wl = ControllerConfig {
+            wear_leveling: true,
+            ..ControllerConfig::scattered()
+        };
+        assert!(wl.validate().is_err());
+        // ADR + scattered is a supported crash-model point.
+        let adr = ControllerConfig {
+            persist_domain: PersistDomain::Adr,
+            counter_persistence: CounterPersistence::WriteThrough,
+            ..ControllerConfig::scattered()
+        };
+        assert!(adr.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        let cfg = ControllerConfigBuilder::small_test()
+            .protection(ProtectionMode::ScatteredTwoShare)
+            .encryption(EncryptionMode::None)
+            .spare_lines(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.protection, ProtectionMode::ScatteredTwoShare);
+        assert_eq!(cfg.spare_lines, 8);
+
+        // The invalid combo is caught at the single choke point.
+        assert!(ControllerConfigBuilder::small_test()
+            .protection(ProtectionMode::ScatteredTwoShare)
+            .build()
+            .is_err());
+        assert!(ControllerConfigBuilder::scattered()
+            .deuce(true)
+            .build()
+            .is_err());
+
+        let sharded = ShardedConfig::builder(4, ControllerConfig::small_test())
+            .shred_queue_capacity(64)
+            .build()
+            .unwrap();
+        assert_eq!(sharded.shred_queue_capacity, 64);
+        assert!(ShardedConfig::builder(3, ControllerConfig::small_test())
+            .build()
+            .is_err());
     }
 }

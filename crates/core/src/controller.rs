@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use ss_cache::{CacheConfig, SetAssocCache};
 use ss_common::{
-    BlockAddr, Counter, Cycles, Error, MemStats, PageId, PhysAddr, Result, BLOCKS_PER_PAGE,
+    BlockAddr, Counter, Cycles, DetRng, Error, MemStats, PageId, PhysAddr, Result, BLOCKS_PER_PAGE,
     LINE_SIZE,
 };
 use ss_crypto::{CtrEngine, EcbEngine, Line, MerkleTree};
@@ -14,7 +14,9 @@ use ss_trace::{
 };
 
 use crate::channel::ChannelSched;
-use crate::config::{ControllerConfig, CounterPersistence, EncryptionMode, PersistDomain};
+use crate::config::{
+    ControllerConfig, CounterPersistence, EncryptionMode, PersistDomain, ProtectionMode,
+};
 use crate::counters::{BumpOutcome, CounterBlock};
 use crate::deuce::{self, DeuceMeta, CHUNKS};
 use crate::heal::{HealthStats, SparePool};
@@ -22,8 +24,14 @@ use crate::mmio;
 use crate::persist::{
     self, CrashCut, EntryKind, JournalEntry, PersistState, RecoveryReport, SeqTag,
 };
+use crate::protection::ProtStats;
 use crate::wqueue::WriteQueue;
 use ss_nvm::StartGap;
+
+/// Domain-separation constant folded into the scattered backend's
+/// share-stream seed, so share randomness never collides with the NVM
+/// fault stream even under identical seeds.
+const SHARE_DOMAIN: u64 = 0x5343_4154_5445_5244;
 
 /// Outcome of a demand read serviced by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +61,9 @@ pub struct ControllerStats {
     /// Self-healing activity: ECC corrections, retries, remaps,
     /// quarantines, and scrubber work.
     pub health: HealthStats,
+    /// Scattered two-share backend activity (all-zero under counter
+    /// mode, where no share traffic exists).
+    pub prot: ProtStats,
 }
 
 /// The memory controller. See the crate docs for the mechanism overview.
@@ -110,6 +121,14 @@ pub struct MemoryController {
     /// Persist-step counter, armed crash cut, and the volatile mirror of
     /// the open journal sequence (see the [`persist`] module docs).
     persist: PersistState,
+    /// NVM byte offset of the scattered backend's mask-share region
+    /// (== device end under counter mode, where no masks are allocated).
+    /// The region models a physically separate DIMM (DESIGN.md §15).
+    mask_base: u64,
+    /// Deterministic share stream for the scattered backend (a DRBG in
+    /// hardware). Seeded from the processor key, the domain constant,
+    /// and the fault seed, so every run is reproducible.
+    share_rng: DetRng,
 }
 
 impl MemoryController {
@@ -134,8 +153,17 @@ impl MemoryController {
         } else {
             0
         };
+        // The scattered backend appends a mask-share region (one line
+        // per data line) after the journal; under counter mode it is
+        // empty, so the device layout is bit-for-bit the historical one.
+        let mask_base = journal_base + journal_lines * LINE_SIZE as u64;
+        let mask_lines = if config.protection == ProtectionMode::ScatteredTwoShare {
+            config.data_capacity / LINE_SIZE as u64
+        } else {
+            0
+        };
         let nvm = NvmDevice::new(NvmConfig {
-            capacity_bytes: journal_base + journal_lines * LINE_SIZE as u64,
+            capacity_bytes: mask_base + mask_lines * LINE_SIZE as u64,
             timing: config.nvm_timing,
             endurance_limit: config.endurance_limit,
             ecc: config.nvm_ecc,
@@ -149,7 +177,12 @@ impl MemoryController {
             config.counter_cache_ways,
             config.counter_cache_latency,
         )?);
-        let merkle = if config.integrity && config.encryption == EncryptionMode::Ctr {
+        // The scattered backend reuses the counter region as its block
+        // liveness metadata, so the same integrity tree covers it.
+        let merkle = if config.integrity
+            && (config.encryption == EncryptionMode::Ctr
+                || config.protection == ProtectionMode::ScatteredTwoShare)
+        {
             Some(MerkleTree::with_initial_leaf(
                 frames as usize,
                 &CounterBlock::default().to_line(),
@@ -164,6 +197,10 @@ impl MemoryController {
         let wqueue = config_wqueue(&config)?;
         let config_spare_lines = config.spare_lines;
         let tracer = Tracer::from_depth(config.trace_depth);
+        let mut key_word = [0u8; 8];
+        key_word.copy_from_slice(&config.key[..8]);
+        let share_rng =
+            DetRng::new(u64::from_le_bytes(key_word) ^ SHARE_DOMAIN ^ config.nvm_fault_seed);
         Ok(MemoryController {
             config,
             nvm,
@@ -189,6 +226,8 @@ impl MemoryController {
             op_now: Cycles::ZERO,
             journal_base,
             persist: PersistState::new(),
+            mask_base,
+            share_rng,
         })
     }
 
@@ -716,6 +755,18 @@ impl MemoryController {
             "wq.depth",
             self.wqueue.as_ref().map_or(0, |q| q.len()) as u64,
         );
+        // `prot.*` exists only for scattered configurations: the
+        // counter-mode key set (and thus every committed metrics
+        // golden) is exactly the historical schema.
+        if self.config.protection == ProtectionMode::ScatteredTwoShare {
+            reg.set("prot.share_writes", s.prot.share_writes.get());
+            reg.set("prot.mask_writes", s.prot.mask_writes.get());
+            reg.set("prot.share_reads", s.prot.share_reads.get());
+            reg.set("prot.recombines", s.prot.recombines.get());
+            reg.set("prot.mask_discards", s.prot.mask_discards.get());
+            reg.set("prot.fresh_share_rescues", s.prot.fresh_share_rescues.get());
+            reg.set("prot.metadata_lines", self.scattered_metadata_lines());
+        }
         self.nvm.stats().export(&mut reg, "nvm");
         self.profile.export(&mut reg);
         let (emitted, dropped) = self.tracer.totals();
@@ -937,6 +988,14 @@ impl MemoryController {
         // Queued writes to this line must land first so the rescue read
         // below sees the newest ciphertext.
         self.drain_queue_fully(now)?;
+        crate::protection::backend(self.config.protection).rescue_remap(self, addr, now)
+    }
+
+    /// Counter-mode rescue (and the `None`/`Ecb` baselines) — the
+    /// pre-trait remap body after the quarantine/healed/drain guards.
+    pub(crate) fn legacy_rescue_remap(&mut self, addr: BlockAddr, now: Cycles) -> Result<()> {
+        let dev = self.device_addr(addr);
+        let slot = self.heal.redirect(dev);
         match self.config.encryption {
             EncryptionMode::None | EncryptionMode::Ecb => {
                 let rescued = match self.read_line_healing(slot) {
@@ -1100,6 +1159,17 @@ impl MemoryController {
     pub fn read_block(&mut self, addr: BlockAddr, now: Cycles) -> Result<ReadResult> {
         self.op_now = now;
         self.check_data_addr(addr)?;
+        let result =
+            crate::protection::backend(self.config.protection).read_line(self, addr, now)?;
+        self.process_pending_heal(now)?;
+        self.stats.mem.read_latency.record(result.latency);
+        Ok(result)
+    }
+
+    /// Counter-mode read path (and the `None`/`Ecb` baselines) — the
+    /// pre-trait [`MemoryController::read_block`] body, dispatched via
+    /// [`crate::protection::CounterModeBackend`].
+    pub(crate) fn legacy_read_line(&mut self, addr: BlockAddr, now: Cycles) -> Result<ReadResult> {
         let result = match self.config.encryption {
             EncryptionMode::None => {
                 let read_lat = self.sched(now, self.config.nvm_timing.read_cycles());
@@ -1161,8 +1231,6 @@ impl MemoryController {
                 }
             }
         };
-        self.process_pending_heal(now)?;
-        self.stats.mem.read_latency.record(result.latency);
         Ok(result)
     }
 
@@ -1195,6 +1263,25 @@ impl MemoryController {
         zeroing: bool,
         now: Cycles,
     ) -> Result<Cycles> {
+        crate::protection::backend(self.config.protection).write_line(self, addr, data, now)?;
+        self.stats.mem.writes.inc();
+        if zeroing {
+            self.stats.mem.zeroing_writes.inc();
+        }
+        self.maybe_scrub(now)?;
+        self.process_pending_heal(now)?;
+        Ok(Cycles::new(1))
+    }
+
+    /// Counter-mode write path (and the `None`/`Ecb` baselines) — the
+    /// pre-trait [`MemoryController::write_block`] body, dispatched via
+    /// [`crate::protection::CounterModeBackend`].
+    pub(crate) fn legacy_write_line(
+        &mut self,
+        addr: BlockAddr,
+        data: &Line,
+        now: Cycles,
+    ) -> Result<()> {
         match self.config.encryption {
             EncryptionMode::None => {
                 if self.wqueue.is_none() {
@@ -1241,13 +1328,7 @@ impl MemoryController {
                 self.install_counters(page, ctrs, true, now)?;
             }
         }
-        self.stats.mem.writes.inc();
-        if zeroing {
-            self.stats.mem.zeroing_writes.inc();
-        }
-        self.maybe_scrub(now)?;
-        self.process_pending_heal(now)?;
-        Ok(Cycles::new(1))
+        Ok(())
     }
 
     /// Computes the DEUCE ciphertext for a write: unmodified chunks keep
@@ -1413,7 +1494,21 @@ impl MemoryController {
                 capacity: self.config.data_capacity,
             });
         }
-        let (mut ctrs, mut latency) = self.fetch_counters(page, now)?;
+        let mut latency =
+            crate::protection::backend(self.config.protection).shred_page(self, page, now)?;
+        self.stats.shreds.inc();
+        self.tracer.emit(now, || TraceEvent::Shred { page });
+        self.process_pending_heal(now)?;
+        // Counter update + ack (Fig. 6 steps 3–5).
+        latency += Cycles::new(4);
+        Ok(latency)
+    }
+
+    /// Counter-mode shred core — the pre-trait
+    /// [`MemoryController::shred_page_at`] body between the privilege
+    /// guards and the shred accounting.
+    pub(crate) fn legacy_shred_page(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
+        let (mut ctrs, latency) = self.fetch_counters(page, now)?;
         let old_ctrs = ctrs;
         let overflowed = ctrs.shred(self.config.shred_strategy);
         if overflowed {
@@ -1443,11 +1538,6 @@ impl MemoryController {
             self.deuce_meta.remove(&page.block_addr(b).raw());
         }
         self.install_counters(page, ctrs, true, now)?;
-        self.stats.shreds.inc();
-        self.tracer.emit(now, || TraceEvent::Shred { page });
-        self.process_pending_heal(now)?;
-        // Counter update + ack (Fig. 6 steps 3–5).
-        latency += Cycles::new(4);
         Ok(latency)
     }
 
@@ -1580,35 +1670,10 @@ impl MemoryController {
 
     fn zero_page_in_place_inner(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
         self.op_now = now;
-        let zero = [0u8; LINE_SIZE];
         for b in 0..BLOCKS_PER_PAGE {
             let addr = page.block_addr(b);
             self.check_data_addr(addr)?;
-            match self.config.encryption {
-                EncryptionMode::None => {
-                    self.nvm_write_data(addr, &zero)?;
-                }
-                EncryptionMode::Ecb => {
-                    let cipher = engine_of(&self.ecb, "ecb")?.encrypt_line(&zero);
-                    self.nvm_write_data(addr, &cipher)?;
-                }
-                EncryptionMode::Ctr => {
-                    let (mut ctrs, _) = self.fetch_counters(page, now)?;
-                    let old_ctrs = ctrs;
-                    if ctrs.bump_for_write(b) == BumpOutcome::Overflowed {
-                        self.tracer.emit(now, || TraceEvent::CounterOverflow {
-                            page,
-                            block: b as u8,
-                        });
-                        self.reencrypt_page(page, &old_ctrs, &ctrs, b, now)?;
-                    }
-                    let engine = engine_of(&self.ctr, "ctr")?;
-                    let cipher = engine.encrypt_line(&ctrs.iv(page.raw(), b), &zero);
-                    self.deuce_meta.remove(&addr.raw());
-                    self.nvm_write_data(addr, &cipher)?;
-                    self.install_counters(page, ctrs, true, now)?;
-                }
-            }
+            crate::protection::backend(self.config.protection).zero_line(self, addr, now)?;
             self.stats.mem.writes.inc();
             self.stats.mem.zeroing_writes.inc();
         }
@@ -1616,6 +1681,40 @@ impl MemoryController {
         // One array write latency: the device zeroes rows internally in
         // parallel (optimistic, as in the RowClone paper).
         Ok(self.config.nvm_timing.write_cycles())
+    }
+
+    /// Counter-mode in-device zeroing of one block — the pre-trait
+    /// [`MemoryController::zero_page_in_place`] per-block body.
+    pub(crate) fn legacy_zero_line(&mut self, addr: BlockAddr, now: Cycles) -> Result<()> {
+        let zero = [0u8; LINE_SIZE];
+        let page = addr.page();
+        let b = addr.block_in_page();
+        match self.config.encryption {
+            EncryptionMode::None => {
+                self.nvm_write_data(addr, &zero)?;
+            }
+            EncryptionMode::Ecb => {
+                let cipher = engine_of(&self.ecb, "ecb")?.encrypt_line(&zero);
+                self.nvm_write_data(addr, &cipher)?;
+            }
+            EncryptionMode::Ctr => {
+                let (mut ctrs, _) = self.fetch_counters(page, now)?;
+                let old_ctrs = ctrs;
+                if ctrs.bump_for_write(b) == BumpOutcome::Overflowed {
+                    self.tracer.emit(now, || TraceEvent::CounterOverflow {
+                        page,
+                        block: b as u8,
+                    });
+                    self.reencrypt_page(page, &old_ctrs, &ctrs, b, now)?;
+                }
+                let engine = engine_of(&self.ctr, "ctr")?;
+                let cipher = engine.encrypt_line(&ctrs.iv(page.raw(), b), &zero);
+                self.deuce_meta.remove(&addr.raw());
+                self.nvm_write_data(addr, &cipher)?;
+                self.install_counters(page, ctrs, true, now)?;
+            }
+        }
+        Ok(())
     }
 
     /// Flushes dirty counter blocks to NVM (battery-backed write-back
@@ -1843,6 +1942,13 @@ impl MemoryController {
             self.persist.victim_flush = false;
         }
         report.root_verified = true;
+        crate::protection::backend(self.config.protection).recovery_reverify(self, &mut report)?;
+        Ok(report)
+    }
+
+    /// Re-verifies every persisted counter line against the in-memory
+    /// Merkle tree (no-op when integrity is off).
+    fn reverify_counter_region(&self) -> Result<()> {
         let frames = self.config.frames();
         if self.merkle.is_some() {
             for p in 0..frames {
@@ -1862,16 +1968,277 @@ impl MemoryController {
                 }
             }
         }
-        if self.config.encryption == EncryptionMode::Ctr {
-            for p in 0..frames {
-                let caddr = BlockAddr::new(self.counter_base + p * LINE_SIZE as u64);
-                let ctrs = CounterBlock::from_line(&self.nvm.peek(caddr));
-                if ctrs.major > 0 && (0..BLOCKS_PER_PAGE).all(|b| ctrs.is_shredded(b)) {
-                    report.shredded_pages += 1;
-                }
+        Ok(())
+    }
+
+    /// Counts pages whose persisted metadata shows them fully shredded
+    /// under a non-zero major counter.
+    fn census_shredded(&self) -> u64 {
+        let frames = self.config.frames();
+        let mut shredded = 0u64;
+        for p in 0..frames {
+            let caddr = BlockAddr::new(self.counter_base + p * LINE_SIZE as u64);
+            let ctrs = CounterBlock::from_line(&self.nvm.peek(caddr));
+            if ctrs.major > 0 && (0..BLOCKS_PER_PAGE).all(|b| ctrs.is_shredded(b)) {
+                shredded += 1;
             }
         }
-        Ok(report)
+        shredded
+    }
+
+    /// Counter-mode reboot checks — the pre-trait
+    /// [`MemoryController::recover_mut`] tail: counter-region
+    /// re-verification plus the shred census (counter configs only).
+    pub(crate) fn legacy_recovery_reverify(&mut self, report: &mut RecoveryReport) -> Result<()> {
+        self.reverify_counter_region()?;
+        if self.config.encryption == EncryptionMode::Ctr {
+            report.shredded_pages += self.census_shredded();
+        }
+        Ok(())
+    }
+
+    /// Number of NVM counter lines maintained as counter-mode metadata
+    /// (zero for the unencrypted/ECB baselines, which keep no
+    /// per-line protection metadata).
+    pub(crate) fn counter_metadata_lines(&self) -> u64 {
+        match self.config.encryption {
+            EncryptionMode::Ctr => self.config.frames(),
+            EncryptionMode::None | EncryptionMode::Ecb => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scattered two-share backend (DESIGN.md §15).
+    //
+    // Every line is stored as two shares in disjoint NVM regions: a
+    // uniform-random share in the data region and the XOR-masked share
+    // in the mask region (modeling a second DIMM). Either share alone
+    // is statistically independent of the plaintext; shredding discards
+    // the mask share. The counter region is reused as block-liveness
+    // metadata (minor 0 = dead → zero-fill), so the counter cache,
+    // Merkle tree, journal, and recovery machinery all apply verbatim.
+    // ------------------------------------------------------------------
+
+    /// Device address of the mask share backing logical line `addr`.
+    fn mask_addr(&self, addr: BlockAddr) -> BlockAddr {
+        BlockAddr::new(self.mask_base + addr.raw())
+    }
+
+    /// Scattered read: zero-fill for dead blocks, otherwise fetch both
+    /// shares (in parallel across regions) and recombine.
+    pub(crate) fn scattered_read_line(
+        &mut self,
+        addr: BlockAddr,
+        now: Cycles,
+    ) -> Result<ReadResult> {
+        let page = addr.page();
+        let block = addr.block_in_page();
+        let (ctrs, ctr_lat) = self.fetch_counters(page, now)?;
+        if ctrs.is_shredded(block) {
+            // Dead block (never written, or its pad was discarded):
+            // zero-fill without touching either share region.
+            self.stats.mem.zero_fill_reads.inc();
+            self.profile.charge(Stage::ZeroFill, ctr_lat);
+            self.tracer.emit(now, || TraceEvent::ZeroFillRead { addr });
+            return Ok(ReadResult {
+                data: [0u8; LINE_SIZE],
+                latency: ctr_lat,
+                zero_filled: true,
+            });
+        }
+        // The two regions are independent banks: share reads overlap,
+        // and only the XOR recombination is serialised.
+        let read_a = self.sched(now + ctr_lat, self.config.nvm_timing.read_cycles());
+        self.profile.charge(Stage::NvmRead, read_a);
+        let share_a = self.nvm_read_data(addr)?;
+        self.stats.mem.reads.inc();
+        let read_b = self.sched(now + ctr_lat, self.config.nvm_timing.read_cycles());
+        self.profile.charge(Stage::NvmRead, read_b);
+        let mask = self.mask_addr(addr);
+        // The mask region has a fixed layout (line → line), so like the
+        // counter region it is not remappable — but transient read
+        // errors still go through the retry policy.
+        let share_b = self.read_line_healing(mask)?.into_data();
+        self.stats.prot.share_reads.inc();
+        self.profile.charge(Stage::AesCtr, self.config.xor_latency);
+        let data = ss_crypto::share::recombine_shares(&share_a, &share_b);
+        self.stats.prot.recombines.inc();
+        self.tracer
+            .emit(now, || TraceEvent::ShareRecombine { addr });
+        let latency =
+            ctr_lat + Cycles::new(read_a.raw().max(read_b.raw())) + self.config.xor_latency;
+        Ok(ReadResult {
+            data,
+            latency,
+            zero_filled: false,
+        })
+    }
+
+    /// Scattered write: split `data` into a fresh share pair and persist
+    /// both halves; first write to a dead block marks it live. `bus` is
+    /// false on the in-device zeroing path (no channel scheduling).
+    pub(crate) fn scattered_write_line(
+        &mut self,
+        addr: BlockAddr,
+        data: &Line,
+        now: Cycles,
+        bus: bool,
+    ) -> Result<()> {
+        let page = addr.page();
+        let block = addr.block_in_page();
+        let (mut ctrs, _lat) = self.fetch_counters(page, now)?;
+        // Every write draws a fresh pad: pads are never reused across
+        // values, so old mask captures are useless against new data.
+        let share_a = ss_crypto::share::gen_share(&mut self.share_rng);
+        let share_b = ss_crypto::share::mask_share(data, &share_a);
+        if bus {
+            let write_lat = self.config.nvm_timing.write_cycles();
+            self.sched(now, write_lat);
+            self.profile.charge(Stage::NvmWrite, write_lat);
+            let mask_lat = self.config.nvm_timing.write_cycles();
+            self.sched(now, mask_lat);
+            self.profile.charge(Stage::NvmWrite, mask_lat);
+        }
+        self.nvm_write_data(addr, &share_a)?;
+        let mask = self.mask_addr(addr);
+        self.persist_line(mask, &share_b, None)?;
+        self.stats.prot.share_writes.inc();
+        self.stats.prot.mask_writes.inc();
+        if ctrs.is_shredded(block) {
+            // First write since shred (or boot): mark the block live so
+            // reads recombine instead of zero-filling.
+            let _ = ctrs.bump_for_write(block);
+            self.install_counters(page, ctrs, true, now)?;
+        }
+        Ok(())
+    }
+
+    /// Scattered shred: overwrite every live block's mask share with
+    /// fresh randomness (destroying the pad pairing) and mark the page
+    /// dead. The data-region shares are untouched — alone they are
+    /// uniform noise.
+    pub(crate) fn scattered_shred_page(&mut self, page: PageId, now: Cycles) -> Result<Cycles> {
+        let (mut ctrs, mut latency) = self.fetch_counters(page, now)?;
+        let mut discarded = 0u32;
+        for b in 0..BLOCKS_PER_PAGE {
+            if ctrs.is_shredded(b) {
+                continue;
+            }
+            let addr = page.block_addr(b);
+            let fresh = ss_crypto::share::gen_share(&mut self.share_rng);
+            self.sched(now, self.config.nvm_timing.write_cycles());
+            self.profile
+                .charge(Stage::NvmWrite, self.config.nvm_timing.write_cycles());
+            let mask = self.mask_addr(addr);
+            self.persist_line(mask, &fresh, None)?;
+            self.stats.prot.mask_writes.inc();
+            self.stats.prot.mask_discards.inc();
+            discarded += 1;
+        }
+        if discarded > 0 {
+            // Mask banks program in parallel; one write latency lands on
+            // the critical path.
+            latency += self.config.nvm_timing.write_cycles();
+            self.tracer.emit(now, || TraceEvent::MaskDiscard {
+                page,
+                lines: discarded,
+            });
+        }
+        let _ = ctrs.shred(self.config.shred_strategy);
+        self.install_counters(page, ctrs, true, now)?;
+        Ok(latency)
+    }
+
+    /// Scattered rescue: a dead block's worn slot is retired outright; a
+    /// live block is recombined and re-split under a *fresh* pad, so a
+    /// spare never inherits previously used share material.
+    pub(crate) fn scattered_rescue_remap(&mut self, addr: BlockAddr, now: Cycles) -> Result<()> {
+        let dev = self.device_addr(addr);
+        let slot = self.heal.redirect(dev);
+        let page = addr.page();
+        let block = addr.block_in_page();
+        let (ctrs, _) = self.fetch_counters(page, now)?;
+        if ctrs.is_shredded(block) {
+            // Nothing live to rescue, and the block must stay dead:
+            // retire the worn slot only (same discipline as the
+            // counter-mode shredded arm).
+            let Some(new_slot) = self.heal.allocate(dev) else {
+                return self.fail_remap(dev);
+            };
+            self.journal_remap_alloc(dev, new_slot, false)?;
+            self.stats.health.remaps.inc();
+            self.tracer.emit(now, || TraceEvent::LineRemap {
+                addr: dev,
+                ok: true,
+            });
+            return Ok(());
+        }
+        let share_a = match self.read_line_healing(slot) {
+            Ok(r) => r.into_data(),
+            Err(Error::UncorrectableEcc { .. }) => return self.fail_remap(dev),
+            Err(e) => return Err(e),
+        };
+        let mask = self.mask_addr(addr);
+        let share_b = self.read_line_healing(mask)?.into_data();
+        let plain = ss_crypto::share::recombine_shares(&share_a, &share_b);
+        self.stats.prot.recombines.inc();
+        let new_a = ss_crypto::share::gen_share(&mut self.share_rng);
+        let new_b = ss_crypto::share::mask_share(&plain, &new_a);
+        let Some(new_slot) = self.heal.allocate(dev) else {
+            return self.fail_remap(dev);
+        };
+        self.journal_remap_alloc(dev, new_slot, false)?;
+        // Commit order: spare share first, then the mask write makes the
+        // fresh pair authoritative (journal pre-images cover a cut).
+        self.sched(now, self.config.nvm_timing.write_cycles());
+        self.persist_line(new_slot, &new_a, None)?;
+        self.sched(now, self.config.nvm_timing.write_cycles());
+        self.persist_line(mask, &new_b, None)?;
+        self.stats.prot.share_writes.inc();
+        self.stats.prot.mask_writes.inc();
+        self.stats.prot.fresh_share_rescues.inc();
+        self.stats.health.remaps.inc();
+        self.tracer.emit(now, || TraceEvent::LineRemap {
+            addr: dev,
+            ok: true,
+        });
+        Ok(())
+    }
+
+    /// Scattered observation path: dead blocks observe zeros; live
+    /// blocks recombine both shares (no stats, no timing).
+    pub(crate) fn scattered_peek_plaintext(&mut self, addr: BlockAddr) -> Result<Line> {
+        let page = addr.page();
+        let caddr = self.counter_addr(page);
+        let ctrs = match self.counter_cache.get(caddr) {
+            Some(e) => e.value,
+            None => CounterBlock::from_line(&self.nvm.peek(caddr)),
+        };
+        if ctrs.is_shredded(addr.block_in_page()) {
+            return Ok([0u8; LINE_SIZE]);
+        }
+        let share_a = self.nvm_peek_data(addr);
+        let share_b = self.nvm.peek(self.mask_addr(addr));
+        Ok(ss_crypto::share::recombine_shares(&share_a, &share_b))
+    }
+
+    /// Scattered reboot checks: the liveness metadata carries the same
+    /// integrity obligations as encryption counters, and the shred
+    /// census applies unconditionally (liveness is not tied to an
+    /// encryption mode).
+    pub(crate) fn scattered_recovery_reverify(
+        &mut self,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        self.reverify_counter_region()?;
+        report.shredded_pages += self.census_shredded();
+        Ok(())
+    }
+
+    /// NVM metadata footprint of the scattered backend: one liveness
+    /// line per page plus one mask line per data line.
+    pub(crate) fn scattered_metadata_lines(&self) -> u64 {
+        self.config.frames() + self.config.data_capacity / LINE_SIZE as u64
     }
 
     // ------------------------------------------------------------------
@@ -1964,6 +2331,12 @@ impl MemoryController {
     /// As for [`MemoryController::read_block`].
     pub(crate) fn peek_plaintext(&mut self, addr: BlockAddr) -> Result<Line> {
         self.check_data_addr(addr)?;
+        crate::protection::backend(self.config.protection).peek_plaintext(self, addr)
+    }
+
+    /// Counter-mode observation path — the pre-trait
+    /// [`MemoryController::peek_plaintext`] body.
+    pub(crate) fn legacy_peek_plaintext(&mut self, addr: BlockAddr) -> Result<Line> {
         match self.config.encryption {
             EncryptionMode::None => Ok(self.nvm_peek_data(addr)),
             EncryptionMode::Ecb => {
@@ -2894,5 +3267,194 @@ mod tests {
             .unwrap();
         }
         assert_eq!(m.stats().health.scrub_reads.get(), 3);
+    }
+
+    // --------------------------------------------------------------
+    // Scattered two-share backend.
+    // --------------------------------------------------------------
+
+    fn scattered() -> MemoryController {
+        let cfg = crate::config::ControllerConfigBuilder::scattered()
+            .data_capacity(1 << 20)
+            .counter_cache_bytes(16 << 10)
+            .build()
+            .unwrap();
+        MemoryController::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn scattered_write_then_read_roundtrip() {
+        let mut m = scattered();
+        let addr = PageId::new(1).block_addr(2);
+        m.write_block(addr, &line(0x7E), false, Cycles::ZERO)
+            .unwrap();
+        let r = m.read_block(addr, Cycles::ZERO).unwrap();
+        assert_eq!(r.data, line(0x7E));
+        assert!(!r.zero_filled);
+        assert_eq!(m.stats().prot.share_writes.get(), 1);
+        assert_eq!(m.stats().prot.recombines.get(), 1);
+    }
+
+    #[test]
+    fn scattered_fresh_page_reads_zero_filled() {
+        let mut m = scattered();
+        let r = m
+            .read_block(PageId::new(5).block_addr(9), Cycles::ZERO)
+            .unwrap();
+        assert!(r.zero_filled);
+        assert_eq!(r.data, [0u8; LINE_SIZE]);
+        assert_eq!(m.stats().mem.reads.get(), 0, "array untouched");
+    }
+
+    #[test]
+    fn scattered_neither_region_holds_plaintext() {
+        let mut m = scattered();
+        let addr = PageId::new(1).block_addr(0);
+        m.write_block(addr, &line(0x11), false, Cycles::ZERO)
+            .unwrap();
+        let share_a = m.nvm().peek(addr);
+        let share_b = m.nvm().peek(m.mask_addr(addr));
+        assert_ne!(share_a, line(0x11), "plaintext leaked to data region");
+        assert_ne!(share_b, line(0x11), "plaintext leaked to mask region");
+        assert_eq!(
+            ss_crypto::share::recombine_shares(&share_a, &share_b),
+            line(0x11)
+        );
+    }
+
+    #[test]
+    fn scattered_shred_reads_zero_and_destroys_pairing() {
+        let mut m = scattered();
+        let page = PageId::new(2);
+        for b in 0..4 {
+            m.write_block(page.block_addr(b), &line(b as u8 + 1), false, Cycles::ZERO)
+                .unwrap();
+        }
+        let writes_before = m.stats().mem.writes.get();
+        m.shred_page(page, true).unwrap();
+        // No *data-region* writes: the mask region absorbed the discard.
+        assert_eq!(m.stats().mem.writes.get(), writes_before);
+        assert_eq!(m.stats().prot.mask_discards.get(), 4);
+        for b in 0..4 {
+            let addr = page.block_addr(b);
+            let r = m.read_block(addr, Cycles::ZERO).unwrap();
+            assert!(r.zero_filled);
+            assert_eq!(r.data, [0u8; LINE_SIZE]);
+            // Even recombining the surviving regions yields noise now.
+            let residue = ss_crypto::share::recombine_shares(
+                &m.nvm().peek(addr),
+                &m.nvm().peek(m.mask_addr(addr)),
+            );
+            assert_ne!(
+                residue,
+                line(b as u8 + 1),
+                "shred left recombinable residue"
+            );
+        }
+    }
+
+    #[test]
+    fn scattered_shred_survives_power_loss_and_recovery() {
+        let mut m = scattered();
+        let page = PageId::new(3);
+        let addr = page.block_addr(0);
+        m.write_block(addr, &line(0x55), false, Cycles::ZERO)
+            .unwrap();
+        m.shred_page(page, true).unwrap();
+        m.power_loss().unwrap();
+        let report = m.recover_mut().unwrap();
+        assert!(report.root_verified);
+        assert_eq!(report.shredded_pages, 1);
+        let r = m.read_block(addr, Cycles::ZERO).unwrap();
+        assert!(r.zero_filled);
+        assert_eq!(r.data, [0u8; LINE_SIZE]);
+    }
+
+    #[test]
+    fn scattered_shred_then_heal_uses_fresh_shares() {
+        let mut m = scattered();
+        let page = PageId::new(4);
+        let addr = page.block_addr(0);
+        m.write_block(addr, &line(0x66), false, Cycles::ZERO)
+            .unwrap();
+        m.shred_page(page, true).unwrap();
+        // Rewrite after the shred, then degrade the backing slot: the
+        // rescue must move a fresh share pair, not resurrect anything.
+        m.write_block(addr, &line(0x77), false, Cycles::ZERO)
+            .unwrap();
+        let share_before = m.nvm().peek(addr);
+        m.force_line_failure(addr, 1);
+        let r = m.read_block(addr, Cycles::ZERO).unwrap();
+        assert_eq!(r.data, line(0x77));
+        assert_eq!(m.stats().health.remaps.get(), 1);
+        assert_eq!(m.stats().prot.fresh_share_rescues.get(), 1);
+        // Readable from the spare, and under a brand-new pad.
+        assert_eq!(m.read_block(addr, Cycles::ZERO).unwrap().data, line(0x77));
+        let rescued_slot = m.heal.redirect(addr);
+        assert_ne!(m.nvm().peek(rescued_slot), share_before, "pad was reused");
+    }
+
+    #[test]
+    fn scattered_rescue_of_dead_block_stays_dead() {
+        let mut m = scattered();
+        let page = PageId::new(6);
+        let addr = page.block_addr(0);
+        m.write_block(addr, &line(0x42), false, Cycles::ZERO)
+            .unwrap();
+        m.shred_page(page, true).unwrap();
+        m.force_line_failure(addr, 1);
+        // Scrub finds the worn slot; the dead block is retired without
+        // resurrecting content.
+        while m.heal.redirect(addr) == addr {
+            if m.scrub_step(Cycles::ZERO).unwrap() {
+                break;
+            }
+        }
+        let r = m.read_block(addr, Cycles::ZERO).unwrap();
+        assert!(r.zero_filled);
+        assert_eq!(m.stats().prot.fresh_share_rescues.get(), 0);
+    }
+
+    #[test]
+    fn scattered_liveness_tamper_detected() {
+        let mut m = scattered();
+        let page = PageId::new(1);
+        m.write_block(page.block_addr(0), &line(1), false, Cycles::ZERO)
+            .unwrap();
+        m.flush_counters().unwrap();
+        m.tamper_counter_line(page, line(0xAD));
+        m.drop_counter_cache();
+        let err = m.read_block(page.block_addr(0), Cycles::ZERO).unwrap_err();
+        assert!(matches!(err, Error::IntegrityViolation { .. }));
+    }
+
+    #[test]
+    fn scattered_share_stream_is_deterministic() {
+        let mk = || {
+            let mut m = scattered();
+            m.write_block(
+                PageId::new(1).block_addr(0),
+                &line(0x5A),
+                false,
+                Cycles::ZERO,
+            )
+            .unwrap();
+            m.nvm().peek(PageId::new(1).block_addr(0))
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn scattered_metrics_expose_prot_keys() {
+        let mut m = scattered();
+        m.write_block(PageId::new(0).block_addr(0), &line(1), false, Cycles::ZERO)
+            .unwrap();
+        let reg = m.metrics();
+        let json = reg.to_json();
+        assert!(json.contains("\"prot.share_writes\":1"), "{json}");
+        assert!(json.contains("\"prot.metadata_lines\""), "{json}");
+        // Counter mode must NOT grow the schema.
+        let cm = mc().metrics().to_json();
+        assert!(!cm.contains("prot."), "{cm}");
     }
 }

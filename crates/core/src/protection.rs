@@ -1,0 +1,273 @@
+//! The memory-protection backend trait (DESIGN.md §15).
+//!
+//! [`MemoryProtection`] owns the surface the controller used to
+//! hard-code against counter-mode AES-CTR: encrypt-on-write,
+//! decrypt-on-read, shred, rescue-remap, and recovery re-verification.
+//! Two backends ship:
+//!
+//! * [`CounterModeBackend`] — the paper's design, dispatching to the
+//!   exact pre-trait code paths (including the `None`/`Ecb` baselines
+//!   governed by [`crate::EncryptionMode`]). Behaviour is byte-identical
+//!   to the pre-trait controller: every committed faultsweep /
+//!   attacksweep / crashsweep / metrics golden passes unchanged.
+//! * [`ScatteredTwoShareBackend`] — secret-shares every line into a
+//!   uniform-random share (data region) and an XOR-masked share (mask
+//!   region), per `ss_crypto::share`. Either share alone is a one-time
+//!   pad of nothing; shred = discard the masked share.
+//!
+//! The contract each method must uphold (shred-reads-zero, rescue,
+//! recovery) is specified on the trait methods and in DESIGN.md §15.
+//! Backends are stateless unit structs: all state (engines, share
+//! stream, metadata) lives in the controller, so dispatch is one
+//! `&'static dyn` call with no borrow gymnastics.
+
+use std::fmt;
+
+use ss_common::{BlockAddr, Counter, Cycles, PageId, Result};
+use ss_crypto::Line;
+
+use crate::config::ProtectionMode;
+use crate::controller::{MemoryController, ReadResult};
+use crate::persist::RecoveryReport;
+
+/// Scattered-backend activity counters, exported under `prot.*` when
+/// the backend is active (the counter-mode metrics schema is
+/// unchanged — the keys only exist for scattered configurations).
+#[derive(Debug, Clone, Default)]
+pub struct ProtStats {
+    /// Share pairs written (one random share + one masked share each).
+    pub share_writes: Counter,
+    /// Mask-region line writes (share-pair writes + shred discards).
+    pub mask_writes: Counter,
+    /// Reads served by recombining both shares.
+    pub share_reads: Counter,
+    /// XOR recombinations performed (reads + rescues).
+    pub recombines: Counter,
+    /// Mask lines discarded (overwritten with fresh randomness) by
+    /// shred commands.
+    pub mask_discards: Counter,
+    /// Spare-pool rescues that re-shared the plaintext under a fresh
+    /// pad (a spare never inherits a used one).
+    pub fresh_share_rescues: Counter,
+}
+
+/// A memory-protection backend. Implementations are stateless: every
+/// method receives the controller and operates on its state.
+///
+/// # Contract
+///
+/// * **shred-reads-zero** — after [`MemoryProtection::shred_page`]
+///   returns, [`MemoryProtection::read_line`] of every block of the
+///   page must yield an all-zero, `zero_filled` result without exposing
+///   prior contents, and must keep doing so across
+///   [`MemoryController::power_loss`] /
+///   [`MemoryController::recover_mut`].
+/// * **rescue** — [`MemoryProtection::rescue_remap`] moves a degrading
+///   line to a spare without ever persisting plaintext or reusing
+///   key-stream/pad material; a shredded line is retired without
+///   resurrecting content.
+/// * **recovery** — [`MemoryProtection::recovery_reverify`] must fail
+///   loudly ([`ss_common::Error::IntegrityViolation`]) rather than let
+///   a read be served against unverified protection metadata.
+pub trait MemoryProtection: fmt::Debug + Sync {
+    /// The config-axis value this backend implements.
+    fn kind(&self) -> ProtectionMode;
+
+    /// Services a demand read of one line (decrypt / recombine /
+    /// zero-fill). The caller has validated the address and handles
+    /// deferred heals and latency recording.
+    fn read_line(
+        &self,
+        mc: &mut MemoryController,
+        addr: BlockAddr,
+        now: Cycles,
+    ) -> Result<ReadResult>;
+
+    /// Persists one line (encrypt / share-split) with full metadata
+    /// maintenance. The caller brackets the persist sequence and counts
+    /// the write.
+    fn write_line(
+        &self,
+        mc: &mut MemoryController,
+        addr: BlockAddr,
+        data: &Line,
+        now: Cycles,
+    ) -> Result<()>;
+
+    /// Writes a zero line in-device (RowClone path): like
+    /// [`MemoryProtection::write_line`] but without bus scheduling.
+    fn zero_line(&self, mc: &mut MemoryController, addr: BlockAddr, now: Cycles) -> Result<()>;
+
+    /// Executes the shred core for `page` (metadata fetch, content
+    /// destruction, metadata install) and returns the critical-path
+    /// latency. The caller has already enforced privilege and range,
+    /// and accounts the shred + trace event.
+    fn shred_page(&self, mc: &mut MemoryController, page: PageId, now: Cycles) -> Result<Cycles>;
+
+    /// Moves the degrading (ECC-correctable but permanently weak) line
+    /// at logical `addr` to a spare. The caller has ruled out
+    /// quarantined and already-healed lines and drained queued writes.
+    fn rescue_remap(&self, mc: &mut MemoryController, addr: BlockAddr, now: Cycles) -> Result<()>;
+
+    /// What running software would observe at `addr`, without stats or
+    /// timing side effects (test/attack-model surface).
+    fn peek_plaintext(&self, mc: &mut MemoryController, addr: BlockAddr) -> Result<Line>;
+
+    /// Post-journal-resolution reboot checks: re-verify protection
+    /// metadata against the trusted in-controller state and census
+    /// shredded pages into `report`.
+    fn recovery_reverify(
+        &self,
+        mc: &mut MemoryController,
+        report: &mut RecoveryReport,
+    ) -> Result<()>;
+
+    /// Number of NVM lines of protection metadata this backend
+    /// maintains for the current configuration (counter lines, liveness
+    /// lines). Backend-neutral replacement for pattern-matching on
+    /// counter-cache internals.
+    fn metadata_lines(&self, mc: &MemoryController) -> u64;
+}
+
+/// The paper's counter-mode backend (and its `None`/`Ecb` baselines).
+#[derive(Debug)]
+pub struct CounterModeBackend;
+
+/// The scattered two-share backend.
+#[derive(Debug)]
+pub struct ScatteredTwoShareBackend;
+
+static COUNTER_MODE: CounterModeBackend = CounterModeBackend;
+static SCATTERED: ScatteredTwoShareBackend = ScatteredTwoShareBackend;
+
+/// Resolves the backend for a protection mode. Returned references are
+/// `'static`: backends are stateless, so call sites re-resolve freely.
+pub fn backend(mode: ProtectionMode) -> &'static dyn MemoryProtection {
+    match mode {
+        ProtectionMode::CounterMode => &COUNTER_MODE,
+        ProtectionMode::ScatteredTwoShare => &SCATTERED,
+    }
+}
+
+impl MemoryProtection for CounterModeBackend {
+    fn kind(&self) -> ProtectionMode {
+        ProtectionMode::CounterMode
+    }
+
+    fn read_line(
+        &self,
+        mc: &mut MemoryController,
+        addr: BlockAddr,
+        now: Cycles,
+    ) -> Result<ReadResult> {
+        mc.legacy_read_line(addr, now)
+    }
+
+    fn write_line(
+        &self,
+        mc: &mut MemoryController,
+        addr: BlockAddr,
+        data: &Line,
+        now: Cycles,
+    ) -> Result<()> {
+        mc.legacy_write_line(addr, data, now)
+    }
+
+    fn zero_line(&self, mc: &mut MemoryController, addr: BlockAddr, now: Cycles) -> Result<()> {
+        mc.legacy_zero_line(addr, now)
+    }
+
+    fn shred_page(&self, mc: &mut MemoryController, page: PageId, now: Cycles) -> Result<Cycles> {
+        mc.legacy_shred_page(page, now)
+    }
+
+    fn rescue_remap(&self, mc: &mut MemoryController, addr: BlockAddr, now: Cycles) -> Result<()> {
+        mc.legacy_rescue_remap(addr, now)
+    }
+
+    fn peek_plaintext(&self, mc: &mut MemoryController, addr: BlockAddr) -> Result<Line> {
+        mc.legacy_peek_plaintext(addr)
+    }
+
+    fn recovery_reverify(
+        &self,
+        mc: &mut MemoryController,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        mc.legacy_recovery_reverify(report)
+    }
+
+    fn metadata_lines(&self, mc: &MemoryController) -> u64 {
+        mc.counter_metadata_lines()
+    }
+}
+
+impl MemoryProtection for ScatteredTwoShareBackend {
+    fn kind(&self) -> ProtectionMode {
+        ProtectionMode::ScatteredTwoShare
+    }
+
+    fn read_line(
+        &self,
+        mc: &mut MemoryController,
+        addr: BlockAddr,
+        now: Cycles,
+    ) -> Result<ReadResult> {
+        mc.scattered_read_line(addr, now)
+    }
+
+    fn write_line(
+        &self,
+        mc: &mut MemoryController,
+        addr: BlockAddr,
+        data: &Line,
+        now: Cycles,
+    ) -> Result<()> {
+        mc.scattered_write_line(addr, data, now, true)
+    }
+
+    fn zero_line(&self, mc: &mut MemoryController, addr: BlockAddr, now: Cycles) -> Result<()> {
+        mc.scattered_write_line(addr, &ss_crypto::zero_line(), now, false)
+    }
+
+    fn shred_page(&self, mc: &mut MemoryController, page: PageId, now: Cycles) -> Result<Cycles> {
+        mc.scattered_shred_page(page, now)
+    }
+
+    fn rescue_remap(&self, mc: &mut MemoryController, addr: BlockAddr, now: Cycles) -> Result<()> {
+        mc.scattered_rescue_remap(addr, now)
+    }
+
+    fn peek_plaintext(&self, mc: &mut MemoryController, addr: BlockAddr) -> Result<Line> {
+        mc.scattered_peek_plaintext(addr)
+    }
+
+    fn recovery_reverify(
+        &self,
+        mc: &mut MemoryController,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
+        mc.scattered_recovery_reverify(report)
+    }
+
+    fn metadata_lines(&self, mc: &MemoryController) -> u64 {
+        mc.scattered_metadata_lines()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_resolution_is_stable() {
+        assert_eq!(
+            backend(ProtectionMode::CounterMode).kind(),
+            ProtectionMode::CounterMode
+        );
+        assert_eq!(
+            backend(ProtectionMode::ScatteredTwoShare).kind(),
+            ProtectionMode::ScatteredTwoShare
+        );
+    }
+}

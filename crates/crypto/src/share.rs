@@ -1,0 +1,104 @@
+//! Two-share secret splitting for the scattered memory backend.
+//!
+//! The scattered backend (DESIGN.md §15) protects a line by splitting it
+//! into two shares stored in disjoint NVM regions:
+//!
+//! * **share A** — uniform randomness drawn from the controller's
+//!   deterministic share stream ([`gen_share`]);
+//! * **share B** — the plaintext XOR-masked under share A
+//!   ([`mask_share`]).
+//!
+//! Either share alone is a one-time pad of nothing: it is statistically
+//! independent of the plaintext. Recombining the two
+//! ([`recombine_shares`]) restores the line; destroying either one
+//! destroys the data — which is exactly what a shred does.
+//!
+//! This mirrors the *Secure Scattered Memory* split (arXiv:2402.15824)
+//! and stronghold's Boojum `NonContiguousMemory` scheme. Layering rule
+//! LAYER-002 confines these three primitives to `ss-crypto`, invokable
+//! only from `ss-core` — exactly like the AES/IV surface under
+//! CRYPTO-001.
+
+use ss_common::DetRng;
+
+use crate::Line;
+
+/// Draws a fresh uniform-random share from the controller's
+/// deterministic share stream.
+///
+/// Every call consumes `LINE_SIZE / 8` values of the stream, so share
+/// generation is reproducible from the seed like every other source of
+/// randomness in the workspace.
+pub fn gen_share(rng: &mut DetRng) -> Line {
+    let mut share = [0u8; ss_common::LINE_SIZE];
+    rng.fill_bytes(&mut share);
+    share
+}
+
+/// Masks `plain` under `share`: returns the second share
+/// (`plain XOR share`).
+pub fn mask_share(plain: &Line, share: &Line) -> Line {
+    let mut masked = *plain;
+    for (m, s) in masked.iter_mut().zip(share.iter()) {
+        *m ^= s;
+    }
+    masked
+}
+
+/// Recombines two shares into the plaintext line (`a XOR b`).
+pub fn recombine_shares(a: &Line, b: &Line) -> Line {
+    let mut plain = *a;
+    for (p, s) in plain.iter_mut().zip(b.iter()) {
+        *p ^= s;
+    }
+    plain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_roundtrips() {
+        let mut rng = DetRng::new(0x5EED);
+        let plain: Line = [0xA5; 64];
+        let a = gen_share(&mut rng);
+        let b = mask_share(&plain, &a);
+        assert_ne!(a, plain);
+        assert_ne!(b, plain);
+        assert_eq!(recombine_shares(&a, &b), plain);
+        // XOR is symmetric: recombination order does not matter.
+        assert_eq!(recombine_shares(&b, &a), plain);
+    }
+
+    #[test]
+    fn shares_are_deterministic_per_seed() {
+        let mut r1 = DetRng::new(42);
+        let mut r2 = DetRng::new(42);
+        assert_eq!(gen_share(&mut r1), gen_share(&mut r2));
+        let mut r3 = DetRng::new(43);
+        assert_ne!(gen_share(&mut r1), gen_share(&mut r3));
+    }
+
+    #[test]
+    fn single_share_is_independent_of_plaintext() {
+        // Masking two different plaintexts under the same pad yields
+        // share-B values whose XOR is the plaintext XOR — but each share
+        // individually carries no plaintext structure: equal plaintexts
+        // under different pads produce unrelated shares.
+        let p: Line = [0x11; 64];
+        let mut rng = DetRng::new(7);
+        let a1 = gen_share(&mut rng);
+        let a2 = gen_share(&mut rng);
+        assert_ne!(mask_share(&p, &a1), mask_share(&p, &a2));
+    }
+
+    #[test]
+    fn zero_plaintext_masks_to_the_pad() {
+        let zero: Line = [0; 64];
+        let mut rng = DetRng::new(9);
+        let a = gen_share(&mut rng);
+        assert_eq!(mask_share(&zero, &a), a);
+        assert_eq!(recombine_shares(&a, &a), zero);
+    }
+}

@@ -41,8 +41,9 @@ use std::fmt;
 
 use ss_common::{BlockAddr, Cycles, DetRng, Error, PageId, Result, BLOCKS_PER_PAGE, LINE_SIZE};
 use ss_core::{
-    ControllerConfig, CounterPersistence, EncryptionMode, MemoryController, ReadResult,
-    ShardedConfig, ShardedController, ShredStrategy, WriteQueueConfig, SHRED_REG,
+    ControllerConfig, ControllerConfigBuilder, CounterPersistence, EncryptionMode,
+    MemoryController, ProtectionMode, ReadResult, ShardedConfig, ShardedController, ShredStrategy,
+    WriteQueueConfig, SHRED_REG,
 };
 
 use crate::shadow::Line;
@@ -365,38 +366,54 @@ impl AttackConfig {
     /// and sharding. Every config defends every attack — `attacksweep`
     /// demands zero `Leaked` over this matrix.
     pub fn matrix() -> Vec<AttackConfig> {
-        let base = ControllerConfig::small_test;
+        let base = ControllerConfigBuilder::small_test;
+        let build = |b: ControllerConfigBuilder| b.build().expect("attack matrix config");
         let queue = WriteQueueConfig {
             capacity: 8,
             drain_low: 2,
             drain_high: 6,
         };
         vec![
-            AttackConfig::new("ctr-bat-mt", base()),
+            AttackConfig::new("ctr-bat-mt", build(base())),
             AttackConfig::new(
                 "ctr-wt-mt",
-                ControllerConfig {
-                    counter_persistence: CounterPersistence::WriteThrough,
-                    ..base()
-                },
+                build(base().counter_persistence(CounterPersistence::WriteThrough)),
             ),
-            AttackConfig::new(
-                "ctr-bat-mt-wq",
-                ControllerConfig {
-                    write_queue: Some(queue),
-                    ..base()
-                },
-            ),
+            AttackConfig::new("ctr-bat-mt-wq", build(base().write_queue(Some(queue)))),
             AttackConfig::new(
                 "ctr-bat-mt-heal",
-                ControllerConfig {
-                    spare_lines: 64,
-                    scrub_interval: Some(32),
-                    ..base()
-                },
+                build(base().spare_lines(64).scrub_interval(Some(32))),
             ),
-            AttackConfig::sharded("ctr-bat-mt-x4", base(), 4),
-            AttackConfig::sharded("ctr-bat-mt-x8", base(), 8),
+            AttackConfig::sharded("ctr-bat-mt-x4", build(base()), 4),
+            AttackConfig::sharded("ctr-bat-mt-x8", build(base()), 8),
+        ]
+    }
+
+    /// The scattered-backend attack matrix (behind `attacksweep
+    /// --scattered`, with its own committed golden). The headline
+    /// scenario is the stolen DIMM: the offline attacker holds the data
+    /// region, the mask region, the liveness metadata *and* the
+    /// processor key — and must still classify `Defended`, because
+    /// after a shred the surviving data share recombines with fresh
+    /// randomness to nothing.
+    pub fn scattered_matrix() -> Vec<AttackConfig> {
+        let base = || {
+            ControllerConfigBuilder::scattered()
+                .data_capacity(1 << 20)
+                .counter_cache_bytes(16 << 10)
+        };
+        let build = |b: ControllerConfigBuilder| b.build().expect("scattered attack config");
+        vec![
+            AttackConfig::new("scat-bat-mt", build(base())),
+            AttackConfig::new(
+                "scat-wt-mt",
+                build(base().counter_persistence(CounterPersistence::WriteThrough)),
+            ),
+            AttackConfig::new(
+                "scat-bat-mt-heal",
+                build(base().spare_lines(64).scrub_interval(Some(32))),
+            ),
+            AttackConfig::sharded("scat-bat-mt-x4", build(base()), 4),
         ]
     }
 
@@ -407,10 +424,10 @@ impl AttackConfig {
     pub fn weakened() -> AttackConfig {
         AttackConfig::new(
             "weak-nomt",
-            ControllerConfig {
-                integrity: false,
-                ..ControllerConfig::small_test()
-            },
+            ControllerConfigBuilder::small_test()
+                .integrity(false)
+                .build()
+                .expect("weakened config"),
         )
     }
 }
@@ -1273,6 +1290,19 @@ fn remap_probe(adv: &mut Adversary, rng: &mut DetRng, cfg: &AttackConfig) -> Ver
 /// on-chip Merkle root (which the adversary cannot roll back) must
 /// reject the stale counter.
 fn rollback_replay(adv: &mut Adversary, rng: &mut DetRng, cfg: &AttackConfig) -> Verdict {
+    if cfg.controller.protection == ProtectionMode::ScatteredTwoShare {
+        // Live scattered overwrites never touch the liveness line, so a
+        // captured metadata line is usually still current and rolling it
+        // back is a semantic no-op — there is nothing for the Merkle
+        // tree to catch. The backend's honest replay story (and its
+        // limits) is documented in DESIGN.md §15.
+        return Ok((
+            AttackOutcome::Skipped,
+            "scattered liveness metadata does not advance on live overwrites; \
+             counter rollback is a no-op here (DESIGN.md §15)"
+                .into(),
+        ));
+    }
     if cfg.controller.encryption != EncryptionMode::Ctr {
         return Ok((
             AttackOutcome::Skipped,
@@ -1469,6 +1499,40 @@ mod tests {
     }
 
     #[test]
+    fn scattered_matrix_never_leaks() {
+        for cfg in AttackConfig::scattered_matrix() {
+            assert_eq!(cfg.controller.protection, ProtectionMode::ScatteredTwoShare);
+            for seed in 0..4 {
+                let report = run_attacks(&cfg, seed);
+                assert!(
+                    report.clean(),
+                    "{} seed {seed} leaked:\n{report}",
+                    cfg.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_stolen_dimm_is_defended() {
+        // ISSUE acceptance: the stolen-DIMM offline decrypt (cold scan +
+        // both share regions + key) must classify Defended — one share
+        // alone is a one-time pad of nothing, and after the shred the
+        // surviving share has no partner at all.
+        for cfg in AttackConfig::scattered_matrix() {
+            for seed in 0..4 {
+                let record = run_attack(&cfg, AttackKind::ShredThenSteal, seed);
+                assert_eq!(
+                    record.outcome,
+                    AttackOutcome::Defended,
+                    "{} seed {seed}:\n{record}",
+                    cfg.label
+                );
+            }
+        }
+    }
+
+    #[test]
     fn weakened_config_leaks_on_rollback() {
         let cfg = AttackConfig::weakened();
         let record = run_attack(&cfg, AttackKind::RollbackReplay, 0);
@@ -1485,10 +1549,10 @@ mod tests {
     fn spare_less_config_skips_pool_attacks() {
         let cfg = AttackConfig::new(
             "no-spares",
-            ControllerConfig {
-                spare_lines: 0,
-                ..ControllerConfig::small_test()
-            },
+            ControllerConfigBuilder::small_test()
+                .spare_lines(0)
+                .build()
+                .expect("no-spares config"),
         );
         let report = run_attacks(&cfg, 0);
         assert!(report.clean());

@@ -36,8 +36,9 @@ use std::fmt;
 
 use ss_common::{BlockAddr, Cycles, DetRng, Error, PageId, Result, LINE_SIZE};
 use ss_core::{
-    ControllerConfig, CounterPersistence, EncryptionMode, MemoryController, PersistDomain,
-    ReadResult, RecoveryReport, ShardedConfig, ShardedController, WriteQueueConfig,
+    ControllerConfig, ControllerConfigBuilder, CounterPersistence, EncryptionMode,
+    MemoryController, PersistDomain, ProtectionMode, ReadResult, RecoveryReport, ShardedConfig,
+    ShardedController, WriteQueueConfig,
 };
 
 use crate::engine::json_escape;
@@ -113,7 +114,11 @@ impl CrashScenario {
                 cfg.shards == 1 && c.write_queue.is_none() && c.spare_lines > 0
             }
             CrashScenario::CounterFlush => {
-                c.encryption == EncryptionMode::Ctr
+                // Counter-mode encryption counters and scattered liveness
+                // metadata share the battery-backed write-back cache, so
+                // both have dirty lines for an explicit flush to move.
+                (c.encryption == EncryptionMode::Ctr
+                    || c.protection == ProtectionMode::ScatteredTwoShare)
                     && c.counter_persistence == CounterPersistence::BatteryBackedWriteBack
             }
             CrashScenario::ShredDrain => cfg.shards > 1,
@@ -389,47 +394,84 @@ impl CrashConfig {
     /// behaviour). Every config resolves every crash point; `crashsweep`
     /// demands zero `Silent` over this matrix.
     pub fn matrix() -> Vec<CrashConfig> {
-        let base = ControllerConfig::small_test;
-        let adr = || ControllerConfig {
-            persist_domain: PersistDomain::Adr,
-            ..base()
-        };
-        let adr_wt = || ControllerConfig {
-            counter_persistence: CounterPersistence::WriteThrough,
-            ..adr()
-        };
+        let build = |b: ControllerConfigBuilder| b.build().expect("crash matrix config");
+        let adr = || ControllerConfigBuilder::small_test().persist_domain(PersistDomain::Adr);
+        let adr_wt = || build(adr().counter_persistence(CounterPersistence::WriteThrough));
         vec![
             CrashConfig::new("adr-wt", adr_wt()),
-            CrashConfig::new("adr-bat", adr()),
+            CrashConfig::new("adr-bat", build(adr())),
             CrashConfig::new(
                 "adr-plain-wq",
-                ControllerConfig {
-                    encryption: EncryptionMode::None,
-                    shredder: false,
-                    integrity: false,
-                    write_queue: Some(Self::small_queue()),
-                    ..adr()
-                },
+                build(
+                    adr()
+                        .encryption(EncryptionMode::None)
+                        .shredder(false)
+                        .integrity(false)
+                        .write_queue(Some(Self::small_queue())),
+                ),
             ),
             CrashConfig::new(
                 "adr-ecb-wq",
-                ControllerConfig {
-                    encryption: EncryptionMode::Ecb,
-                    shredder: false,
-                    integrity: false,
-                    write_queue: Some(Self::small_queue()),
-                    ..adr()
-                },
+                build(
+                    adr()
+                        .encryption(EncryptionMode::Ecb)
+                        .shredder(false)
+                        .integrity(false)
+                        .write_queue(Some(Self::small_queue())),
+                ),
             ),
             CrashConfig::new(
                 "eadr-wq",
-                ControllerConfig {
-                    write_queue: Some(Self::small_queue()),
-                    ..base()
-                },
+                build(ControllerConfigBuilder::small_test().write_queue(Some(Self::small_queue()))),
             ),
             CrashConfig::sharded("adr-wt-x4", adr_wt(), 4),
             CrashConfig::sharded("adr-wt-x8", adr_wt(), 8),
+        ]
+    }
+
+    /// The scattered-backend crash matrix (behind `crashsweep
+    /// --scattered`, with its own committed golden): both ADR counter
+    /// persistences, the eADR flush-on-fail baseline, and a sharded
+    /// ADR target for the batched shred drain. Under ADR every
+    /// scattered persist (data share, mask share, liveness line) flows
+    /// through the journaled [`persist_line`](MemoryController) choke
+    /// point, so a cut between the two share writes must roll back to a
+    /// coherent pair — the sweep proves a torn pair can never recombine
+    /// to garbage.
+    pub fn scattered_matrix() -> Vec<CrashConfig> {
+        let base = |domain: PersistDomain, persistence: CounterPersistence| {
+            ControllerConfigBuilder::scattered()
+                .data_capacity(1 << 20)
+                .counter_cache_bytes(16 << 10)
+                .persist_domain(domain)
+                .counter_persistence(persistence)
+                .build()
+                .expect("scattered crash config must build")
+        };
+        vec![
+            CrashConfig::new(
+                "scat-adr-wt",
+                base(PersistDomain::Adr, CounterPersistence::WriteThrough),
+            ),
+            CrashConfig::new(
+                "scat-adr-bat",
+                base(
+                    PersistDomain::Adr,
+                    CounterPersistence::BatteryBackedWriteBack,
+                ),
+            ),
+            CrashConfig::new(
+                "scat-eadr",
+                base(
+                    PersistDomain::Eadr,
+                    CounterPersistence::BatteryBackedWriteBack,
+                ),
+            ),
+            CrashConfig::sharded(
+                "scat-adr-wt-x4",
+                base(PersistDomain::Adr, CounterPersistence::WriteThrough),
+                4,
+            ),
         ]
     }
 
@@ -443,11 +485,11 @@ impl CrashConfig {
             recovery: false,
             ..CrashConfig::new(
                 "weakened-norecovery",
-                ControllerConfig {
-                    counter_persistence: CounterPersistence::WriteThrough,
-                    persist_domain: PersistDomain::Adr,
-                    ..ControllerConfig::small_test()
-                },
+                ControllerConfigBuilder::small_test()
+                    .counter_persistence(CounterPersistence::WriteThrough)
+                    .persist_domain(PersistDomain::Adr)
+                    .build()
+                    .expect("weakened crash config"),
             )
         }
     }
@@ -1123,6 +1165,33 @@ mod tests {
                 r.outcome,
                 CrashOutcome::NewState,
                 "eADR completes every sequence: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn scattered_crash_matrix_is_clean() {
+        for cfg in CrashConfig::scattered_matrix() {
+            assert_eq!(cfg.controller.protection, ProtectionMode::ScatteredTwoShare);
+            let report = run_crash_config(&cfg, 0);
+            assert!(report.clean(), "{} went silent:\n{report}", cfg.label);
+        }
+    }
+
+    #[test]
+    fn scattered_demand_write_cut_never_recombines_garbage() {
+        // The scattered-specific hazard: a cut between the data-share
+        // and mask-share writes leaves a mismatched pair. Every demand-
+        // write crash point must resolve to old or new state, proving
+        // the journal restores pair coherence.
+        let matrix = CrashConfig::scattered_matrix();
+        let cfg = matrix.iter().find(|c| c.label == "scat-adr-wt").unwrap();
+        let records = run_crash_scenario(cfg, CrashScenario::DemandWrite, 3);
+        assert!(!records.is_empty());
+        for r in &records {
+            assert!(
+                matches!(r.outcome, CrashOutcome::OldState | CrashOutcome::NewState),
+                "torn share pair survived: {r}"
             );
         }
     }

@@ -12,8 +12,8 @@ use std::fmt;
 
 use ss_common::{Cycles, DetRng, Error, PageId, BLOCKS_PER_PAGE, LINE_SIZE};
 use ss_core::{
-    ControllerConfig, CounterPersistence, EccConfig, EncryptionMode, MemoryController,
-    WriteQueueConfig, SHRED_REG,
+    ControllerConfig, ControllerConfigBuilder, CounterPersistence, EccConfig, EncryptionMode,
+    MemoryController, ProtectionMode, WriteQueueConfig, SHRED_REG,
 };
 
 use ss_trace::{MetricsRegistry, TraceRecord};
@@ -67,7 +67,8 @@ impl HarnessConfig {
     /// since persistence and integrity are counter properties. Two extra
     /// entries cover the no-shredder CTR baseline and DEUCE.
     pub fn matrix() -> Vec<HarnessConfig> {
-        let base = ControllerConfig::small_test;
+        let base = ControllerConfigBuilder::small_test;
+        let build = |b: ControllerConfigBuilder| b.build().expect("matrix config must build");
         let mut out = Vec::new();
         for persistence in [
             CounterPersistence::BatteryBackedWriteBack,
@@ -88,29 +89,23 @@ impl HarnessConfig {
                     );
                     out.push(HarnessConfig::new(
                         label,
-                        ControllerConfig {
-                            counter_persistence: persistence,
-                            integrity,
-                            write_queue: queued.then(Self::small_queue),
-                            ..base()
-                        },
+                        build(
+                            base()
+                                .counter_persistence(persistence)
+                                .integrity(integrity)
+                                .write_queue(queued.then(Self::small_queue)),
+                        ),
                     ));
                 }
             }
         }
         out.push(HarnessConfig::new(
             "ctr-noshred",
-            ControllerConfig {
-                shredder: false,
-                ..base()
-            },
+            build(base().shredder(false)),
         ));
         out.push(HarnessConfig::new(
             "ctr-bat-mt-deuce",
-            ControllerConfig {
-                deuce: true,
-                ..base()
-            },
+            build(base().deuce(true)),
         ));
         // Self-healing demonstrators. `ctr-bat-endu`: wear-out so
         // aggressive (every third write to a line grows a weak cell)
@@ -124,47 +119,95 @@ impl HarnessConfig {
         // injected 2-flip transient and an organic 2-bit burst.
         out.push(HarnessConfig::new(
             "ctr-bat-endu",
-            ControllerConfig {
-                endurance_limit: Some(2),
-                nvm_ecc: EccConfig::strength(3, 5),
-                spare_lines: 64,
-                scrub_interval: Some(48),
-                ..base()
-            },
+            build(
+                base()
+                    .endurance_limit(Some(2))
+                    .nvm_ecc(EccConfig::strength(3, 5))
+                    .spare_lines(64)
+                    .scrub_interval(Some(48)),
+            ),
         ));
         out.push(HarnessConfig::new(
             "ctr-bat-ber",
-            ControllerConfig {
-                transient_read_ber: 2e-5,
-                nvm_ecc: EccConfig::strength(1, 4),
-                spare_lines: 64,
-                scrub_interval: Some(64),
-                ..base()
-            },
+            build(
+                base()
+                    .transient_read_ber(2e-5)
+                    .nvm_ecc(EccConfig::strength(1, 4))
+                    .spare_lines(64)
+                    .scrub_interval(Some(64)),
+            ),
         ));
         for queued in [false, true] {
             let wq = if queued { "-wq" } else { "" };
             out.push(HarnessConfig::new(
                 format!("ecb{wq}"),
-                ControllerConfig {
-                    encryption: EncryptionMode::Ecb,
-                    shredder: false,
-                    integrity: false,
-                    write_queue: queued.then(Self::small_queue),
-                    ..base()
-                },
+                build(
+                    base()
+                        .encryption(EncryptionMode::Ecb)
+                        .shredder(false)
+                        .integrity(false)
+                        .write_queue(queued.then(Self::small_queue)),
+                ),
             ));
             out.push(HarnessConfig::new(
                 format!("plain{wq}"),
-                ControllerConfig {
-                    encryption: EncryptionMode::None,
-                    shredder: false,
-                    integrity: false,
-                    write_queue: queued.then(Self::small_queue),
-                    ..base()
-                },
+                build(
+                    base()
+                        .encryption(EncryptionMode::None)
+                        .shredder(false)
+                        .integrity(false)
+                        .write_queue(queued.then(Self::small_queue)),
+                ),
             ));
         }
+        out
+    }
+
+    /// The scattered-backend sweep matrix: counter persistence ×
+    /// liveness-metadata integrity on the `small_test` footprint, plus a
+    /// self-healing row (wear-out + spares + scrubbing, exercising the
+    /// fresh-share rescue path). Kept separate from [`Self::matrix`] —
+    /// behind the sweep binaries' `--scattered` flag — so the committed
+    /// counter-mode goldens stay byte-identical.
+    ///
+    /// Axes the counter-mode matrix sweeps but this one cannot: the
+    /// write queue, DEUCE, and Start-Gap wear levelling are rejected for
+    /// scattered configs at the builder choke point (no share-consistent
+    /// story; see `ControllerConfig::validate`).
+    pub fn scattered_matrix() -> Vec<HarnessConfig> {
+        let base = || {
+            ControllerConfigBuilder::scattered()
+                .data_capacity(1 << 20)
+                .counter_cache_bytes(16 << 10)
+        };
+        let mut out = Vec::new();
+        for (persistence, p) in [
+            (CounterPersistence::BatteryBackedWriteBack, "bat"),
+            (CounterPersistence::WriteThrough, "wt"),
+            (CounterPersistence::VolatileWriteBack, "vol"),
+        ] {
+            for integrity in [true, false] {
+                let label = format!("scat-{p}{}", if integrity { "-mt" } else { "" });
+                out.push(HarnessConfig::new(
+                    label,
+                    base()
+                        .counter_persistence(persistence)
+                        .integrity(integrity)
+                        .build()
+                        .expect("scattered matrix config must build"),
+                ));
+            }
+        }
+        out.push(HarnessConfig::new(
+            "scat-bat-heal",
+            base()
+                .endurance_limit(Some(2))
+                .nvm_ecc(EccConfig::strength(3, 5))
+                .spare_lines(64)
+                .scrub_interval(Some(48))
+                .build()
+                .expect("scattered matrix config must build"),
+        ));
         out
     }
 
@@ -658,7 +701,13 @@ fn verify_all(
             return Err(format!("zero-fill served for live line {addr}"));
         }
     }
-    if cfg.controller.encryption != EncryptionMode::None && shadow.secret_count() > 0 {
+    // Remanence applies whenever the backend claims the raw array holds
+    // no plaintext: every encrypted mode, and the scattered backend
+    // (whose data region holds a uniform-random share). Gate on the
+    // protection kind, not counter-cache internals.
+    let array_is_opaque = cfg.controller.encryption != EncryptionMode::None
+        || cfg.controller.protection == ProtectionMode::ScatteredTwoShare;
+    if array_is_opaque && shadow.secret_count() > 0 {
         for (addr, raw) in mc.faults().cold_scan_data() {
             if shadow.is_secret(&raw) {
                 return Err(format!("pre-shred plaintext survives in NVM at {addr}"));
@@ -1144,6 +1193,49 @@ mod tests {
         for cfg in &matrix {
             cfg.controller.validate().expect("matrix config invalid");
         }
+    }
+
+    #[test]
+    fn scattered_matrix_is_valid_and_deterministic() {
+        let matrix = HarnessConfig::scattered_matrix();
+        assert!(matrix.len() >= 5, "scattered sweep needs >= 5 configs");
+        for cfg in &matrix {
+            assert_eq!(cfg.controller.protection, ProtectionMode::ScatteredTwoShare);
+            cfg.controller.validate().expect("scattered config invalid");
+        }
+        let a = run_plan(&matrix[0], 11);
+        let b = run_plan(&matrix[0], 11);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn scattered_plans_run_clean() {
+        for cfg in HarnessConfig::scattered_matrix() {
+            for seed in 0..4 {
+                let report = run_plan(&cfg, seed);
+                assert!(
+                    report.clean(),
+                    "{} seed {seed} not clean:\n{report}",
+                    cfg.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_heal_row_rescues_with_fresh_shares() {
+        let matrix = HarnessConfig::scattered_matrix();
+        let cfg = matrix.iter().find(|c| c.label == "scat-bat-heal").unwrap();
+        let mut saw_remap = false;
+        for seed in 0..8 {
+            let report = run_plan(cfg, seed);
+            assert!(report.clean(), "seed {seed} not clean:\n{report}");
+            saw_remap |= report
+                .records
+                .iter()
+                .any(|r| r.detail.contains("remapped to a spare"));
+        }
+        assert!(saw_remap, "no scattered fault exercised the rescue path");
     }
 
     #[test]

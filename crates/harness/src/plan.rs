@@ -1,7 +1,7 @@
 //! Seeded fault plans.
 
 use ss_common::{DetRng, BLOCKS_PER_PAGE, LINE_SIZE};
-use ss_core::{ControllerConfig, EncryptionMode};
+use ss_core::{ControllerConfig, EncryptionMode, ProtectionMode};
 
 /// One kind of injected fault. Only kinds applicable to the controller
 /// configuration are ever scheduled (e.g. counter tampering is pointless
@@ -110,6 +110,18 @@ impl FaultPlan {
                 candidates.push(FaultKind::CounterReplay);
             }
         }
+        if cfg.protection == ProtectionMode::ScatteredTwoShare {
+            // The scattered backend keeps its liveness metadata in the
+            // counter cache/region, so cache drops and (with integrity)
+            // metadata bit flips apply. CounterReplay does not: live
+            // scattered writes leave the liveness line unchanged, so a
+            // captured line is often still current and the replay is a
+            // semantic no-op rather than a detectable rollback.
+            candidates.push(FaultKind::CounterCacheLineDrop);
+            if cfg.integrity {
+                candidates.push(FaultKind::CounterBitFlip);
+            }
+        }
         if cfg.shredder {
             candidates.push(FaultKind::ShredDropped);
         }
@@ -182,11 +194,11 @@ mod tests {
     fn media_error_kinds_require_healing_machinery() {
         // No ECC and no spares: a transient would alias silently and a
         // stuck cell could never be rescued — neither may be scheduled.
-        let cfg = ControllerConfig {
-            nvm_ecc: ss_core::EccConfig::disabled(),
-            spare_lines: 0,
-            ..ControllerConfig::small_test()
-        };
+        let cfg = ss_core::ControllerConfigBuilder::small_test()
+            .nvm_ecc(ss_core::EccConfig::disabled())
+            .spare_lines(0)
+            .build()
+            .expect("ecc-less config must still validate");
         for seed in 0..64 {
             let plan = FaultPlan::generate(seed, &cfg, 8);
             for f in &plan.faults {

@@ -9,8 +9,8 @@ use std::fmt;
 
 use ss_common::{BlockAddr, Cycles, Error, PageId, LINE_SIZE, PAGE_SIZE};
 use ss_core::{
-    ControllerConfig, CounterPersistence, MemoryController, ShardedConfig, ShardedController,
-    WriteQueueConfig,
+    ControllerConfigBuilder, CounterPersistence, MemoryController, ShardedConfig,
+    ShardedController, WriteQueueConfig,
 };
 use ss_cpu::Op;
 use ss_sim::{System, SystemConfig};
@@ -59,11 +59,11 @@ pub fn crash_at_depth(persistence: CounterPersistence, depth: usize) -> CrashVer
         drain_low: 1,
         drain_high: 8,
     };
-    let cfg = ControllerConfig {
-        counter_persistence: persistence,
-        write_queue: Some(queue),
-        ..ControllerConfig::small_test()
-    };
+    let cfg = ControllerConfigBuilder::small_test()
+        .counter_persistence(persistence)
+        .write_queue(Some(queue))
+        .build()
+        .expect("scenario config must build");
     let mut mc = MemoryController::new(cfg).expect("scenario config must build");
     let mut written: Vec<(BlockAddr, Line)> = Vec::new();
     for i in 0..depth {
@@ -118,11 +118,11 @@ pub fn crash_at_depth_sharded(
         drain_low: 1,
         drain_high: 8,
     };
-    let base = ControllerConfig {
-        counter_persistence: persistence,
-        write_queue: Some(queue),
-        ..ControllerConfig::small_test()
-    };
+    let base = ControllerConfigBuilder::small_test()
+        .counter_persistence(persistence)
+        .write_queue(Some(queue))
+        .build()
+        .expect("scenario config must build");
     let mut sc = ShardedController::new(ShardedConfig::new(shards, base))
         .expect("scenario config must build");
     let mut written: Vec<(BlockAddr, Line)> = Vec::new();

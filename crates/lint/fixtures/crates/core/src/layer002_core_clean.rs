@@ -1,0 +1,16 @@
+//! LAYER-002 clean fixture: ss-core is the legitimate scatter site.
+pub struct ScatterPath {
+    rng: DetRng,
+}
+
+impl ScatterPath {
+    pub fn seal(&mut self, plain: &Line) -> (Line, Line) {
+        let a = ss_crypto::share::gen_share(&mut self.rng);
+        let b = ss_crypto::share::mask_share(plain, &a);
+        (a, b)
+    }
+
+    pub fn open(&self, a: &Line, b: &Line) -> Line {
+        ss_crypto::share::recombine_shares(a, b)
+    }
+}

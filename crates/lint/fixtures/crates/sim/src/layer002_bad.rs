@@ -1,0 +1,18 @@
+//! LAYER-002 fixture: share primitives touched outside ss-core, plus a
+//! re-defined primitive forking the scatter surface out of ss-crypto.
+pub struct Probe {
+    rng: DetRng,
+}
+
+impl Probe {
+    pub fn reassemble(&mut self, a: &Line, b: &Line) -> Line {
+        let fresh = ss_crypto::share::gen_share(&mut self.rng);
+        let masked = ss_crypto::share::mask_share(a, &fresh);
+        let _ = masked;
+        ss_crypto::share::recombine_shares(a, b)
+    }
+
+    pub fn gen_share(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}

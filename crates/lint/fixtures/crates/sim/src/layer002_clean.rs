@@ -1,0 +1,15 @@
+//! LAYER-002 clean fixture: a local fn that merely shares a name-stem
+//! with the primitives is no scatter surface.
+pub struct Ledger {
+    shares: Vec<u64>,
+}
+
+impl Ledger {
+    pub fn share_count(&self) -> usize {
+        self.shares.len()
+    }
+
+    pub fn recombine(&self) -> u64 {
+        self.shares.iter().copied().fold(0, |a, b| a ^ b)
+    }
+}

@@ -17,6 +17,7 @@
 //! | PERSIST-001 | `ss-core` device writes that bypass the `persist_line` choke point |
 //! | CRYPTO-001  | `ss-crypto` decrypt/keystream surfaces invoked outside `ss-core` |
 //! | LAYER-001   | crate dependencies outside the declared layering DAG |
+//! | LAYER-002   | `ss-crypto` share primitives re-defined elsewhere or invoked outside `ss-core` |
 //! | META-001    | crate roots missing `#![forbid(unsafe_code)]` |
 //! | META-002    | escape hatches (`lint:allow*`, `[[allow]]`) that suppress nothing |
 //!

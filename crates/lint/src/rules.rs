@@ -75,6 +75,7 @@ pub fn check_graph(graph: &CallGraph) -> Vec<Finding> {
     persist_001(graph, &mut findings);
     sec_003(graph, &mut findings);
     crypto_001(graph, &mut findings);
+    layer_002(graph, &mut findings);
     findings
 }
 
@@ -227,6 +228,67 @@ fn sec_003(graph: &CallGraph, out: &mut Vec<Finding>) {
 /// The `ss-crypto` surfaces that recover plaintext or keystream
 /// material: line/block decryption and the one-time-pad generator.
 const CRYPTO_DECRYPT_SURFACE: &[&str] = &["decrypt_line", "decrypt_block", "pad"];
+
+/// The `ss-crypto` two-share scatter primitives: random-share
+/// generation, XOR-mask derivation, and recombination.
+const SHARE_SURFACE: &[&str] = &["gen_share", "mask_share", "recombine_shares"];
+
+/// LAYER-002: the two-share scatter primitives are defined in
+/// `ss-crypto` and invoked only from `ss-core` — the scattered-mode
+/// dual of CRYPTO-001. `recombine_shares` reassembles plaintext from a
+/// share pair, so a call above the controller is an oracle that skips
+/// the liveness check standing between the share arrays and the
+/// caller; and a same-named re-definition outside ss-crypto forks the
+/// primitive away from its one audited home. Calls that resolve to an
+/// unrelated workspace function outside ss-crypto are not flagged.
+fn layer_002(graph: &CallGraph, out: &mut Vec<Finding>) {
+    for f in &graph.fns {
+        if f.in_test {
+            continue;
+        }
+        // Definition containment: the primitives live in ss-crypto only.
+        if SHARE_SURFACE.contains(&f.name.as_str()) && !f.file.starts_with("crates/crypto/src/") {
+            out.push(Finding::new(
+                &f.file,
+                f.line,
+                "LAYER-002",
+                format!(
+                    "{}() re-defines a share primitive outside ss-crypto; the scatter \
+                     surface has one audited home",
+                    f.name
+                ),
+            ));
+        }
+        // Call containment: only the controller may drive them.
+        if f.file.starts_with("crates/core/src/") || f.file.starts_with("crates/crypto/src/") {
+            continue;
+        }
+        for call in &f.calls {
+            if !SHARE_SURFACE.contains(&call.name.as_str()) || matches!(call.kind, CallKind::Macro)
+            {
+                continue;
+            }
+            let targets = graph.resolve(f, call);
+            if !targets.is_empty()
+                && !targets
+                    .iter()
+                    .any(|&t| graph.fns[t].file.starts_with("crates/crypto/src/"))
+            {
+                continue;
+            }
+            out.push(Finding::new(
+                &f.file,
+                call.line,
+                "LAYER-002",
+                format!(
+                    "{}() touches share material outside ss-core; the ss-crypto scatter \
+                     primitives are contained to the controller",
+                    call.name
+                ),
+            ));
+        }
+    }
+}
 
 /// CRYPTO-001: the decrypt/keystream surfaces of `ss-crypto` may be
 /// invoked only from `ss-core` (and `ss-crypto` itself) — the
@@ -646,5 +708,40 @@ mod tests {
             "impl Table {\n pub fn pad(&self, w: usize) {}\n pub fn render(&self) { self.pad(3); }\n}",
         );
         assert!(graph_on(&[local]).is_empty());
+    }
+
+    #[test]
+    fn layer002_contains_share_primitives_to_core_and_crypto() {
+        // A recombine call above the controller is an oracle.
+        let sim = (
+            "crates/sim/src/probe.rs",
+            "pub fn peek(a: &Line, b: &Line) -> Line { ss_crypto::share::recombine_shares(a, b) }",
+        );
+        let f = graph_on(&[sim]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "LAYER-002");
+        assert!(f[0].message.contains("recombine_shares"));
+        // The same call from ss-core is the legitimate read path.
+        let core = (
+            "crates/core/src/controller.rs",
+            "pub fn fill(a: &Line, b: &Line) -> Line { ss_crypto::share::recombine_shares(a, b) }",
+        );
+        assert!(graph_on(&[core]).is_empty());
+        // Re-defining a primitive outside ss-crypto forks the surface.
+        let fork = (
+            "crates/nvm/src/device.rs",
+            "pub fn gen_share(seed: u64) -> u64 { seed }",
+        );
+        let f = graph_on(&[fork]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "LAYER-002");
+        assert!(f[0].message.contains("re-defines"));
+        // A call resolving to a local, unrelated fn of the same name is
+        // not a scatter surface once the definition itself is in crypto.
+        let home = (
+            "crates/crypto/src/share.rs",
+            "pub fn mask_share(p: &Line, s: &Line) -> Line { xor(p, s) }",
+        );
+        assert!(graph_on(&[home]).is_empty());
     }
 }

@@ -283,6 +283,29 @@ fn crypto001_clean_fixtures_are_clean() {
 }
 
 #[test]
+fn layer002_violations_exact() {
+    // The gen_share *call* resolves to the fixture's own forked
+    // definition, so only the fork itself is flagged for that name;
+    // the mask/recombine calls hit the real ss-crypto surface.
+    let f = lint(&["crates/sim/src/layer002_bad.rs"]);
+    assert_eq!(
+        lines_and_rules(&f),
+        vec![(10, "LAYER-002"), (12, "LAYER-002"), (15, "LAYER-002")],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("mask_share"));
+    assert!(f[1].message.contains("recombine_shares"));
+    assert!(f[2].message.contains("re-defines"));
+}
+
+#[test]
+fn layer002_clean_fixtures_are_clean() {
+    // Name-stem lookalikes outside, and real scatter calls inside ss-core.
+    assert!(lint(&["crates/sim/src/layer002_clean.rs"]).is_empty());
+    assert!(lint(&["crates/core/src/layer002_core_clean.rs"]).is_empty());
+}
+
+#[test]
 fn meta002_workspace_audit_exact() {
     // Workspace mode (full tree in view) audits escape staleness: the
     // stale line + file directives in stale.rs and the stale [[allow]]
@@ -361,6 +384,7 @@ fn cli_exit_codes_match_fixture_intent() {
         "crates/core/src/persist001_bad.rs",
         "crates/core/src/controller.rs",
         "crates/sim/src/crypto001_bad.rs",
+        "crates/sim/src/layer002_bad.rs",
         "crates/layers/bad-dep/Cargo.toml",
         "crates/layers/unlisted/Cargo.toml",
         "crates/layers/no-forbid/Cargo.toml",
@@ -376,6 +400,8 @@ fn cli_exit_codes_match_fixture_intent() {
         "crates/crypto/src/sec003_clean.rs",
         "crates/sim/src/crypto001_clean.rs",
         "crates/core/src/crypto001_core_clean.rs",
+        "crates/sim/src/layer002_clean.rs",
+        "crates/core/src/layer002_core_clean.rs",
         "crates/layers/good/Cargo.toml",
         "crates/layers/deny-ok/Cargo.toml",
     ];

@@ -252,11 +252,13 @@ mod tests {
             ..HierarchyConfig::scaled_down(64)
         })
         .unwrap();
-        let controller = MemoryController::new(ControllerConfig {
-            data_capacity: 8 << 20,
-            counter_cache_bytes: 16 << 10,
-            ..ControllerConfig::default()
-        })
+        let controller = MemoryController::new(
+            ControllerConfig::builder()
+                .data_capacity(8 << 20)
+                .counter_cache_bytes(16 << 10)
+                .build()
+                .unwrap(),
+        )
         .unwrap();
         let mut h = Hardware::new(hierarchy, controller);
         // Write more lines than the whole hierarchy holds to force

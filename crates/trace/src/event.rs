@@ -64,6 +64,20 @@ pub enum TraceEvent {
         /// Number of writes drained in this burst.
         drained: u32,
     },
+    /// A scattered-backend read recombined both shares of a line
+    /// (DESIGN.md §15; emitted only under the scattered backend).
+    ShareRecombine {
+        /// The logical line that was recombined.
+        addr: BlockAddr,
+    },
+    /// A scattered-backend shred discarded the mask shares of a page
+    /// (DESIGN.md §15; emitted only under the scattered backend).
+    MaskDiscard {
+        /// The shredded page.
+        page: PageId,
+        /// Number of live mask lines overwritten with fresh randomness.
+        lines: u32,
+    },
 }
 
 impl TraceEvent {
@@ -79,6 +93,8 @@ impl TraceEvent {
             TraceEvent::LineRemap { .. } => "line_remap",
             TraceEvent::ScrubStep { .. } => "scrub_step",
             TraceEvent::WriteQueueDrain { .. } => "wqueue_drain",
+            TraceEvent::ShareRecombine { .. } => "share_recombine",
+            TraceEvent::MaskDiscard { .. } => "mask_discard",
         }
     }
 
@@ -101,6 +117,10 @@ impl TraceEvent {
                 format!("\"addr\":{},\"healed\":{}", addr.raw(), healed)
             }
             TraceEvent::WriteQueueDrain { drained } => format!("\"drained\":{drained}"),
+            TraceEvent::ShareRecombine { addr } => format!("\"addr\":{}", addr.raw()),
+            TraceEvent::MaskDiscard { page, lines } => {
+                format!("\"page\":{},\"lines\":{}", page.raw(), lines)
+            }
         }
     }
 }
@@ -183,6 +203,8 @@ mod tests {
                 healed: true,
             },
             TraceEvent::WriteQueueDrain { drained: 6 },
+            TraceEvent::ShareRecombine { addr: a },
+            TraceEvent::MaskDiscard { page: p, lines: 4 },
         ];
         for (i, e) in events.into_iter().enumerate() {
             let r = TraceRecord {

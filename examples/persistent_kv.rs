@@ -67,11 +67,12 @@ fn hardware() -> Result<Hardware> {
             cores: 1,
             ..HierarchyConfig::scaled_down(128)
         })?,
-        MemoryController::new(ControllerConfig {
-            data_capacity: 4 << 20,
-            counter_cache_bytes: 32 << 10,
-            ..ControllerConfig::default()
-        })?,
+        MemoryController::new(
+            ControllerConfigBuilder::new()
+                .data_capacity(4 << 20)
+                .counter_cache_bytes(32 << 10)
+                .build()?,
+        )?,
     ))
 }
 

@@ -27,11 +27,12 @@ fn churn(strategy: ZeroStrategy) -> Result<(u64, u64, u64)> {
         cores: 2,
         ..HierarchyConfig::scaled_down(128)
     })?;
-    let controller = MemoryController::new(ControllerConfig {
-        data_capacity: (HOST_FRAMES + 16) * PAGE_SIZE as u64,
-        counter_cache_bytes: 256 << 10,
-        ..ControllerConfig::default()
-    })?;
+    let controller = MemoryController::new(
+        ControllerConfigBuilder::new()
+            .data_capacity((HOST_FRAMES + 16) * PAGE_SIZE as u64)
+            .counter_cache_bytes(256 << 10)
+            .build()?,
+    )?;
     let mut hw = Hardware::new(hierarchy, controller);
     let mut hyp = Hypervisor::new(
         (1..HOST_FRAMES).map(PageId::new).collect(),

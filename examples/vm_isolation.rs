@@ -23,11 +23,12 @@ fn build_hardware() -> Result<Hardware> {
         cores: 2,
         ..HierarchyConfig::scaled_down(64)
     })?;
-    let controller = MemoryController::new(ControllerConfig {
-        data_capacity: 8 << 20,
-        counter_cache_bytes: 64 << 10,
-        ..ControllerConfig::default()
-    })?;
+    let controller = MemoryController::new(
+        ControllerConfigBuilder::new()
+            .data_capacity(8 << 20)
+            .counter_cache_bytes(64 << 10)
+            .build()?,
+    )?;
     Ok(Hardware::new(hierarchy, controller))
 }
 

@@ -57,7 +57,9 @@ pub use ss_workloads as workloads;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use ss_common::{BlockAddr, Cycles, Error, PageId, PhysAddr, Result, VirtAddr};
-    pub use ss_core::{ControllerConfig, MemoryController, ShredStrategy};
+    pub use ss_core::{
+        ControllerConfig, ControllerConfigBuilder, MemoryController, ProtectionMode, ShredStrategy,
+    };
     pub use ss_cpu::Op;
     pub use ss_os::{Kernel, KernelConfig, ZeroStrategy};
     pub use ss_sim::{System, SystemConfig};

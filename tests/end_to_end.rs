@@ -182,11 +182,13 @@ fn hypervisor_runs_on_real_hardware_stack() {
         ..HierarchyConfig::scaled_down(128)
     })
     .unwrap();
-    let controller = MemoryController::new(ControllerConfig {
-        data_capacity: 4 << 20,
-        counter_cache_bytes: 32 << 10,
-        ..ControllerConfig::default()
-    })
+    let controller = MemoryController::new(
+        ControllerConfigBuilder::new()
+            .data_capacity(4 << 20)
+            .counter_cache_bytes(32 << 10)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let mut hw = Hardware::new(hierarchy, controller);
     let frames: Vec<PageId> = (1..512).map(PageId::new).collect();

@@ -15,12 +15,14 @@ fn hardware(persistence: CounterPersistence) -> Hardware {
         ..HierarchyConfig::scaled_down(128)
     })
     .expect("hierarchy");
-    let controller = MemoryController::new(ControllerConfig {
-        data_capacity: 2 << 20,
-        counter_cache_bytes: 16 << 10,
-        counter_persistence: persistence,
-        ..ControllerConfig::default()
-    })
+    let controller = MemoryController::new(
+        ControllerConfigBuilder::new()
+            .data_capacity(2 << 20)
+            .counter_cache_bytes(16 << 10)
+            .counter_persistence(persistence)
+            .build()
+            .expect("controller config"),
+    )
     .expect("controller");
     Hardware::new(hierarchy, controller)
 }
@@ -268,11 +270,13 @@ fn crash_matrix_smoke_covers_all_outcome_classes() {
 /// An ADR write-through controller with a crash cut armed at persist
 /// step `steps + offset` of the next operation.
 fn adr_controller() -> MemoryController {
-    MemoryController::new(ControllerConfig {
-        persist_domain: PersistDomain::Adr,
-        counter_persistence: CounterPersistence::WriteThrough,
-        ..ControllerConfig::small_test()
-    })
+    MemoryController::new(
+        ControllerConfigBuilder::small_test()
+            .persist_domain(PersistDomain::Adr)
+            .counter_persistence(CounterPersistence::WriteThrough)
+            .build()
+            .expect("adr config"),
+    )
     .expect("controller")
 }
 
@@ -349,10 +353,12 @@ fn power_loss_volatile_set_is_pinned() {
     };
     // eADR: the write queue sits inside the persistence domain —
     // flush-on-fail drains queued lines to the device at power loss.
-    let mut mc = MemoryController::new(ControllerConfig {
-        write_queue: Some(queue),
-        ..ControllerConfig::small_test()
-    })
+    let mut mc = MemoryController::new(
+        ControllerConfigBuilder::small_test()
+            .write_queue(Some(queue))
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let addr = PageId::new(2).block_addr(0);
     mc.write_block(addr, &RECORD, false, Cycles::ZERO).unwrap();
@@ -368,14 +374,16 @@ fn power_loss_volatile_set_is_pinned() {
 
     // ADR: the queue is volatile — queued lines vanish at power loss and
     // the line still reads as never-written, not as a silent half-write.
-    let mut mc = MemoryController::new(ControllerConfig {
-        persist_domain: PersistDomain::Adr,
-        encryption: EncryptionMode::None,
-        shredder: false,
-        integrity: false,
-        write_queue: Some(queue),
-        ..ControllerConfig::small_test()
-    })
+    let mut mc = MemoryController::new(
+        ControllerConfigBuilder::small_test()
+            .persist_domain(PersistDomain::Adr)
+            .encryption(EncryptionMode::None)
+            .shredder(false)
+            .integrity(false)
+            .write_queue(Some(queue))
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     mc.write_block(addr, &RECORD, false, Cycles::ZERO).unwrap();
     assert!(mc.inspect().write_queue_len() > 0, "write must be queued");

@@ -300,14 +300,16 @@ fn controller_read_your_writes() {
 #[test]
 fn write_queue_read_your_writes() {
     for seed in 0..32 {
-        let mut mc = MemoryController::new(ControllerConfig {
-            write_queue: Some(silent_shredder::core::WriteQueueConfig {
-                capacity: 8,
-                drain_low: 1,
-                drain_high: 4,
-            }),
-            ..ControllerConfig::small_test()
-        })
+        let mut mc = MemoryController::new(
+            ControllerConfigBuilder::small_test()
+                .write_queue(Some(silent_shredder::core::WriteQueueConfig {
+                    capacity: 8,
+                    drain_low: 1,
+                    drain_high: 4,
+                }))
+                .build()
+                .unwrap(),
+        )
         .unwrap();
         drive_read_your_writes(&mut mc, 0xB220 + seed, 80);
     }
@@ -317,11 +319,13 @@ fn write_queue_read_your_writes() {
 #[test]
 fn deuce_read_your_writes() {
     for seed in 0..32 {
-        let mut mc = MemoryController::new(ControllerConfig {
-            deuce: true,
-            deuce_epoch: 4,
-            ..ControllerConfig::small_test()
-        })
+        let mut mc = MemoryController::new(
+            ControllerConfigBuilder::small_test()
+                .deuce(true)
+                .deuce_epoch(4)
+                .build()
+                .unwrap(),
+        )
         .unwrap();
         let mut rng = DetRng::new(0xD330 + seed);
         let mut shadow: BTreeMap<u64, [u8; LINE_SIZE]> = BTreeMap::new();
@@ -444,12 +448,14 @@ fn minor_zero_only_via_zero_fill_path() {
 #[test]
 fn no_zero_fill_without_shredder() {
     for encryption in [EncryptionMode::Ctr, EncryptionMode::Ecb] {
-        let mut mc = MemoryController::new(ControllerConfig {
-            encryption,
-            shredder: false,
-            integrity: false,
-            ..ControllerConfig::small_test()
-        })
+        let mut mc = MemoryController::new(
+            ControllerConfigBuilder::small_test()
+                .encryption(encryption)
+                .shredder(false)
+                .integrity(false)
+                .build()
+                .unwrap(),
+        )
         .unwrap();
         let addr = PageId::new(1).block_addr(0);
         assert!(!mc.read_block(addr, Cycles::ZERO).unwrap().zero_filled);

@@ -65,10 +65,12 @@ fn weakened_config_proves_the_attacks_are_real() {
 
 #[test]
 fn remanence_attack_succeeds_without_encryption() {
-    let mut adv = adversary(ControllerConfig {
-        data_capacity: 1 << 20,
-        ..ControllerConfig::plain()
-    });
+    let mut adv = adversary(
+        ControllerConfigBuilder::plain()
+            .data_capacity(1 << 20)
+            .build()
+            .expect("plain config"),
+    );
     let addr = PageId::new(1).block_addr(0);
     adv.victim_write(addr, &SECRET).unwrap();
     adv.power_off().unwrap();
@@ -126,10 +128,12 @@ fn shredded_page_is_unintelligible_even_with_the_key() {
     // With the zero-fill rule disabled (major-bump-only), decryption
     // under the *current* IVs still cannot produce the old plaintext —
     // the major bump changed the pad.
-    let mut adv = adversary(ControllerConfig {
-        shred_strategy: ShredStrategy::MajorBumpOnly,
-        ..ControllerConfig::small_test()
-    });
+    let mut adv = adversary(
+        ControllerConfigBuilder::small_test()
+            .shred_strategy(ShredStrategy::MajorBumpOnly)
+            .build()
+            .expect("major-bump-only config"),
+    );
     let page = PageId::new(2);
     adv.victim_write(page.block_addr(0), &SECRET).unwrap();
     adv.victim_shred(page).unwrap();
@@ -227,10 +231,12 @@ fn integrity_disabled_makes_replay_silent() {
     // Negative control: without the Merkle tree the same script goes
     // undetected and decrypts the stale secret — demonstrating why the
     // paper requires counter integrity.
-    let mut adv = adversary(ControllerConfig {
-        integrity: false,
-        ..ControllerConfig::small_test()
-    });
+    let mut adv = adversary(
+        ControllerConfigBuilder::small_test()
+            .integrity(false)
+            .build()
+            .expect("integrity-off config"),
+    );
     let page = PageId::new(3);
     let addr = page.block_addr(0);
     adv.victim_write(addr, &SECRET).unwrap();
@@ -296,10 +302,12 @@ fn user_space_cannot_shred_a_shard_either() {
 
 #[test]
 fn volatile_counter_cache_is_a_real_crash_hazard() {
-    let mut adv = adversary(ControllerConfig {
-        counter_persistence: CounterPersistence::VolatileWriteBack,
-        ..ControllerConfig::small_test()
-    });
+    let mut adv = adversary(
+        ControllerConfigBuilder::small_test()
+            .counter_persistence(CounterPersistence::VolatileWriteBack)
+            .build()
+            .expect("volatile-counter config"),
+    );
     adv.victim_write(PageId::new(1).block_addr(0), &SECRET)
         .unwrap();
     adv.power_off().unwrap();
@@ -336,10 +344,12 @@ fn ciphertext_is_spatially_and_temporally_unique() {
 fn quarantined_lines_fail_loudly_not_silently() {
     // When ECC detects more than it can correct and the spare pool is
     // exhausted, reads must degrade to a *loud* error — never garbage.
-    let mut mc = MemoryController::new(ControllerConfig {
-        spare_lines: 0,
-        ..ControllerConfig::small_test()
-    })
+    let mut mc = MemoryController::new(
+        ControllerConfigBuilder::small_test()
+            .spare_lines(0)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let addr = PageId::new(1).block_addr(0);
     mc.write_block(addr, &SECRET, false, Cycles::ZERO).unwrap();
@@ -358,13 +368,15 @@ fn quarantined_lines_fail_loudly_not_silently() {
 
 #[test]
 fn ecb_mode_leaks_equality_ctr_does_not() {
-    let mut ecb = MemoryController::new(ControllerConfig {
-        data_capacity: 1 << 20,
-        encryption: EncryptionMode::Ecb,
-        shredder: false,
-        integrity: false,
-        ..ControllerConfig::default()
-    })
+    let mut ecb = MemoryController::new(
+        ControllerConfigBuilder::new()
+            .data_capacity(1 << 20)
+            .encryption(EncryptionMode::Ecb)
+            .shredder(false)
+            .integrity(false)
+            .build()
+            .unwrap(),
+    )
     .unwrap();
     let a = PageId::new(0).block_addr(0);
     let b = PageId::new(0).block_addr(1);

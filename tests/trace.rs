@@ -5,15 +5,15 @@
 //! runs, and enabling them never changes what the simulation computes.
 
 use ss_common::{Cycles, PageId};
-use ss_core::{ControllerConfig, MemoryController};
+use ss_core::{ControllerConfig, ControllerConfigBuilder, MemoryController};
 use ss_harness::{run_plan, run_plan_full, HarnessConfig};
 use ss_trace::TraceRecord;
 
 fn traced_config() -> ControllerConfig {
-    ControllerConfig {
-        trace_depth: Some(4096),
-        ..ControllerConfig::small_test()
-    }
+    ControllerConfigBuilder::small_test()
+        .trace_depth(Some(4096))
+        .build()
+        .expect("traced config")
 }
 
 /// Renders a stream exactly as `faultsweep --trace` prints it.
